@@ -1,0 +1,102 @@
+// Ablation (DESIGN.md §7): how much is load *information* worth?
+// Sweeps the queue-blind greedy's randomization (its only defense against
+// pile-ups, since it sees execution-time estimates but no queues), and
+// compares against QA-NT (no load disclosure at all — admission control
+// emerges from private prices) and the fully informed Greedy baseline
+// (fresh backlog + estimate), plus stale two-probes at several staleness
+// levels.
+
+#include <iostream>
+
+#include "allocation/baselines.h"
+#include "bench/bench_common.h"
+
+namespace qa {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+sim::SimMetrics RunWith(allocation::Allocator* alloc,
+                        const query::CostModel& model,
+                        const workload::Trace& trace,
+                        util::VDuration period) {
+  sim::FederationConfig config;
+  config.period = period;
+  config.max_retries = 5000;
+  sim::Federation fed(&model, alloc, config);
+  return fed.Run(trace);
+}
+
+}  // namespace
+}  // namespace qa
+
+int main(int argc, char** argv) {
+  using namespace qa;
+  const uint64_t seed = 42;
+  bool quick = bench::QuickMode(argc, argv);
+  bench::Banner("Ablation: load information",
+                "Blind-greedy randomization sweep vs QA-NT vs informed "
+                "Greedy vs stale two-probes (95% peak sinusoid)",
+                seed);
+
+  util::Rng rng(seed);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = quick ? 30 : 100;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+  util::VDuration period = 500 * kMillisecond;
+  double capacity = sim::EstimateCapacityQps(*model, {2.0, 1.0}, period);
+
+  workload::SinusoidConfig workload;
+  workload.frequency_hz = 0.05;
+  workload.duration = (quick ? 40 : 80) * kSecond;
+  workload.num_origin_nodes = scenario.num_nodes;
+  workload.q1_peak_rate = 0.95 * capacity;
+  util::Rng wl_rng(seed + 1);
+  workload::Trace trace =
+      workload::GenerateSinusoidWorkload(workload, wl_rng);
+
+  util::TableWriter table({"Mechanism", "Load info", "Mean (ms)",
+                           "p95 (ms)"});
+
+  for (double r : {0.0, 0.25, 0.5, 1.0, 1.5}) {
+    allocation::BlindGreedyAllocator greedy(seed, r);
+    sim::SimMetrics m = RunWith(&greedy, *model, trace, period);
+    table.AddRow("GreedyBlind r=" + std::to_string(r).substr(0, 4),
+                 "estimates only", m.MeanResponseMs(),
+                 m.response_time_ms.Percentile(95));
+  }
+
+  for (int stale_s : {0, 2, 5, 15}) {
+    allocation::TwoRandomProbesAllocator probes(
+        seed, stale_s * 1000 * kMillisecond);
+    sim::SimMetrics m = RunWith(&probes, *model, trace, period);
+    table.AddRow("TwoProbes stale=" + std::to_string(stale_s) + "s",
+                 "2 sampled loads", m.MeanResponseMs(),
+                 m.response_time_ms.Percentile(95));
+  }
+
+  {
+    allocation::AllocatorParams params;
+    params.cost_model = model.get();
+    params.period = period;
+    params.seed = seed;
+    auto qa_nt = allocation::CreateAllocator("QA-NT", params);
+    sim::SimMetrics m = RunWith(qa_nt.get(), *model, trace, period);
+    table.AddRow("QA-NT", "none (private prices)", m.MeanResponseMs(),
+                 m.response_time_ms.Percentile(95));
+  }
+  {
+    allocation::GreedyAllocator greedy(seed);
+    sim::SimMetrics m = RunWith(&greedy, *model, trace, period);
+    table.AddRow("Greedy (informed)", "all fresh backlogs",
+                 m.MeanResponseMs(), m.response_time_ms.Percentile(95));
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: QA-NT approaches the fully informed Greedy "
+               "without any node disclosing its load (and beats it beyond "
+               "capacity); the queue-blind greedy needs heavy "
+               "randomization to avoid pile-ups and still trails; stale "
+               "probes degrade gracefully with staleness.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// The Markov-based allocator of [4] (Table 2's last row), measured. The
+// paper excludes it from the dynamic simulation because it cannot handle
+// dynamic workloads; here we show both halves of that claim: on the static
+// workload it was solved for, it is excellent ("QA-NT ... comes close to
+// the Markov-based algorithm under static ones"), and on a dynamic
+// workload (for which its routing matrix is stale) it falls apart.
+
+#include <iostream>
+
+#include "allocation/markov.h"
+#include "bench/bench_common.h"
+#include "workload/uniform.h"
+
+namespace qa {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+sim::SimMetrics RunWith(allocation::Allocator* alloc,
+                        const query::CostModel& model,
+                        const workload::Trace& trace,
+                        util::VDuration period) {
+  sim::FederationConfig config;
+  config.period = period;
+  config.max_retries = 5000;
+  sim::Federation fed(&model, alloc, config);
+  return fed.Run(trace);
+}
+
+}  // namespace
+}  // namespace qa
+
+int main(int argc, char** argv) {
+  using namespace qa;
+  const uint64_t seed = 42;
+  bool quick = bench::QuickMode(argc, argv);
+  bench::Banner("Ablation: Markov [4]",
+                "Static-optimal routing vs QA-NT/Greedy on static and "
+                "dynamic loads",
+                seed);
+
+  util::Rng rng(seed);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = quick ? 20 : 50;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+  util::VDuration period = 500 * kMillisecond;
+  double capacity = sim::EstimateCapacityQps(*model, {2.0, 1.0}, period);
+
+  // ---- Static: Poisson at 85% capacity with a 2:1 class mix. The Markov
+  // solver receives the true rates.
+  double rate = 0.85 * capacity;
+  workload::PoissonWorkloadConfig static_wl;
+  static_wl.num_queries = quick ? 1500 : 6000;
+  static_wl.mean_interarrival =
+      static_cast<util::VDuration>(util::kSecond / rate);
+  static_wl.classes = {0, 0, 1};
+  static_wl.num_origin_nodes = scenario.num_nodes;
+  util::Rng rng_s(seed + 1);
+  workload::Trace static_trace =
+      workload::GeneratePoissonWorkload(static_wl, rng_s);
+
+  // ---- Dynamic: 0.05 Hz sinusoid with the same *average* rates — the
+  // matrix is "right on average" but wrong at every instant.
+  workload::SinusoidConfig wave;
+  wave.frequency_hz = 0.05;
+  wave.duration = (quick ? 40 : 80) * kSecond;
+  wave.num_origin_nodes = scenario.num_nodes;
+  wave.q1_peak_rate = 1.1 * capacity / 0.75;
+  util::Rng rng_d(seed + 2);
+  workload::Trace dynamic_trace = workload::GenerateSinusoidWorkload(wave,
+                                                                     rng_d);
+
+  std::vector<double> true_rates = {rate * 2.0 / 3.0, rate / 3.0};
+
+  util::TableWriter table({"Mechanism", "Static mean (ms)",
+                           "Dynamic mean (ms)"});
+  for (const std::string& name : {std::string("Markov"),
+                                  std::string("QA-NT"),
+                                  std::string("Greedy"),
+                                  std::string("Random")}) {
+    // A fresh allocator per run: mechanisms carry state (prices, period
+    // clocks, routing RNG) that must not leak across experiments.
+    auto make = [&]() -> std::unique_ptr<allocation::Allocator> {
+      if (name == "Markov") {
+        return std::make_unique<allocation::MarkovAllocator>(
+            model.get(), true_rates, seed);
+      }
+      allocation::AllocatorParams params;
+      params.cost_model = model.get();
+      params.period = period;
+      params.seed = seed;
+      return allocation::CreateAllocator(name, params);
+    };
+    auto static_alloc = make();
+    sim::SimMetrics s =
+        RunWith(static_alloc.get(), *model, static_trace, period);
+    auto dynamic_alloc = make();
+    sim::SimMetrics d =
+        RunWith(dynamic_alloc.get(), *model, dynamic_trace, period);
+    table.AddRow(name, s.MeanResponseMs(), d.MeanResponseMs());
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected (paper §4): Markov excellent on the static load "
+               "it was solved for, with QA-NT close behind; on the dynamic "
+               "load the static matrix misroutes and Markov degrades "
+               "toward the blind mechanisms.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef QAMARKET_BENCH_BENCH_COMMON_H_
+#define QAMARKET_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "allocation/factory.h"
+#include "sim/federation.h"
+#include "sim/scenario.h"
+#include "util/table_writer.h"
+#include "workload/sinusoid.h"
+
+namespace qa::bench {
+
+/// Runs one mechanism over one trace on one cost model and returns the
+/// metrics. Every experiment binary funnels through this so mechanisms are
+/// compared under identical conditions.
+inline sim::SimMetrics RunMechanism(const query::CostModel& cost_model,
+                                    const std::string& mechanism,
+                                    const workload::Trace& trace,
+                                    util::VDuration period, uint64_t seed,
+                                    int max_retries = 5000) {
+  allocation::AllocatorParams params;
+  params.cost_model = &cost_model;
+  params.period = period;
+  params.seed = seed;
+  std::unique_ptr<allocation::Allocator> alloc =
+      allocation::CreateAllocator(mechanism, params);
+  if (alloc == nullptr) {
+    std::cerr << "unknown mechanism " << mechanism << "\n";
+    return sim::SimMetrics();
+  }
+  sim::FederationConfig config;
+  config.period = period;
+  config.max_retries = max_retries;
+  sim::Federation fed(&cost_model, alloc.get(), config);
+  return fed.Run(trace);
+}
+
+/// Prints the experiment banner: id, description, seed.
+inline void Banner(const std::string& experiment,
+                   const std::string& description, uint64_t seed) {
+  std::cout << "==================================================\n"
+            << experiment << ": " << description << "\n"
+            << "(seed=" << seed << ", deterministic)\n"
+            << "==================================================\n";
+}
+
+/// True when argv contains --quick (smaller workloads for smoke runs).
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+}  // namespace qa::bench
+
+#endif  // QAMARKET_BENCH_BENCH_COMMON_H_

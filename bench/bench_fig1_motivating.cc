@@ -1,0 +1,167 @@
+// Reproduces Fig. 1 and Fig. 2 of the paper: the two-node motivating
+// example where greedy least-imbalance load balancing (LB) yields a 662 ms
+// average response time while the throughput-optimal allocation (QA)
+// yields 431 ms and ends the overload 300 ms earlier.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "market/pareto.h"
+#include "market/vectors.h"
+#include "sim/scenario.h"
+#include "workload/trace.h"
+
+namespace qa {
+namespace {
+
+using util::kMillisecond;
+
+/// The Fig. 1 demand: N1 poses one q1 and six q2; N2 poses one q1. All
+/// arrive at t = 0, q1 requests before q2 (paper's ordering).
+workload::Trace Fig1Trace() {
+  workload::Trace trace;
+  trace.Add({0, 0, 0, 1.0});  // q1 from N1
+  trace.Add({0, 0, 1, 1.0});  // q1 from N2
+  for (int i = 0; i < 6; ++i) trace.Add({0, 1, 0, 1.0});  // six q2 from N1
+  return trace;
+}
+
+/// Serial per-node completion times under a fixed assignment; returns the
+/// average response time in ms and the per-node busy horizons.
+struct AssignmentOutcome {
+  double avg_response_ms = 0.0;
+  double n1_busy_ms = 0.0;
+  double n2_busy_ms = 0.0;
+};
+
+AssignmentOutcome Evaluate(const std::vector<int>& assignment,
+                           const workload::Trace& trace,
+                           const query::CostModel& model) {
+  std::vector<double> busy(2, 0.0);
+  double total_response = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    int node = assignment[i];
+    double cost =
+        util::ToMillis(model.Cost(trace[i].class_id, node));
+    busy[static_cast<size_t>(node)] += cost;
+    total_response += busy[static_cast<size_t>(node)];
+  }
+  AssignmentOutcome out;
+  out.avg_response_ms = total_response / static_cast<double>(trace.size());
+  out.n1_busy_ms = busy[0];
+  out.n2_busy_ms = busy[1];
+  return out;
+}
+
+/// The greedy least-imbalance LB walk the paper narrates: each query goes
+/// to the node that minimizes the resulting load imbalance.
+std::vector<int> LbAssignment(const workload::Trace& trace,
+                              const query::CostModel& model) {
+  std::vector<double> busy(2, 0.0);
+  std::vector<int> assignment;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    int best = 0;
+    double best_imbalance = 0.0;
+    for (int node = 0; node < 2; ++node) {
+      std::vector<double> hypo = busy;
+      hypo[static_cast<size_t>(node)] +=
+          util::ToMillis(model.Cost(trace[i].class_id, node));
+      double imbalance = std::abs(hypo[0] - hypo[1]);
+      if (node == 0 || imbalance < best_imbalance) {
+        best = node;
+        best_imbalance = imbalance;
+      }
+    }
+    busy[static_cast<size_t>(best)] +=
+        util::ToMillis(model.Cost(trace[i].class_id, best));
+    assignment.push_back(best);
+  }
+  return assignment;
+}
+
+void PrintFig2Vectors(const std::vector<int>& assignment,
+                      const workload::Trace& trace,
+                      const std::string& label) {
+  market::QuantityVector supply_n1(2);
+  market::QuantityVector supply_n2(2);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (assignment[i] == 0) {
+      supply_n1[trace[i].class_id] += 1;
+    } else {
+      supply_n2[trace[i].class_id] += 1;
+    }
+  }
+  market::QuantityVector aggregate = supply_n1 + supply_n2;
+  std::cout << "  " << label << ": s_N1=" << supply_n1.ToString()
+            << " s_N2=" << supply_n2.ToString()
+            << " aggregate s=c=" << aggregate.ToString() << "\n";
+}
+
+}  // namespace
+}  // namespace qa
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using namespace qa;
+
+  bench::Banner("Fig. 1 + Fig. 2",
+                "Performance optimization vs load balancing "
+                "(2 nodes, q1/q2 costs 400/100 and 450/500 ms)",
+                0);
+
+  auto model = sim::BuildFig1CostModel();
+  workload::Trace trace = Fig1Trace();
+
+  // LB: the greedy least-imbalance walk of the introduction.
+  std::vector<int> lb = LbAssignment(trace, *model);
+  AssignmentOutcome lb_out = Evaluate(lb, trace, *model);
+
+  // QA: N1 accepts only q2, N2 only q1 (the paper's allocation).
+  std::vector<int> qa_assignment;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    qa_assignment.push_back(trace[i].class_id == 0 ? 1 : 0);
+  }
+  AssignmentOutcome qa_out = Evaluate(qa_assignment, trace, *model);
+
+  util::TableWriter table({"Mechanism", "Avg response (ms)",
+                           "N1 busy (ms)", "N2 busy (ms)",
+                           "Overload ends (ms)"});
+  table.AddRow("LB (least imbalance)", lb_out.avg_response_ms,
+               lb_out.n1_busy_ms, lb_out.n2_busy_ms,
+               std::min(lb_out.n1_busy_ms, lb_out.n2_busy_ms));
+  table.AddRow("QA (query allocation)", qa_out.avg_response_ms,
+               qa_out.n1_busy_ms, qa_out.n2_busy_ms,
+               std::min(qa_out.n1_busy_ms, qa_out.n2_busy_ms));
+  table.Print(std::cout);
+  std::cout << "Paper reports: LB 662 ms vs QA 431 ms (LB 54% slower); "
+               "LB keeps both nodes busy 900/950 ms, QA frees N1 at 600 "
+               "ms.\n\n";
+
+  std::cout << "Fig. 2 aggregate demand/supply/consumption vectors "
+               "(d = (2, 6)):\n";
+  PrintFig2Vectors(lb, trace, "LB");
+  PrintFig2Vectors(qa_assignment, trace, "QA");
+
+  // Pareto check via the exhaustive oracle (1-second horizon as in the
+  // paper's single evaluation window).
+  market::CapacitySupplySet n1({400 * kMillisecond, 100 * kMillisecond},
+                               1000 * kMillisecond);
+  market::CapacitySupplySet n2({450 * kMillisecond, 500 * kMillisecond},
+                               1000 * kMillisecond);
+  std::vector<const market::SupplySet*> sets{&n1, &n2};
+  std::vector<market::QuantityVector> demands = {
+      market::QuantityVector({1, 6}), market::QuantityVector({1, 0})};
+
+  market::Solution qa_solution;
+  qa_solution.supplies = {market::QuantityVector({0, 6}),
+                          market::QuantityVector({2, 0})};
+  qa_solution.consumptions = demands;
+  std::cout << "\nQA solution Pareto-optimal within 1s horizon: "
+            << (market::IsParetoOptimal(qa_solution, demands, sets)
+                    ? "YES"
+                    : "NO")
+            << " (paper: QA Pareto-dominates LB)\n";
+  return 0;
+}

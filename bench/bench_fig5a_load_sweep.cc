@@ -1,0 +1,61 @@
+// Reproduces Fig. 5a: Greedy's response time normalized by QA-NT's while
+// the average workload of a 20 s, 0.05 Hz sinusoid is swept from 10% to
+// 300% of total system capacity. The paper's shape: Greedy ~5% better
+// below ~75% load (QA-NT's integer rounding error), 15-32% worse above.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace qa;
+  using util::kMillisecond;
+  using util::kSecond;
+  const uint64_t seed = 42;
+  bool quick = bench::QuickMode(argc, argv);
+  bench::Banner("Fig. 5a",
+                "Greedy vs QA-NT across average load 10%-300% of capacity "
+                "(20 s, 0.05 Hz sinusoid)",
+                seed);
+
+  util::Rng rng(seed);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = quick ? 30 : 100;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+  util::VDuration period = 500 * kMillisecond;
+  double capacity = sim::EstimateCapacityQps(*model, {2.0, 1.0}, period);
+  std::cout << "Estimated capacity: " << capacity << " queries/s\n\n";
+
+  std::vector<double> loads = quick
+                                  ? std::vector<double>{0.5, 1.0, 2.0}
+                                  : std::vector<double>{0.1, 0.25, 0.5,
+                                                        0.75, 1.0, 1.5,
+                                                        2.0, 3.0};
+  util::TableWriter table({"Avg load (% capacity)", "QA-NT mean (ms)",
+                           "Greedy mean (ms)", "Greedy / QA-NT"});
+  for (double load : loads) {
+    workload::SinusoidConfig workload;
+    workload.frequency_hz = 0.05;
+    workload.duration = 20 * kSecond;
+    workload.num_origin_nodes = scenario.num_nodes;
+    workload.q1_peak_rate = load * capacity / 0.75;
+    util::Rng wl_rng(seed + 1);
+    workload::Trace trace =
+        workload::GenerateSinusoidWorkload(workload, wl_rng);
+
+    sim::SimMetrics qa_nt =
+        bench::RunMechanism(*model, "QA-NT", trace, period, seed);
+    sim::SimMetrics greedy =
+        bench::RunMechanism(*model, "Greedy", trace, period, seed);
+    table.AddRow(load * 100.0, qa_nt.MeanResponseMs(),
+                 greedy.MeanResponseMs(),
+                 qa_nt.MeanResponseMs() > 0
+                     ? greedy.MeanResponseMs() / qa_nt.MeanResponseMs()
+                     : 0.0);
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper's Fig. 5a shape: ratio slightly below 1 under "
+               "light load (integer rounding penalizes QA-NT), rising to "
+               "1.15-1.32 beyond ~75% of capacity.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Fig. 7: the real-deployment experiment over five DBMS nodes
+// (here: five minidb instances with simulated heterogeneous hardware, one
+// behind a slow wireless link). Two runs of 300 queries with uniform
+// inter-arrival averages of 300 ms and 400 ms; for Greedy and QA-NT we
+// report the time to assign a query to a node and the total time
+// (assign + queue + execute). Both mechanisms wait for all nodes' EXPLAIN
+// replies before deciding, which is why assignment takes a visible
+// fraction of the total (the paper's slowest PC needed up to 3 s per
+// EXPLAIN).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "dbms/dbms_federation.h"
+
+int main(int argc, char** argv) {
+  using namespace qa;
+  using util::kMillisecond;
+  const uint64_t seed = 42;
+  bool quick = bench::QuickMode(argc, argv);
+  bench::Banner("Fig. 7",
+                "minidb federation of 5 nodes: assign time and total time "
+                "for Greedy and QA-NT",
+                seed);
+
+  dbms::DbmsFederationConfig config;
+  config.seed = seed;
+  if (quick) {
+    config.dataset.num_tables = 8;
+    config.dataset.num_views = 16;
+    config.dataset.num_templates = 12;
+    config.dataset.min_rows = 100;
+    config.dataset.max_rows = 400;
+  }
+  dbms::DbmsFederation fed(config);
+  std::cout << "Dataset: " << config.dataset.num_tables << " tables, "
+            << config.dataset.num_views << " views, "
+            << fed.num_templates()
+            << " star-query templates; data_scale=" << fed.data_scale()
+            << "\n\n";
+
+  int num_queries = quick ? 60 : 300;
+  util::TableWriter table({"Inter-arrival (ms)", "Mechanism",
+                           "Assign (ms)", "Exec (ms)", "Total (ms)",
+                           "Completed", "Retries"});
+  for (int64_t gap_ms : {300, 400}) {
+    for (const std::string& mech : {std::string("GreedyBlind"),
+                                    std::string("Greedy"),
+                                    std::string("QA-NT")}) {
+      dbms::DbmsRunResult r =
+          fed.Run(mech, num_queries, gap_ms * kMillisecond, seed + 7);
+      table.AddRow(gap_ms, mech, r.assign_ms.Mean(), r.exec_ms.Mean(),
+                   r.total_ms.Mean(), r.completed, r.retries);
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper's Fig. 7 shape: QA-NT's total time below Greedy's "
+               "in both runs; assignment time is a substantial fraction "
+               "for both because they wait for every node's EXPLAIN "
+               "reply.\nGreedyBlind is the paper's information set "
+               "(estimates only, no remote queues); Greedy additionally "
+               "sees queues — an upper reference our deployment could not "
+               "have had.\n";
+  return 0;
+}

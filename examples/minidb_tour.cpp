@@ -1,0 +1,113 @@
+// A tour of minidb, the in-memory relational engine behind the §5.2
+// reproduction: tables, views, the statement builder, EXPLAIN PLAN, the
+// buffer pool, and the plan-history estimator that fixes EXPLAIN's
+// buffer-blindness (exactly the effect the paper hit with the commercial
+// DBMS).
+
+#include <iostream>
+
+#include "dbms/dbms_node.h"
+#include "dbms/engine.h"
+#include "dbms/parser.h"
+#include "util/rng.h"
+
+using namespace qa;
+using namespace qa::dbms;
+
+int main() {
+  // ---- Build a node-local database.
+  Database db;
+  Table customers("customers", Schema({{"id", ValueType::kInt},
+                                       {"region", ValueType::kString},
+                                       {"tier", ValueType::kInt}}));
+  Table orders("orders", Schema({{"id", ValueType::kInt},
+                                 {"customer_id", ValueType::kInt},
+                                 {"amount", ValueType::kDouble}}));
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    customers.AppendUnchecked(
+        {Value(int64_t{i}),
+         Value(std::string(i % 2 == 0 ? "emea" : "apac")),
+         Value(rng.UniformInt(1, 3))});
+  }
+  for (int i = 0; i < 5000; ++i) {
+    orders.AppendUnchecked({Value(int64_t{i}), Value(rng.UniformInt(0, 499)),
+                            Value(rng.UniformReal(1.0, 500.0))});
+  }
+  (void)db.CreateTable(std::move(customers));
+  (void)db.CreateTable(std::move(orders));
+
+  // A select-project view over orders, like the 80 views of §5.2.
+  ViewDef big_orders;
+  big_orders.name = "big_orders";
+  big_orders.base_table = "orders";
+  big_orders.columns = {"id", "customer_id", "amount"};
+  big_orders.filters.push_back({"amount", /*>=*/5, Value(250.0)});
+  (void)db.CreateView(big_orders);
+
+  // ---- A select-join-project-group-sort statement via the builder.
+  SelectStatement stmt = StatementBuilder()
+                             .From("big_orders")
+                             .From("customers")
+                             .Join(0, "customer_id", 1, "id")
+                             .Where(1, "tier", /*=*/0, Value(int64_t{2}))
+                             .GroupBy(1, "region")
+                             .Agg(Aggregate::Fn::kSum, 0, "amount")
+                             .Agg(Aggregate::Fn::kCount, 0, "id")
+                             .OrderBy(1, "region")
+                             .Build();
+
+  // ---- EXPLAIN PLAN.
+  Planner planner(&db);
+  auto explained = planner.Explain(stmt);
+  std::cout << "EXPLAIN PLAN:\n" << explained->text
+            << "signature: " << explained->signature << "\n"
+            << "estimated I/O bytes: " << explained->estimate.io_bytes
+            << ", CPU tuple units: " << explained->estimate.cpu_tuples
+            << "\n\n";
+
+  // The same statement can come from SQL text (minidb ships a parser):
+  auto parsed = ParseSelect(
+      "SELECT customers.region, SUM(big_orders.amount), COUNT(big_orders.id) "
+      "FROM big_orders JOIN customers ON big_orders.customer_id = "
+      "customers.id WHERE customers.tier = 2 "
+      "GROUP BY customers.region ORDER BY customers.region");
+  std::cout << "SQL text parses to the same plan: "
+            << (parsed.ok() ? "yes" : parsed.status().ToString()) << "\n\n";
+
+  // ---- Execute.
+  auto result = ExecuteStatement(db, stmt);
+  std::cout << "Result (" << result->table.num_rows() << " rows) "
+            << result->table.schema().ToString() << ":\n";
+  for (const Row& row : result->table.rows()) {
+    for (const Value& v : row) std::cout << v.ToString() << "  ";
+    std::cout << "\n";
+  }
+
+  // ---- The §5.2 estimation problem, in miniature: wrap the database in a
+  // DbmsNode (hardware model + buffer pool + history) and watch the
+  // buffer-blind estimate get corrected by execution history.
+  DbmsNodeConfig hw;
+  hw.hw.cpu_ghz = 2.0;
+  hw.hw.io_mbps = 40.0;
+  hw.data_scale = 2000.0;  // emulate a much larger on-disk dataset
+  DbmsNode node(0, std::move(db), hw);
+
+  auto cold = node.EstimateQuery(stmt);
+  std::cout << "\nEXPLAIN-based estimate (cold, buffer-blind): "
+            << util::ToMillis(cold->est_exec) << " ms\n";
+  auto run1 = node.ExecuteQuery(stmt);
+  std::cout << "1st execution (cold buffers):               "
+            << util::ToMillis(run1->duration) << " ms\n";
+  auto run2 = node.ExecuteQuery(stmt);
+  std::cout << "2nd execution (tables now resident):        "
+            << util::ToMillis(run2->duration) << " ms\n";
+  auto warm = node.EstimateQuery(stmt);
+  std::cout << "history-corrected estimate:                 "
+            << util::ToMillis(warm->est_exec) << " ms"
+            << (warm->from_history ? " (from history)" : "") << "\n"
+            << "\nThe optimizer's estimate ignores the buffer pool; the "
+               "plan-keyed history converges on observed reality — the "
+               "paper's workaround, reproduced.\n";
+  return 0;
+}

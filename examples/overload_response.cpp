@@ -1,0 +1,88 @@
+// Overload response: what happens when demand spikes past capacity.
+//
+// A 50-node heterogeneous federation faces a sinusoid workload whose peak
+// reaches 150% of system capacity. The example runs QA-NT and the Greedy
+// baseline on the identical trace and shows (a) response-time statistics,
+// (b) how QA-NT's virtual prices act as a decentralized overload detector
+// (the §5.1 threshold idea): prices rise exactly while the system is
+// overloaded.
+
+#include <algorithm>
+#include <iostream>
+
+#include "allocation/factory.h"
+#include "allocation/qa_nt_allocator.h"
+#include "sim/federation.h"
+#include "sim/scenario.h"
+#include "util/table_writer.h"
+#include "workload/sinusoid.h"
+
+using namespace qa;
+using util::kMillisecond;
+using util::kSecond;
+
+int main() {
+  const uint64_t seed = 7;
+  util::Rng rng(seed);
+
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = 50;
+  auto costs = sim::BuildTwoClassCostModel(scenario, rng);
+
+  util::VDuration period = 500 * kMillisecond;
+  double capacity = sim::EstimateCapacityQps(*costs, {2.0, 1.0}, period);
+  std::cout << "Estimated capacity: " << capacity << " queries/s\n";
+
+  workload::SinusoidConfig wave;
+  wave.frequency_hz = 0.05;
+  wave.duration = 40 * kSecond;
+  wave.num_origin_nodes = scenario.num_nodes;
+  wave.q1_peak_rate = 1.5 * capacity;  // peak 50% beyond capacity
+  util::Rng wl_rng(seed + 1);
+  workload::Trace trace = workload::GenerateSinusoidWorkload(wave, wl_rng);
+  std::cout << "Workload: " << trace.size()
+            << " queries, peak 150% of capacity\n\n";
+
+  util::TableWriter table({"Mechanism", "Mean (ms)", "p95 (ms)",
+                           "Completed", "Retries"});
+  for (const std::string& mech : {std::string("QA-NT"),
+                                  std::string("Greedy")}) {
+    allocation::AllocatorParams params;
+    params.cost_model = costs.get();
+    params.period = period;
+    params.seed = seed;
+    auto alloc = allocation::CreateAllocator(mech, params);
+
+    sim::FederationConfig config;
+    config.period = period;
+    config.max_retries = 5000;
+    sim::Federation fed(costs.get(), alloc.get(), config);
+    sim::SimMetrics m = fed.Run(trace);
+    table.AddRow(mech, m.MeanResponseMs(),
+                 m.response_time_ms.Percentile(95), m.completed,
+                 m.retries);
+
+    if (mech == "QA-NT") {
+      // Peek at the market's overload signal: the maximum price across
+      // agents after the run. During the overload the declines drove
+      // prices far above the initial 1.0 — a node can detect "the system
+      // is overloaded" purely from its own price vector.
+      auto* qa_nt = static_cast<allocation::QaNtAllocator*>(alloc.get());
+      double max_price = 0.0;
+      for (int i = 0; i < qa_nt->num_nodes(); ++i) {
+        for (int k = 0; k < 2; ++k) {
+          max_price = std::max(max_price, qa_nt->agent(i).prices()[k]);
+        }
+      }
+      std::cout << "QA-NT max price after run: " << max_price
+                << " (initial 1.0) -> prices are a native overload "
+                   "detector.\n";
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nQA-NT keeps node queues short by admission control and "
+               "resubmission, spending the overload in client-side "
+               "retries; Greedy pushes everything onto the (estimated) "
+               "fastest nodes and rides out long queues.\n";
+  return 0;
+}

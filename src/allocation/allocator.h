@@ -1,0 +1,90 @@
+#ifndef QAMARKET_ALLOCATION_ALLOCATOR_H_
+#define QAMARKET_ALLOCATION_ALLOCATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "query/cost_model.h"
+#include "util/vtime.h"
+#include "workload/trace.h"
+
+namespace qa::allocation {
+
+inline constexpr catalog::NodeId kNoNode = -1;
+
+/// Read-only view of the federation an allocation mechanism may consult.
+///
+/// Which parts a mechanism actually touches is the autonomy story of
+/// Table 2: QA-NT only uses the cost model entries of the *offering* nodes
+/// (public information exchanged in the offers), whereas Greedy/BNQRD/
+/// two-probes read NodeBacklog — internal node state that a truly
+/// autonomous node would not disclose.
+class AllocationContext {
+ public:
+  virtual ~AllocationContext() = default;
+
+  virtual int num_nodes() const = 0;
+  virtual const query::CostModel& cost_model() const = 0;
+  /// Total remaining execution time queued at `node` (its backlog), in
+  /// microseconds. Disclosing this violates node autonomy.
+  virtual util::VDuration NodeBacklog(catalog::NodeId node) const = 0;
+  /// Outstanding work queued at `node` in node-independent units (the sum
+  /// of each queued query's best-case cost over all nodes).
+  virtual double NodeQueuedWork(catalog::NodeId node) const = 0;
+  /// Cumulative work ever assigned to `node`, in the same units. This is
+  /// the "CPU and I/O usage" notion BNQRD's unbalance factor spreads
+  /// evenly — blind to how fast the node drains it. Autonomy-violating
+  /// (central usage collection).
+  virtual double NodeCumulativeWork(catalog::NodeId node) const = 0;
+  virtual util::VTime now() const = 0;
+  /// Whether `node` is currently reachable. Mechanisms that negotiate or
+  /// probe get no reply from an offline node and must route around it;
+  /// blind mechanisms (Random/RoundRobin) do not consult this and their
+  /// assignments to dead nodes bounce at the network layer instead.
+  virtual bool NodeOnline(catalog::NodeId node) const { return true; }
+};
+
+/// The outcome of one allocation attempt.
+struct AllocationDecision {
+  /// Chosen server, or kNoNode when every server declined (the client
+  /// resubmits the query in the next time period — QA-NT semantics).
+  catalog::NodeId node = kNoNode;
+  /// Network messages this attempt cost (request/probe/offer/reply...).
+  int messages = 0;
+};
+
+/// Static properties of a mechanism (columns of Table 2).
+struct MechanismProperties {
+  bool distributed = false;
+  bool handles_dynamic_workload = false;
+  /// Whether the mechanism physically pins a query to a single node and so
+  /// conflicts with distributed query optimizers (Mariposa/SQPT) that want
+  /// to split it (Table 2, "Conflict with query optimization").
+  bool conflicts_with_query_optimization = false;
+  bool respects_autonomy = false;
+};
+
+/// A query-allocation mechanism: given an arriving query, pick the node
+/// that will evaluate it (or decline).
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  virtual std::string name() const = 0;
+  virtual MechanismProperties properties() const = 0;
+
+  /// Decides where `arrival` runs. Implementations may inspect the context
+  /// (the simulator charges the disclosed information as messages).
+  virtual AllocationDecision Allocate(const workload::Arrival& arrival,
+                                      const AllocationContext& context) = 0;
+
+  /// Period-boundary hooks (QA-NT runs its market period here; most
+  /// baselines ignore them).
+  virtual void OnPeriodStart(util::VTime now) { (void)now; }
+  virtual void OnPeriodEnd(util::VTime now) { (void)now; }
+};
+
+}  // namespace qa::allocation
+
+#endif  // QAMARKET_ALLOCATION_ALLOCATOR_H_

@@ -1,0 +1,40 @@
+#ifndef QAMARKET_ALLOCATION_FACTORY_H_
+#define QAMARKET_ALLOCATION_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "allocation/allocator.h"
+#include "market/qa_nt.h"
+
+namespace qa::allocation {
+
+/// Everything a mechanism might need at construction time.
+struct AllocatorParams {
+  const query::CostModel* cost_model = nullptr;
+  /// Market time period T (QA-NT only).
+  util::VDuration period = 500 * util::kMillisecond;
+  market::QaNtConfig qa_nt;
+  uint64_t seed = 1;
+  /// GreedyBlind randomization fraction: execution-time estimates are
+  /// perturbed by +/- this fraction so load spreads over near-fastest
+  /// nodes instead of piling on one node. The default is the value that
+  /// minimizes GreedyBlind's own response time in the Fig. 4 conditions
+  /// (swept in bench_ablation_information) — the baseline gets its best
+  /// setting.
+  double greedy_randomization = 1.0;
+};
+
+/// Creates an allocator by name: "QA-NT", "Greedy", "Random", "RoundRobin",
+/// "GreedyBlind", "BNQRD", "TwoProbes", "LeastImbalance". Returns nullptr for unknown
+/// names.
+std::unique_ptr<Allocator> CreateAllocator(const std::string& name,
+                                           const AllocatorParams& params);
+
+/// The mechanism names compared in the paper's Fig. 4, in its order.
+std::vector<std::string> AllMechanismNames();
+
+}  // namespace qa::allocation
+
+#endif  // QAMARKET_ALLOCATION_FACTORY_H_

@@ -1,0 +1,123 @@
+#include "allocation/markov.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qa::allocation {
+
+MarkovAllocator::MarkovAllocator(const query::CostModel* cost_model,
+                                 std::vector<double> rates_qps,
+                                 uint64_t seed, int quanta)
+    : cost_model_(cost_model), rates_(std::move(rates_qps)), rng_(seed) {
+  assert(cost_model_ != nullptr);
+  assert(static_cast<int>(rates_.size()) == cost_model_->num_classes());
+  Solve(quanta);
+}
+
+void MarkovAllocator::Solve(int quanta) {
+  int K = cost_model_->num_classes();
+  int I = cost_model_->num_nodes();
+  quanta_.assign(static_cast<size_t>(K),
+                 std::vector<int>(static_cast<size_t>(I), 0));
+  quanta_per_class_.assign(static_cast<size_t>(K), 0);
+
+  double total_rate = 0.0;
+  for (double r : rates_) total_rate += r;
+  if (total_rate <= 0.0) return;
+  double rate_per_quantum = total_rate / quanta;
+
+  // Node utilizations as quanta get placed.
+  std::vector<double> utilization(static_cast<size_t>(I), 0.0);
+
+  // Round-robin the classes while distributing each one's quanta, so no
+  // class monopolizes the fast nodes during the fill.
+  std::vector<double> rate_left = rates_;
+  bool placed_any = true;
+  while (placed_any) {
+    placed_any = false;
+    for (int k = 0; k < K; ++k) {
+      if (rate_left[static_cast<size_t>(k)] < rate_per_quantum * 0.5) {
+        continue;
+      }
+      rate_left[static_cast<size_t>(k)] -= rate_per_quantum;
+
+      // Marginal M/M/1 delay of pushing this quantum onto node j:
+      // cost_jk / (1 - rho_j'), where rho_j' includes the quantum.
+      int best = -1;
+      double best_delay = std::numeric_limits<double>::infinity();
+      for (catalog::NodeId j = 0; j < I; ++j) {
+        util::VDuration c = cost_model_->Cost(k, j);
+        if (c == query::kInfeasibleCost) continue;
+        double service_s = util::ToSeconds(c);
+        double rho = utilization[static_cast<size_t>(j)] +
+                     rate_per_quantum * service_s;
+        double delay = rho < 0.98
+                           ? service_s / (1.0 - rho)
+                           : 1e6 * rho * service_s;  // saturated: spill
+        if (delay < best_delay) {
+          best_delay = delay;
+          best = j;
+        }
+      }
+      if (best < 0) continue;  // class evaluable nowhere
+      utilization[static_cast<size_t>(best)] +=
+          rate_per_quantum * util::ToSeconds(cost_model_->Cost(k, best));
+      ++quanta_[static_cast<size_t>(k)][static_cast<size_t>(best)];
+      ++quanta_per_class_[static_cast<size_t>(k)];
+      placed_any = true;
+    }
+  }
+}
+
+MechanismProperties MarkovAllocator::properties() const {
+  MechanismProperties p;
+  p.distributed = false;                       // central solver
+  p.handles_dynamic_workload = false;          // static routing matrix
+  p.conflicts_with_query_optimization = true;  // pins whole queries
+  p.respects_autonomy = false;                 // needs global knowledge
+  return p;
+}
+
+double MarkovAllocator::RoutingProbability(int k, catalog::NodeId j) const {
+  int total = quanta_per_class_[static_cast<size_t>(k)];
+  if (total == 0) return 0.0;
+  return static_cast<double>(
+             quanta_[static_cast<size_t>(k)][static_cast<size_t>(j)]) /
+         static_cast<double>(total);
+}
+
+AllocationDecision MarkovAllocator::Allocate(
+    const workload::Arrival& arrival, const AllocationContext& context) {
+  (void)context;
+  AllocationDecision decision;
+  int k = arrival.class_id;
+  int total = quanta_per_class_[static_cast<size_t>(k)];
+  if (total > 0) {
+    // Sample the precomputed routing distribution.
+    int64_t pick = rng_.UniformInt(0, total - 1);
+    for (catalog::NodeId j = 0; j < cost_model_->num_nodes(); ++j) {
+      pick -= quanta_[static_cast<size_t>(k)][static_cast<size_t>(j)];
+      if (pick < 0) {
+        decision.node = j;
+        break;
+      }
+    }
+  } else {
+    // The solver saw zero rate for this class: fall back to the cheapest
+    // feasible node.
+    util::VDuration best = query::kInfeasibleCost;
+    for (catalog::NodeId j = 0; j < cost_model_->num_nodes(); ++j) {
+      util::VDuration c = cost_model_->Cost(k, j);
+      if (c < best) {
+        best = c;
+        decision.node = j;
+      }
+    }
+  }
+  decision.messages = 1;  // routing is precomputed; just ship the query
+  return decision;
+}
+
+}  // namespace qa::allocation

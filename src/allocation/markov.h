@@ -1,0 +1,51 @@
+#ifndef QAMARKET_ALLOCATION_MARKOV_H_
+#define QAMARKET_ALLOCATION_MARKOV_H_
+
+#include <vector>
+
+#include "allocation/allocator.h"
+#include "util/rng.h"
+
+namespace qa::allocation {
+
+/// The stochastic allocator of Drenick & Smith [4], as characterized in
+/// the paper's §4/Table 2: a centralized mechanism that, given the *exact*
+/// per-class arrival rates and every node's execution costs up front,
+/// precomputes an optimal static routing matrix from queueing theory and
+/// then just samples it. Excellent on the static workload it was solved
+/// for; it never adapts (the paper excludes it from the dynamic simulator
+/// for exactly that reason), and it violates autonomy twice over (global
+/// rates, global capabilities).
+///
+/// The routing matrix is computed by marginal-delay water-filling: each
+/// quantum of a class's arrival rate goes to the feasible node whose M/M/1
+/// response time (cost / (1 - utilization)) grows the least by taking it.
+class MarkovAllocator : public Allocator {
+ public:
+  /// `rates_qps[k]` is the known arrival rate of class k (queries/second).
+  MarkovAllocator(const query::CostModel* cost_model,
+                  std::vector<double> rates_qps, uint64_t seed,
+                  int quanta = 400);
+
+  std::string name() const override { return "Markov"; }
+  MechanismProperties properties() const override;
+  AllocationDecision Allocate(const workload::Arrival& arrival,
+                              const AllocationContext& context) override;
+
+  /// The solved routing probability of class k to node j (for tests).
+  double RoutingProbability(int k, catalog::NodeId j) const;
+
+ private:
+  void Solve(int quanta);
+
+  const query::CostModel* cost_model_;
+  std::vector<double> rates_;
+  util::Rng rng_;
+  /// quanta_[k][j] = number of rate quanta of class k routed to node j.
+  std::vector<std::vector<int>> quanta_;
+  std::vector<int> quanta_per_class_;
+};
+
+}  // namespace qa::allocation
+
+#endif  // QAMARKET_ALLOCATION_MARKOV_H_

@@ -1,0 +1,105 @@
+#include "allocation/qa_nt_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace qa::allocation {
+
+QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
+                             util::VDuration period,
+                             market::QaNtConfig config,
+                             OfferSelection selection)
+    : cost_model_(cost_model), period_(period), selection_(selection) {
+  assert(cost_model_ != nullptr);
+  int num_nodes = cost_model_->num_nodes();
+  int num_classes = cost_model_->num_classes();
+  for (catalog::NodeId i = 0; i < num_nodes; ++i) {
+    std::vector<util::VDuration> unit_costs(static_cast<size_t>(num_classes));
+    for (int k = 0; k < num_classes; ++k) {
+      util::VDuration c = cost_model_->Cost(k, i);
+      unit_costs[static_cast<size_t>(k)] =
+          c == query::kInfeasibleCost
+              ? market::CapacitySupplySet::kCannotEvaluate
+              : c;
+    }
+    agents_.push_back(std::make_unique<market::QaNtAgent>(
+        i, std::move(unit_costs), period, config));
+    agents_.back()->BeginPeriod();
+    // Autonomous nodes run unsynchronized periods: spread the first
+    // boundary of agent i across [T/N, T].
+    next_refresh_.push_back(period_ * (i + 1) /
+                            std::max(num_nodes, 1));
+  }
+}
+
+MechanismProperties QaNtAllocator::properties() const {
+  MechanismProperties p;
+  p.distributed = true;
+  p.handles_dynamic_workload = true;
+  // QA-NT restricts the set of *offering* nodes instead of pinning the
+  // query; distributed query optimizers can still split the query among
+  // offerers, so there is no conflict (Table 2).
+  p.conflicts_with_query_optimization = false;
+  p.respects_autonomy = true;
+  return p;
+}
+
+AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
+                                           const AllocationContext& context) {
+  AllocationDecision decision;
+  int k = arrival.class_id;
+
+  std::vector<catalog::NodeId> offers;
+  int asked = 0;
+  for (catalog::NodeId j = 0; j < num_nodes(); ++j) {
+    if (!cost_model_->CanEvaluate(k, j)) continue;
+    // An offline node's agent is simply unreachable: the request times out
+    // and no offer (or price move) happens. Autonomy makes failure
+    // handling free — the market routes around dead nodes by itself.
+    if (!context.NodeOnline(j)) continue;
+    ++asked;
+    if (agents_[static_cast<size_t>(j)]->OnRequest(k)) offers.push_back(j);
+  }
+  // Request + offer/decline reply per asked node, plus the final accept.
+  decision.messages = 2 * asked + 1;
+  if (offers.empty()) return decision;  // resubmitted next period
+
+  catalog::NodeId best = offers[0];
+  for (catalog::NodeId j : offers) {
+    if (selection_ == OfferSelection::kEquitable) {
+      if (agents_[static_cast<size_t>(j)]->earnings() <
+          agents_[static_cast<size_t>(best)]->earnings()) {
+        best = j;
+      }
+    } else if (cost_model_->Cost(k, j) < cost_model_->Cost(k, best)) {
+      best = j;
+    }
+  }
+  for (catalog::NodeId j : offers) {
+    if (j == best) {
+      agents_[static_cast<size_t>(j)]->OnOfferAccepted(k);
+    } else {
+      agents_[static_cast<size_t>(j)]->OnOfferRejected(k);
+    }
+  }
+  decision.node = best;
+  return decision;
+}
+
+void QaNtAllocator::OnPeriodStart(util::VTime now) {
+  for (size_t i = 0; i < agents_.size(); ++i) {
+    while (next_refresh_[i] <= now) {
+      agents_[i]->EndPeriod();
+      agents_[i]->BeginPeriod();
+      next_refresh_[i] += period_;
+    }
+  }
+}
+
+void QaNtAllocator::OnPeriodEnd(util::VTime now) {
+  // Rollovers are driven entirely by OnPeriodStart (staggered per agent).
+  (void)now;
+}
+
+}  // namespace qa::allocation

@@ -1,0 +1,72 @@
+#ifndef QAMARKET_ALLOCATION_QA_NT_ALLOCATOR_H_
+#define QAMARKET_ALLOCATION_QA_NT_ALLOCATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "allocation/allocator.h"
+#include "market/qa_nt.h"
+
+namespace qa::allocation {
+
+/// The paper's mechanism, packaged behind the Allocator interface: one
+/// QaNtAgent per server node; an arriving query is broadcast to the nodes
+/// able to evaluate its class, each agent independently offers or declines
+/// per its private prices/supply, and the client accepts the offer with the
+/// lowest estimated execution time. If every agent declines, the query is
+/// resubmitted in the next time period (decision.node == kNoNode).
+class QaNtAllocator : public Allocator {
+ public:
+  /// How the client picks among the offering nodes.
+  enum class OfferSelection {
+    /// Best estimated execution time (the paper's §3.3 semantics).
+    kCheapest,
+    /// The offering node with the least cumulative earnings — the
+    /// "equitable allocation" extension of the paper's future work (§6):
+    /// equalize the utility (virtual value earned) of all nodes.
+    kEquitable,
+  };
+
+  /// Builds one agent per node of `cost_model` with period budget
+  /// `period`. The cost model pointer must outlive the allocator.
+  QaNtAllocator(const query::CostModel* cost_model, util::VDuration period,
+                market::QaNtConfig config = {},
+                OfferSelection selection = OfferSelection::kCheapest);
+
+  std::string name() const override { return "QA-NT"; }
+  MechanismProperties properties() const override;
+
+  AllocationDecision Allocate(const workload::Arrival& arrival,
+                              const AllocationContext& context) override;
+
+  /// Market refresh hook. The nodes are autonomous, so their periods are
+  /// *staggered*: agent i's boundaries sit at phase (i/N)*T within the
+  /// global period. Each call rolls over every agent whose boundary has
+  /// passed (EndPeriod price decay + BeginPeriod re-solving eq. 4), which
+  /// makes fresh supply appear continuously instead of in one synchronized
+  /// burst. Call this at a granularity finer than T (the federation's
+  /// market tick); OnPeriodEnd is a no-op.
+  void OnPeriodStart(util::VTime now) override;
+  void OnPeriodEnd(util::VTime now) override;
+
+  int num_nodes() const { return static_cast<int>(agents_.size()); }
+  const market::QaNtAgent& agent(catalog::NodeId node) const {
+    return *agents_[static_cast<size_t>(node)];
+  }
+  market::QaNtAgent& mutable_agent(catalog::NodeId node) {
+    return *agents_[static_cast<size_t>(node)];
+  }
+
+ private:
+  const query::CostModel* cost_model_;
+  util::VDuration period_;
+  OfferSelection selection_;
+  std::vector<std::unique_ptr<market::QaNtAgent>> agents_;
+  /// Next boundary time of each agent's own (staggered) period.
+  std::vector<util::VTime> next_refresh_;
+};
+
+}  // namespace qa::allocation
+
+#endif  // QAMARKET_ALLOCATION_QA_NT_ALLOCATOR_H_

@@ -1,0 +1,77 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qa::catalog {
+
+Catalog Catalog::MakeSynthetic(const CatalogConfig& config, util::Rng& rng) {
+  Catalog cat;
+  cat.num_nodes_ = config.num_nodes;
+  cat.by_node_.resize(static_cast<size_t>(config.num_nodes));
+  int avg = static_cast<int>(config.avg_mirrors_per_relation);
+  for (int r = 0; r < config.num_relations; ++r) {
+    int64_t size = rng.UniformInt(config.min_relation_bytes,
+                                  config.max_relation_bytes);
+    // Mirrors uniform in [1, 2*avg - 1] so the mean matches the config while
+    // some relations stay rare (a single copy) and some are widely mirrored.
+    int num_mirrors = static_cast<int>(rng.UniformInt(1, 2 * avg - 1));
+    num_mirrors = std::min(num_mirrors, config.num_nodes);
+    std::vector<NodeId> mirrors;
+    for (int idx : rng.Sample(config.num_nodes, num_mirrors)) {
+      mirrors.push_back(static_cast<NodeId>(idx));
+    }
+    int64_t cardinality = size / config.avg_tuple_bytes;
+    cat.AddRelation("rel_" + std::to_string(r), size, config.num_attributes,
+                    cardinality, std::move(mirrors));
+  }
+  return cat;
+}
+
+RelationId Catalog::AddRelation(std::string name, int64_t size_bytes,
+                                int num_attributes, int64_t cardinality,
+                                std::vector<NodeId> mirrors) {
+  RelationId id = static_cast<RelationId>(relations_.size());
+  Relation rel;
+  rel.id = id;
+  rel.name = std::move(name);
+  rel.size_bytes = size_bytes;
+  rel.num_attributes = num_attributes;
+  rel.cardinality = cardinality;
+  relations_.push_back(std::move(rel));
+  for (NodeId node : mirrors) {
+    assert(node >= 0);
+    if (node >= num_nodes_) {
+      num_nodes_ = node + 1;
+      by_node_.resize(static_cast<size_t>(num_nodes_));
+    }
+    by_node_[static_cast<size_t>(node)].push_back(id);
+  }
+  mirrors_.push_back(std::move(mirrors));
+  return id;
+}
+
+bool Catalog::NodeHoldsAll(NodeId node,
+                           const std::vector<RelationId>& relations) const {
+  for (RelationId rel : relations) {
+    const std::vector<NodeId>& m = MirrorsOf(rel);
+    if (std::find(m.begin(), m.end(), node) == m.end()) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Catalog::NodesHoldingAll(
+    const std::vector<RelationId>& relations) const {
+  std::vector<NodeId> result;
+  if (relations.empty()) {
+    for (NodeId n = 0; n < num_nodes_; ++n) result.push_back(n);
+    return result;
+  }
+  for (NodeId candidate : MirrorsOf(relations[0])) {
+    if (NodeHoldsAll(candidate, relations)) result.push_back(candidate);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace qa::catalog

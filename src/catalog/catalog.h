@@ -1,0 +1,94 @@
+#ifndef QAMARKET_CATALOG_CATALOG_H_
+#define QAMARKET_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qa::catalog {
+
+using RelationId = int32_t;
+using NodeId = int32_t;
+
+/// A base relation in the federation's common schema.
+struct Relation {
+  RelationId id = -1;
+  std::string name;
+  int64_t size_bytes = 0;
+  int num_attributes = 0;
+  /// Estimated tuple count (size / average tuple width).
+  int64_t cardinality = 0;
+};
+
+/// Parameters for the synthetic dataset of Table 3.
+struct CatalogConfig {
+  int num_relations = 1000;
+  int64_t min_relation_bytes = 1LL << 20;        // 1 MB
+  int64_t max_relation_bytes = 20LL << 20;       // 20 MB
+  int num_attributes = 10;
+  double avg_mirrors_per_relation = 5.0;
+  int num_nodes = 100;
+  /// Average bytes per tuple, used to derive cardinalities.
+  int avg_tuple_bytes = 100;
+};
+
+/// The global data dictionary: relations plus their mirror placement over
+/// the federation's nodes.
+///
+/// In the paper each of the 1,000 relations has ~5 mirrors placed uniformly
+/// at random over 100 RDBMSs, giving each node ~50 relations. The catalog is
+/// the only globally shared piece of metadata; it does not expose node load
+/// or capability information (node autonomy is preserved).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Builds the synthetic catalog of Table 3. Each relation receives between
+  /// 1 and 2*avg-1 mirrors (mean `avg_mirrors_per_relation`), assigned to
+  /// distinct random nodes.
+  static Catalog MakeSynthetic(const CatalogConfig& config, util::Rng& rng);
+
+  /// Adds a relation with explicit placement; returns its id.
+  RelationId AddRelation(std::string name, int64_t size_bytes,
+                         int num_attributes, int64_t cardinality,
+                         std::vector<NodeId> mirrors);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_nodes() const { return num_nodes_; }
+
+  const Relation& relation(RelationId id) const {
+    return relations_[static_cast<size_t>(id)];
+  }
+
+  /// Nodes holding a mirror of `id`.
+  const std::vector<NodeId>& MirrorsOf(RelationId id) const {
+    return mirrors_[static_cast<size_t>(id)];
+  }
+
+  /// Relations that node `node` holds locally.
+  const std::vector<RelationId>& RelationsAt(NodeId node) const {
+    return by_node_[static_cast<size_t>(node)];
+  }
+
+  /// True iff `node` holds mirrors of every relation in `relations`.
+  bool NodeHoldsAll(NodeId node,
+                    const std::vector<RelationId>& relations) const;
+
+  /// Nodes that hold *all* of `relations` (candidate evaluation sites for a
+  /// query touching those relations).
+  std::vector<NodeId> NodesHoldingAll(
+      const std::vector<RelationId>& relations) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<Relation> relations_;
+  std::vector<std::vector<NodeId>> mirrors_;
+  std::vector<std::vector<RelationId>> by_node_;
+};
+
+}  // namespace qa::catalog
+
+#endif  // QAMARKET_CATALOG_CATALOG_H_

@@ -1,0 +1,49 @@
+#include "dbms/buffer_pool.h"
+
+namespace qa::dbms {
+
+int64_t BufferPool::Access(const std::string& table, int64_t bytes) {
+  auto it = entries_.find(table);
+  if (it != entries_.end()) {
+    // Hit: refresh LRU position. If the table grew since caching, treat the
+    // delta as a miss-read and update the footprint.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(table);
+    it->second.lru_it = lru_.begin();
+    int64_t delta = bytes - it->second.bytes;
+    if (delta > 0) {
+      used_ += delta;
+      it->second.bytes = bytes;
+      EvictUntilFits(0);
+    }
+    ++hits_;
+    return delta > 0 ? delta : 0;
+  }
+
+  ++misses_;
+  if (bytes <= capacity_) {
+    EvictUntilFits(bytes);
+    lru_.push_front(table);
+    entries_[table] = Entry{bytes, lru_.begin()};
+    used_ += bytes;
+  }
+  return bytes;
+}
+
+void BufferPool::EvictUntilFits(int64_t incoming) {
+  while (used_ + incoming > capacity_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    used_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace qa::dbms

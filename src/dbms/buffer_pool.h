@@ -1,0 +1,55 @@
+#ifndef QAMARKET_DBMS_BUFFER_POOL_H_
+#define QAMARKET_DBMS_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace qa::dbms {
+
+/// Table-granular LRU buffer cache. This is the piece of DBMS state the
+/// paper's EXPLAIN PLAN estimates did not know about (§5.2): a table that
+/// is already resident makes the real execution far cheaper than the
+/// optimizer predicted. The federation's timing model consults the pool to
+/// decide how many scanned bytes actually hit the disk.
+class BufferPool {
+ public:
+  explicit BufferPool(int64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Charges a full read of `table` (`bytes` big). Returns how many bytes
+  /// had to come from disk: 0 when the table was resident, `bytes`
+  /// otherwise. The table is then made resident (evicting LRU victims);
+  /// tables larger than the whole pool are never cached.
+  int64_t Access(const std::string& table, int64_t bytes);
+
+  bool IsCached(const std::string& table) const {
+    return entries_.count(table) > 0;
+  }
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+  void Clear();
+
+ private:
+  void EvictUntilFits(int64_t bytes);
+
+  int64_t capacity_;
+  int64_t used_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  /// LRU order: front = most recent.
+  std::list<std::string> lru_;
+  struct Entry {
+    int64_t bytes;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_BUFFER_POOL_H_

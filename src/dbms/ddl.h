@@ -1,0 +1,40 @@
+#ifndef QAMARKET_DBMS_DDL_H_
+#define QAMARKET_DBMS_DDL_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dbms/database.h"
+#include "dbms/query_ast.h"
+#include "util/status.h"
+
+namespace qa::dbms {
+
+/// CREATE TABLE name (col TYPE [, ...]); types INT, DOUBLE, STRING/TEXT.
+struct CreateTableStatement {
+  std::string name;
+  std::vector<Column> columns;
+};
+
+/// INSERT INTO name VALUES (lit, ...) [, (lit, ...)]...
+struct InsertStatement {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+/// Any statement the SQL front end understands.
+using SqlStatement =
+    std::variant<SelectStatement, CreateTableStatement, InsertStatement>;
+
+/// Parses a single SQL statement (SELECT / CREATE TABLE / INSERT).
+util::StatusOr<SqlStatement> ParseStatement(const std::string& sql);
+
+/// Applies a DDL/DML statement to `db`. Returns the number of rows
+/// inserted (0 for CREATE TABLE).
+util::StatusOr<int64_t> ApplyStatement(Database* db,
+                                       const SqlStatement& stmt);
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_DDL_H_

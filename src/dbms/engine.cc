@@ -1,0 +1,19 @@
+#include "dbms/engine.h"
+
+namespace qa::dbms {
+
+util::StatusOr<QueryResult> ExecuteStatement(const Database& db,
+                                             const SelectStatement& stmt,
+                                             PlannerOptions options) {
+  Planner planner(&db, options);
+  util::StatusOr<PlannedQuery> planned = planner.Plan(stmt);
+  if (!planned.ok()) return planned.status();
+
+  QueryResult result;
+  result.signature = planned->signature;
+  result.estimate = planned->estimate;
+  result.table = planned->plan->Execute(db, &result.stats);
+  return result;
+}
+
+}  // namespace qa::dbms

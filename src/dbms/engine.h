@@ -1,0 +1,28 @@
+#ifndef QAMARKET_DBMS_ENGINE_H_
+#define QAMARKET_DBMS_ENGINE_H_
+
+#include <string>
+
+#include "dbms/database.h"
+#include "dbms/plan.h"
+#include "dbms/planner.h"
+#include "util/status.h"
+
+namespace qa::dbms {
+
+/// The result of running one statement end to end.
+struct QueryResult {
+  Table table;
+  ExecStats stats;
+  ResourceEstimate estimate;
+  std::string signature;
+};
+
+/// Plans and executes `stmt` against `db` (the minidb "front door").
+util::StatusOr<QueryResult> ExecuteStatement(const Database& db,
+                                             const SelectStatement& stmt,
+                                             PlannerOptions options = {});
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_ENGINE_H_

@@ -1,0 +1,187 @@
+#include "dbms/expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qa::dbms {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Column(int index) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kColumn;
+  e->column_index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCompare;
+  e->compare_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLogical;
+  e->logical_op_ = LogicalOp::kAnd;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLogical;
+  e->logical_op_ = LogicalOp::kOr;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::AndAll(const std::vector<ExprPtr>& preds) {
+  ExprPtr acc;
+  for (const ExprPtr& p : preds) {
+    if (!p) continue;
+    acc = acc ? And(acc, p) : p;
+  }
+  return acc;
+}
+
+Value Expr::Eval(const Row& row) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return row[static_cast<size_t>(column_index_)];
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kCompare: {
+      Value l = left_->Eval(row);
+      Value r = right_->Eval(row);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      bool result = false;
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          result = l == r;
+          break;
+        case CompareOp::kNe:
+          result = l != r;
+          break;
+        case CompareOp::kLt:
+          result = l < r;
+          break;
+        case CompareOp::kLe:
+          result = l <= r;
+          break;
+        case CompareOp::kGt:
+          result = l > r;
+          break;
+        case CompareOp::kGe:
+          result = l >= r;
+          break;
+      }
+      return Value(static_cast<int64_t>(result ? 1 : 0));
+    }
+    case Kind::kLogical: {
+      bool l = left_->EvalBool(row);
+      if (logical_op_ == LogicalOp::kAnd) {
+        return Value(static_cast<int64_t>(l && right_->EvalBool(row)));
+      }
+      return Value(static_cast<int64_t>(l || right_->EvalBool(row)));
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const Row& row) const {
+  Value v = Eval(row);
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.AsInt() != 0;
+  if (v.type() == ValueType::kDouble) return v.AsDouble() != 0.0;
+  return true;
+}
+
+double Expr::EstimatedSelectivity() const {
+  switch (kind_) {
+    case Kind::kColumn:
+    case Kind::kLiteral:
+      return 1.0;
+    case Kind::kCompare:
+      return compare_op_ == CompareOp::kEq ? 0.1 : 0.3;
+    case Kind::kLogical: {
+      double l = left_->EstimatedSelectivity();
+      double r = right_->EstimatedSelectivity();
+      if (logical_op_ == LogicalOp::kAnd) return l * r;
+      return std::min(1.0, l + r);
+    }
+  }
+  return 1.0;
+}
+
+ExprPtr Expr::RemapColumns(const std::vector<int>& mapping) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      assert(column_index_ >= 0 &&
+             column_index_ < static_cast<int>(mapping.size()));
+      return Column(mapping[static_cast<size_t>(column_index_)]);
+    }
+    case Kind::kLiteral:
+      return Literal(literal_);
+    case Kind::kCompare:
+      return Compare(compare_op_, left_->RemapColumns(mapping),
+                     right_->RemapColumns(mapping));
+    case Kind::kLogical: {
+      ExprPtr l = left_->RemapColumns(mapping);
+      ExprPtr r = right_->RemapColumns(mapping);
+      return logical_op_ == LogicalOp::kAnd ? And(l, r) : Or(l, r);
+    }
+  }
+  return nullptr;
+}
+
+std::string Expr::ToString(const Schema* schema) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      if (schema != nullptr && column_index_ < schema->num_columns()) {
+        return schema->column(column_index_).name;
+      }
+      return "$" + std::to_string(column_index_);
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kCompare:
+      return "(" + left_->ToString(schema) + " " +
+             CompareOpName(compare_op_) + " " + right_->ToString(schema) +
+             ")";
+    case Kind::kLogical:
+      return "(" + left_->ToString(schema) +
+             (logical_op_ == LogicalOp::kAnd ? " AND " : " OR ") +
+             right_->ToString(schema) + ")";
+  }
+  return "?";
+}
+
+}  // namespace qa::dbms

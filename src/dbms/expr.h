@@ -1,0 +1,73 @@
+#ifndef QAMARKET_DBMS_EXPR_H_
+#define QAMARKET_DBMS_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbms/table.h"
+#include "dbms/value.h"
+
+namespace qa::dbms {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+
+const char* CompareOpName(CompareOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable scalar-expression tree evaluated against one row. Column
+/// references are positional (resolved against the operator's input schema
+/// at plan-build time).
+class Expr {
+ public:
+  enum class Kind { kColumn, kLiteral, kCompare, kLogical };
+
+  static ExprPtr Column(int index);
+  static ExprPtr Literal(Value value);
+  static ExprPtr Compare(CompareOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr And(ExprPtr left, ExprPtr right);
+  static ExprPtr Or(ExprPtr left, ExprPtr right);
+  /// Conjunction of a predicate list (nullptr when empty).
+  static ExprPtr AndAll(const std::vector<ExprPtr>& preds);
+
+  Kind kind() const { return kind_; }
+  int column_index() const { return column_index_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicalOp logical_op() const { return logical_op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  /// Evaluates against `row`; comparisons yield int 0/1, NULL operands
+  /// yield NULL (which EvalBool treats as false).
+  Value Eval(const Row& row) const;
+  bool EvalBool(const Row& row) const;
+
+  /// Crude selectivity estimate used by the planner (equality 0.1, range
+  /// 0.3, AND multiplies, OR adds-capped).
+  double EstimatedSelectivity() const;
+
+  /// Rewrites column indices through `mapping` (old index -> new index),
+  /// used when predicates are pushed through joins/projections.
+  ExprPtr RemapColumns(const std::vector<int>& mapping) const;
+
+  std::string ToString(const Schema* schema = nullptr) const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  int column_index_ = -1;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_EXPR_H_

@@ -1,0 +1,30 @@
+#include "dbms/history.h"
+
+namespace qa::dbms {
+
+void ExecutionHistory::Record(const std::string& signature,
+                              util::VDuration actual) {
+  Entry& entry = entries_[signature];
+  if (entry.count == 0) {
+    entry.ewma = static_cast<double>(actual);
+  } else {
+    entry.ewma = alpha_ * static_cast<double>(actual) +
+                 (1.0 - alpha_) * entry.ewma;
+  }
+  ++entry.count;
+}
+
+std::optional<util::VDuration> ExecutionHistory::Estimate(
+    const std::string& signature) const {
+  auto it = entries_.find(signature);
+  if (it == entries_.end() || it->second.count == 0) return std::nullopt;
+  return static_cast<util::VDuration>(it->second.ewma);
+}
+
+int64_t ExecutionHistory::ObservationCount(
+    const std::string& signature) const {
+  auto it = entries_.find(signature);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,41 @@
+#ifndef QAMARKET_DBMS_HISTORY_H_
+#define QAMARKET_DBMS_HISTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/vtime.h"
+
+namespace qa::dbms {
+
+/// Plan-keyed execution history: "we used past execution information
+/// concerning queries with the same plan to estimate the execution time of
+/// the new query" (§5.2). Estimates are an exponentially weighted moving
+/// average of observed durations per plan signature.
+class ExecutionHistory {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation.
+  explicit ExecutionHistory(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Record(const std::string& signature, util::VDuration actual);
+
+  /// History-based estimate, or nullopt when the plan was never seen.
+  std::optional<util::VDuration> Estimate(const std::string& signature) const;
+
+  int64_t ObservationCount(const std::string& signature) const;
+  size_t num_signatures() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    double ewma = 0.0;
+    int64_t count = 0;
+  };
+  double alpha_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_HISTORY_H_

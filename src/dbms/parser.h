@@ -1,0 +1,28 @@
+#ifndef QAMARKET_DBMS_PARSER_H_
+#define QAMARKET_DBMS_PARSER_H_
+
+#include <string>
+
+#include "dbms/query_ast.h"
+#include "util/status.h"
+
+namespace qa::dbms {
+
+/// Parses the select-join-project-group-sort dialect minidb supports:
+///
+///   SELECT t.col | agg(t.col) | COUNT(*) [, ...] | *
+///   FROM table [JOIN table ON a.x = b.y]...
+///   [WHERE t.col <op> literal [AND ...]]
+///   [GROUP BY t.col [, ...]]
+///   [ORDER BY t.col [, ...]]
+///
+/// with <op> one of = != <> < <= > >= and literals being integers, floats
+/// or 'strings'. Column references may omit the table qualifier when the
+/// statement reads a single table; with joins they must be qualified.
+/// Keywords are case-insensitive. Returns InvalidArgument with a position
+/// on syntax errors.
+util::StatusOr<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_PARSER_H_

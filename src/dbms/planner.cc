@@ -1,0 +1,428 @@
+#include "dbms/planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qa::dbms {
+
+namespace {
+
+CompareOp ToCompareOp(int op) {
+  switch (op) {
+    case 0:
+      return CompareOp::kEq;
+    case 1:
+      return CompareOp::kNe;
+    case 2:
+      return CompareOp::kLt;
+    case 3:
+      return CompareOp::kLe;
+    case 4:
+      return CompareOp::kGt;
+    default:
+      return CompareOp::kGe;
+  }
+}
+
+double FilterSelectivity(int op) { return op == 0 ? 0.1 : 0.3; }
+
+/// One FROM-clause input after scan building.
+struct PlannedInput {
+  int table_index = 0;       // position in stmt.tables
+  PlanPtr plan;              // scan (+ view projection)
+  double est_rows = 0.0;
+  double base_bytes = 0.0;   // disk bytes of the underlying base table
+  double base_rows = 0.0;
+};
+
+double Log2Safe(double n) { return n > 2.0 ? std::log2(n) : 1.0; }
+
+}  // namespace
+
+Planner::Planner(const Database* db, PlannerOptions options)
+    : db_(db), options_(options) {
+  assert(db_ != nullptr);
+}
+
+util::StatusOr<PlannedQuery> Planner::Plan(const SelectStatement& stmt) const {
+  if (stmt.tables.empty()) {
+    return util::Status::InvalidArgument("statement needs a FROM clause");
+  }
+
+  ResourceEstimate acc;
+
+  // ---- Build one input per FROM entry: scan + pushed filters (+ view
+  // expansion).
+  std::vector<PlannedInput> inputs;
+  for (size_t t = 0; t < stmt.tables.size(); ++t) {
+    const std::string& name = stmt.tables[t].name;
+
+    // Gather this table's statement filters.
+    std::vector<const SelectionPredicate*> filters;
+    for (const SelectionPredicate& f : stmt.filters) {
+      if (f.table == static_cast<int>(t)) filters.push_back(&f);
+    }
+
+    PlannedInput input;
+    input.table_index = static_cast<int>(t);
+
+    if (const Table* table = db_->GetTable(name)) {
+      double selectivity = 1.0;
+      std::vector<ExprPtr> preds;
+      for (const SelectionPredicate* f : filters) {
+        int col = table->schema().FindColumn(f->column);
+        if (col < 0) {
+          return util::Status::NotFound("no column " + f->column + " in " +
+                                        name);
+        }
+        preds.push_back(Expr::Compare(ToCompareOp(f->op), Expr::Column(col),
+                                      Expr::Literal(f->constant)));
+        selectivity *= FilterSelectivity(f->op);
+      }
+      auto scan = std::make_unique<ScanNode>(name, table->schema(),
+                                             Expr::AndAll(preds));
+      input.base_rows = static_cast<double>(table->num_rows());
+      input.base_bytes = static_cast<double>(table->EstimatedBytes());
+      input.est_rows = input.base_rows * selectivity;
+      scan->est_rows = input.est_rows;
+      scan->est_bytes = input.base_bytes * selectivity;
+      input.plan = std::move(scan);
+    } else if (const ViewDef* view = db_->GetView(name)) {
+      const Table* base = db_->GetTable(view->base_table);
+      if (base == nullptr) {
+        return util::Status::Internal("view over missing base table");
+      }
+      double selectivity = 1.0;
+      std::vector<ExprPtr> preds;
+      for (const ViewDef::Filter& f : view->filters) {
+        int col = base->schema().FindColumn(f.column);
+        assert(col >= 0 && "validated at CreateView");
+        preds.push_back(Expr::Compare(ToCompareOp(f.op), Expr::Column(col),
+                                      Expr::Literal(f.constant)));
+        selectivity *= FilterSelectivity(f.op);
+      }
+      // The view's visible columns (empty = all of base).
+      std::vector<std::string> columns = view->columns;
+      if (columns.empty()) {
+        for (const Column& c : base->schema().columns()) {
+          columns.push_back(c.name);
+        }
+      }
+      for (const SelectionPredicate* f : filters) {
+        auto it = std::find(columns.begin(), columns.end(), f->column);
+        if (it == columns.end()) {
+          return util::Status::NotFound("no column " + f->column +
+                                        " in view " + name);
+        }
+        int base_col = base->schema().FindColumn(f->column);
+        preds.push_back(Expr::Compare(ToCompareOp(f->op),
+                                      Expr::Column(base_col),
+                                      Expr::Literal(f->constant)));
+        selectivity *= FilterSelectivity(f->op);
+      }
+      auto scan = std::make_unique<ScanNode>(
+          view->base_table, base->schema(), Expr::AndAll(preds));
+      input.base_rows = static_cast<double>(base->num_rows());
+      input.base_bytes = static_cast<double>(base->EstimatedBytes());
+      input.est_rows = input.base_rows * selectivity;
+      scan->est_rows = input.est_rows;
+      scan->est_bytes = input.base_bytes * selectivity;
+
+      std::vector<int> projection;
+      for (const std::string& column : columns) {
+        projection.push_back(base->schema().FindColumn(column));
+      }
+      auto project = std::make_unique<ProjectNode>(
+          std::move(scan), projection, std::vector<std::string>());
+      project->est_rows = input.est_rows;
+      input.plan = std::move(project);
+    } else {
+      return util::Status::NotFound("no relation named " + name);
+    }
+
+    acc.io_bytes += input.base_bytes;
+    acc.cpu_tuples += input.base_rows;  // scan + filter work
+    inputs.push_back(std::move(input));
+  }
+
+  // ---- Greedy left-deep join ordering: start from the smallest input,
+  // prefer inputs connected to the joined prefix, smallest first.
+  std::vector<bool> used(inputs.size(), false);
+  std::vector<int> global_offset(inputs.size(), -1);
+
+  auto connected = [&](int candidate) {
+    for (const JoinPredicate& jp : stmt.joins) {
+      int a = jp.left_table;
+      int b = jp.right_table;
+      bool cand_a = a == inputs[static_cast<size_t>(candidate)].table_index;
+      bool cand_b = b == inputs[static_cast<size_t>(candidate)].table_index;
+      if (!cand_a && !cand_b) continue;
+      int other = cand_a ? b : a;
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (used[i] && inputs[i].table_index == other) return true;
+      }
+    }
+    return false;
+  };
+
+  size_t first = 0;
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    if (inputs[i].est_rows < inputs[first].est_rows) first = i;
+  }
+  used[first] = true;
+  global_offset[static_cast<size_t>(inputs[first].table_index)] = 0;
+  PlanPtr current = std::move(inputs[first].plan);
+  double current_rows = inputs[first].est_rows;
+  int current_width = current->output_schema().num_columns();
+
+  // Visible schemas per table index (stable across moves).
+  std::vector<Schema> visible(stmt.tables.size());
+  for (size_t t = 0; t < stmt.tables.size(); ++t) {
+    util::StatusOr<Schema> schema = db_->RelationSchema(stmt.tables[t].name);
+    if (!schema.ok()) return schema.status();
+    visible[t] = std::move(schema).value();
+  }
+  auto resolve_global = [&](int table_index, const std::string& column,
+                            int* out) -> util::Status {
+    int offset = global_offset[static_cast<size_t>(table_index)];
+    if (offset < 0) {
+      return util::Status::Internal("table not yet joined");
+    }
+    int col = visible[static_cast<size_t>(table_index)].FindColumn(column);
+    if (col < 0) {
+      return util::Status::NotFound(
+          "no column " + column + " in " +
+          stmt.tables[static_cast<size_t>(table_index)].name);
+    }
+    *out = offset + col;
+    return util::Status::OK();
+  };
+
+  for (size_t step = 1; step < inputs.size(); ++step) {
+    // Pick the next input.
+    int next = -1;
+    bool next_connected = false;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (used[i]) continue;
+      bool conn = connected(static_cast<int>(i));
+      if (next < 0 || (conn && !next_connected) ||
+          (conn == next_connected &&
+           inputs[i].est_rows < inputs[static_cast<size_t>(next)].est_rows)) {
+        next = static_cast<int>(i);
+        next_connected = conn;
+      }
+    }
+    assert(next >= 0);
+    PlannedInput& input = inputs[static_cast<size_t>(next)];
+    used[static_cast<size_t>(next)] = true;
+    global_offset[static_cast<size_t>(input.table_index)] = current_width;
+
+    // Collect the join predicates linking this input to the prefix.
+    std::vector<const JoinPredicate*> preds;
+    for (const JoinPredicate& jp : stmt.joins) {
+      bool new_left = jp.left_table == input.table_index;
+      bool new_right = jp.right_table == input.table_index;
+      if (!new_left && !new_right) continue;
+      int other = new_left ? jp.right_table : jp.left_table;
+      if (global_offset[static_cast<size_t>(other)] >= 0 &&
+          other != input.table_index) {
+        preds.push_back(&jp);
+      }
+    }
+
+    double rhs_rows = input.est_rows;
+    PlanPtr joined;
+    if (!preds.empty()) {
+      // Equi join on the first predicate. Keys: left side lives in the
+      // current prefix, right side in the new input.
+      const JoinPredicate& jp = *preds[0];
+      bool new_is_right = jp.right_table == input.table_index;
+      int prefix_table = new_is_right ? jp.left_table : jp.right_table;
+      const std::string& prefix_col =
+          new_is_right ? jp.left_column : jp.right_column;
+      const std::string& new_col =
+          new_is_right ? jp.right_column : jp.left_column;
+
+      int left_key = 0;
+      QA_RETURN_IF_ERROR(resolve_global(prefix_table, prefix_col, &left_key));
+      int right_key =
+          visible[static_cast<size_t>(input.table_index)].FindColumn(new_col);
+      if (right_key < 0) {
+        return util::Status::NotFound("no join column " + new_col);
+      }
+
+      if (options_.use_hash_join) {
+        acc.cpu_tuples += 2.0 * (current_rows + rhs_rows);
+        joined = std::make_unique<HashJoinNode>(
+            std::move(current), std::move(input.plan), left_key, right_key);
+      } else {
+        acc.cpu_tuples += current_rows * Log2Safe(current_rows) +
+                          rhs_rows * Log2Safe(rhs_rows);
+        joined = std::make_unique<MergeJoinNode>(
+            std::move(current), std::move(input.plan), left_key, right_key);
+      }
+      current_rows = std::max(current_rows, rhs_rows);
+    } else {
+      // No connecting predicate: cross product.
+      acc.cpu_tuples += current_rows * rhs_rows;
+      joined = std::make_unique<NestedLoopJoinNode>(
+          std::move(current), std::move(input.plan), nullptr);
+      current_rows = current_rows * rhs_rows;
+    }
+    joined->est_rows = current_rows;
+    current = std::move(joined);
+    current_width = current->output_schema().num_columns();
+
+    // Remaining equi predicates become filters above the join.
+    for (size_t p = 1; p < preds.size(); ++p) {
+      const JoinPredicate& jp = *preds[p];
+      int a = 0;
+      int b = 0;
+      QA_RETURN_IF_ERROR(resolve_global(jp.left_table, jp.left_column, &a));
+      QA_RETURN_IF_ERROR(resolve_global(jp.right_table, jp.right_column, &b));
+      auto filter = std::make_unique<FilterNode>(
+          std::move(current),
+          Expr::Compare(CompareOp::kEq, Expr::Column(a), Expr::Column(b)));
+      acc.cpu_tuples += current_rows;
+      current_rows *= 0.1;
+      filter->est_rows = current_rows;
+      current = std::move(filter);
+    }
+  }
+
+  // ---- Grouping or projection/sort tail.
+  if (stmt.has_grouping()) {
+    std::vector<int> keys;
+    for (const ColumnRef& ref : stmt.group_by) {
+      int g = 0;
+      QA_RETURN_IF_ERROR(resolve_global(ref.table, ref.column, &g));
+      keys.push_back(g);
+    }
+    std::vector<GroupByNode::Agg> aggs;
+    for (const Aggregate& agg : stmt.aggregates) {
+      GroupByNode::Agg out;
+      out.fn = agg.fn;
+      if (agg.fn == Aggregate::Fn::kCount && agg.arg.column.empty()) {
+        out.column = -1;
+        out.output_name = "count";
+      } else {
+        int g = 0;
+        QA_RETURN_IF_ERROR(resolve_global(agg.arg.table, agg.arg.column, &g));
+        out.column = g;
+        out.output_name = agg.arg.column + "_agg";
+      }
+      aggs.push_back(std::move(out));
+    }
+    acc.cpu_tuples += current_rows;
+    auto group = std::make_unique<GroupByNode>(std::move(current), keys,
+                                               std::move(aggs));
+    double group_rows = keys.empty() ? 1.0 : std::max(1.0, current_rows * 0.1);
+    group->est_rows = group_rows;
+    current = std::move(group);
+    current_rows = group_rows;
+
+    if (!stmt.order_by.empty()) {
+      // Order by group keys only (positional match against `keys`).
+      std::vector<SortKey> sort_keys;
+      for (const OrderItem& item : stmt.order_by) {
+        for (size_t k = 0; k < stmt.group_by.size(); ++k) {
+          if (stmt.group_by[k].table == item.column.table &&
+              stmt.group_by[k].column == item.column.column) {
+            sort_keys.push_back({static_cast<int>(k), item.descending});
+          }
+        }
+      }
+      if (!sort_keys.empty()) {
+        acc.cpu_tuples += current_rows * Log2Safe(current_rows);
+        auto sort = std::make_unique<SortNode>(std::move(current),
+                                               std::move(sort_keys));
+        sort->est_rows = current_rows;
+        current = std::move(sort);
+      }
+    }
+  } else {
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> sort_keys;
+      for (const OrderItem& item : stmt.order_by) {
+        int g = 0;
+        QA_RETURN_IF_ERROR(
+            resolve_global(item.column.table, item.column.column, &g));
+        sort_keys.push_back({g, item.descending});
+      }
+      acc.cpu_tuples += current_rows * Log2Safe(current_rows);
+      auto sort = std::make_unique<SortNode>(std::move(current),
+                                             std::move(sort_keys));
+      sort->est_rows = current_rows;
+      current = std::move(sort);
+    }
+    if (!stmt.projections.empty()) {
+      std::vector<int> cols;
+      std::vector<std::string> names;
+      for (const ColumnRef& ref : stmt.projections) {
+        int g = 0;
+        QA_RETURN_IF_ERROR(resolve_global(ref.table, ref.column, &g));
+        cols.push_back(g);
+        names.push_back(ref.column);
+      }
+      acc.cpu_tuples += current_rows;
+      auto project = std::make_unique<ProjectNode>(std::move(current), cols,
+                                                   std::move(names));
+      project->est_rows = current_rows;
+      current = std::move(project);
+    } else if (stmt.tables.size() > 1) {
+      // SELECT *: the join order may differ from the FROM order, but the
+      // output columns must follow the FROM clause. Restore it with a
+      // projection when the layouts differ.
+      std::vector<int> from_order;
+      for (size_t t = 0; t < stmt.tables.size(); ++t) {
+        int offset = global_offset[t];
+        for (int c = 0; c < visible[t].num_columns(); ++c) {
+          from_order.push_back(offset + c);
+        }
+      }
+      bool identity = true;
+      for (size_t i = 0; i < from_order.size(); ++i) {
+        if (from_order[i] != static_cast<int>(i)) {
+          identity = false;
+          break;
+        }
+      }
+      if (!identity) {
+        auto project = std::make_unique<ProjectNode>(
+            std::move(current), from_order, std::vector<std::string>());
+        project->est_rows = current_rows;
+        current = std::move(project);
+      }
+    }
+  }
+
+  if (stmt.limit >= 0) {
+    auto limit = std::make_unique<LimitNode>(std::move(current), stmt.limit);
+    current_rows = std::min(current_rows, static_cast<double>(stmt.limit));
+    limit->est_rows = current_rows;
+    current = std::move(limit);
+  }
+
+  acc.out_rows = current_rows;
+
+  PlannedQuery result;
+  result.signature = current->Signature();
+  result.plan = std::move(current);
+  result.estimate = acc;
+  return result;
+}
+
+util::StatusOr<ExplainResult> Planner::Explain(
+    const SelectStatement& stmt) const {
+  util::StatusOr<PlannedQuery> planned = Plan(stmt);
+  if (!planned.ok()) return planned.status();
+  ExplainResult result;
+  result.text = planned->plan->Describe(0);
+  result.signature = planned->signature;
+  result.estimate = planned->estimate;
+  return result;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,129 @@
+#ifndef QAMARKET_DBMS_QUERY_AST_H_
+#define QAMARKET_DBMS_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "dbms/value.h"
+
+namespace qa::dbms {
+
+/// A table or view referenced in the FROM clause.
+struct TableRef {
+  std::string name;
+};
+
+/// Equi-join predicate: tables[left_table].left_column =
+/// tables[right_table].right_column.
+struct JoinPredicate {
+  int left_table = 0;
+  std::string left_column;
+  int right_table = 0;
+  std::string right_column;
+};
+
+/// Single-table selection: tables[table].column <op> constant.
+struct SelectionPredicate {
+  int table = 0;
+  std::string column;
+  /// 0 = '=', 1 = '<>', 2 = '<', 3 = '<=', 4 = '>', 5 = '>=' — kept as an
+  /// int here to avoid a dependency cycle with expr.h; the planner maps it
+  /// onto CompareOp.
+  int op = 0;
+  Value constant;
+};
+
+/// Reference to an output column of a FROM-clause table.
+struct ColumnRef {
+  int table = 0;
+  std::string column;
+};
+
+/// ORDER BY item: a column plus direction.
+struct OrderItem {
+  ColumnRef column;
+  bool descending = false;
+};
+
+/// Aggregate function over a column (kCount ignores the column).
+struct Aggregate {
+  enum class Fn { kCount, kSum, kMin, kMax, kAvg };
+  Fn fn = Fn::kCount;
+  ColumnRef arg;
+};
+
+/// A select-join-project-group-sort statement — the workload family used
+/// throughout the paper (§2.1, §5.2). There is deliberately no SQL text
+/// parser: the experiments generate statements programmatically, so the
+/// structured form *is* the interface (see StatementBuilder for
+/// convenience).
+struct SelectStatement {
+  std::vector<TableRef> tables;
+  std::vector<JoinPredicate> joins;
+  std::vector<SelectionPredicate> filters;
+  /// Empty means SELECT * over the joined row.
+  std::vector<ColumnRef> projections;
+  std::vector<ColumnRef> group_by;
+  std::vector<Aggregate> aggregates;
+  std::vector<OrderItem> order_by;
+  /// Maximum number of output rows; negative = no limit.
+  int64_t limit = -1;
+
+  bool has_grouping() const {
+    return !group_by.empty() || !aggregates.empty();
+  }
+};
+
+/// Fluent helper for building statements in tests/examples:
+///   auto stmt = StatementBuilder()
+///       .From("orders").From("customers")
+///       .Join(0, "customer_id", 1, "id")
+///       .Where(0, "amount", 4, Value(int64_t{100}))   // amount > 100
+///       .Select(1, "name").OrderBy(1, "name")
+///       .Build();
+class StatementBuilder {
+ public:
+  StatementBuilder& From(std::string table) {
+    stmt_.tables.push_back({std::move(table)});
+    return *this;
+  }
+  StatementBuilder& Join(int lt, std::string lc, int rt, std::string rc) {
+    stmt_.joins.push_back({lt, std::move(lc), rt, std::move(rc)});
+    return *this;
+  }
+  StatementBuilder& Where(int table, std::string column, int op,
+                          Value constant) {
+    stmt_.filters.push_back(
+        {table, std::move(column), op, std::move(constant)});
+    return *this;
+  }
+  StatementBuilder& Select(int table, std::string column) {
+    stmt_.projections.push_back({table, std::move(column)});
+    return *this;
+  }
+  StatementBuilder& GroupBy(int table, std::string column) {
+    stmt_.group_by.push_back({table, std::move(column)});
+    return *this;
+  }
+  StatementBuilder& Agg(Aggregate::Fn fn, int table, std::string column) {
+    stmt_.aggregates.push_back({fn, {table, std::move(column)}});
+    return *this;
+  }
+  StatementBuilder& OrderBy(int table, std::string column,
+                            bool descending = false) {
+    stmt_.order_by.push_back({{table, std::move(column)}, descending});
+    return *this;
+  }
+  StatementBuilder& Limit(int64_t n) {
+    stmt_.limit = n;
+    return *this;
+  }
+  SelectStatement Build() { return stmt_; }
+
+ private:
+  SelectStatement stmt_;
+};
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_QUERY_AST_H_

@@ -1,0 +1,107 @@
+#include "dbms/value.h"
+
+#include <functional>
+
+namespace qa::dbms {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(v_)) return ValueType::kNull;
+  if (std::holds_alternative<int64_t>(v_)) return ValueType::kInt;
+  if (std::holds_alternative<double>(v_)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return std::get<double>(v_);
+}
+
+namespace {
+
+bool BothNumeric(const Value& a, const Value& b) {
+  ValueType ta = a.type();
+  ValueType tb = b.type();
+  bool na = ta == ValueType::kInt || ta == ValueType::kDouble;
+  bool nb = tb == ValueType::kInt || tb == ValueType::kDouble;
+  return na && nb;
+}
+
+}  // namespace
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (BothNumeric(a, b)) return a.AsDouble() == b.AsDouble();
+  if (a.type() != b.type()) return false;
+  if (a.type() == ValueType::kString) return a.AsString() == b.AsString();
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_null()) return !b.is_null();
+  if (b.is_null()) return false;
+  if (BothNumeric(a, b)) return a.AsDouble() < b.AsDouble();
+  if (a.type() != b.type()) {
+    return static_cast<int>(a.type()) < static_cast<int>(b.type());
+  }
+  if (a.type() == ValueType::kString) return a.AsString() < b.AsString();
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      // Hash ints through double so 3 and 3.0 collide (they compare equal).
+      return std::hash<double>()(AsDouble());
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t HashKey(const Row& row, const std::vector<int>& key_columns) {
+  size_t h = 1469598103934665603ULL;
+  for (int c : key_columns) {
+    h ^= row[static_cast<size_t>(c)].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace qa::dbms

@@ -1,0 +1,61 @@
+#ifndef QAMARKET_DBMS_VALUE_H_
+#define QAMARKET_DBMS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qa::dbms {
+
+/// Column types supported by minidb.
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A single SQL value: NULL, 64-bit integer, double or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;  // promotes ints
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// SQL-style three-valued comparison is simplified to: NULL sorts first
+  /// and equals only NULL; numeric types compare by value (int 3 == double
+  /// 3.0); strings compare lexicographically. Cross-kind comparisons
+  /// (string vs number) order by type tag.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Value& a, const Value& b) { return !(a <= b); }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// One tuple.
+using Row = std::vector<Value>;
+
+/// Hash of a row prefix (used by hash join / group by on key columns).
+size_t HashKey(const Row& row, const std::vector<int>& key_columns);
+
+}  // namespace qa::dbms
+
+#endif  // QAMARKET_DBMS_VALUE_H_

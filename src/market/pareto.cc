@@ -1,0 +1,172 @@
+#include "market/pareto.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace qa::market {
+
+namespace {
+
+/// All vectors q with 0 <= q <= ceil (componentwise) contained in `set`.
+std::vector<QuantityVector> EnumerateWithin(const SupplySet& set,
+                                            const QuantityVector& ceil) {
+  std::vector<QuantityVector> result;
+  QuantityVector current(set.num_classes());
+  std::function<void(int)> recurse = [&](int k) {
+    if (k == set.num_classes()) {
+      if (set.Contains(current)) result.push_back(current);
+      return;
+    }
+    for (Quantity q = 0; q <= ceil[k]; ++q) {
+      current[k] = q;
+      recurse(k + 1);
+    }
+    current[k] = 0;
+  };
+  recurse(0);
+  return result;
+}
+
+/// Enumerates all consumption matrices [c_i] with sum_i c_i == target and
+/// c_i <= demands_i componentwise, invoking `emit` for each.
+void EnumerateConsumptionSplits(
+    const std::vector<QuantityVector>& demands, const QuantityVector& target,
+    const std::function<void(const std::vector<QuantityVector>&)>& emit) {
+  int num_nodes = static_cast<int>(demands.size());
+  int num_classes = target.num_classes();
+  std::vector<QuantityVector> current(
+      demands.size(), QuantityVector(num_classes));
+  // Recurse over (class k, node i); `left` is what remains of target[k].
+  std::function<void(int, int, Quantity)> recurse = [&](int k, int i,
+                                                        Quantity left) {
+    if (k == num_classes) {
+      emit(current);
+      return;
+    }
+    if (i == num_nodes) {
+      if (left == 0) recurse(k + 1, 0, k + 1 < num_classes ? target[k + 1] : 0);
+      return;
+    }
+    Quantity max_here = std::min(left, demands[static_cast<size_t>(i)][k]);
+    for (Quantity q = 0; q <= max_here; ++q) {
+      current[static_cast<size_t>(i)][k] = q;
+      recurse(k, i + 1, left - q);
+    }
+    current[static_cast<size_t>(i)][k] = 0;
+  };
+  recurse(0, 0, num_classes > 0 ? target[0] : 0);
+}
+
+}  // namespace
+
+bool IsFeasible(const Solution& solution,
+                const std::vector<QuantityVector>& demands,
+                const std::vector<const SupplySet*>& supply_sets) {
+  if (solution.supplies.size() != supply_sets.size()) return false;
+  if (solution.consumptions.size() != demands.size()) return false;
+  for (size_t i = 0; i < supply_sets.size(); ++i) {
+    if (!supply_sets[i]->Contains(solution.supplies[i])) return false;
+  }
+  for (size_t i = 0; i < demands.size(); ++i) {
+    if (!solution.consumptions[i].ComponentwiseLeq(demands[i])) return false;
+    for (int k = 0; k < demands[i].num_classes(); ++k) {
+      if (solution.consumptions[i][k] < 0) return false;
+    }
+  }
+  return solution.AggregateSupply() == solution.AggregateConsumption();
+}
+
+bool ParetoDominates(const Solution& a, const Solution& b) {
+  assert(a.num_nodes() == b.num_nodes());
+  bool some_strict = false;
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    const QuantityVector& ca = a.consumptions[static_cast<size_t>(i)];
+    const QuantityVector& cb = b.consumptions[static_cast<size_t>(i)];
+    if (!Prefers(ca, cb)) return false;
+    if (StrictlyPrefers(ca, cb)) some_strict = true;
+  }
+  return some_strict;
+}
+
+bool IsParetoOptimalAmong(const Solution& solution,
+                          const std::vector<Solution>& candidates) {
+  for (const Solution& other : candidates) {
+    if (ParetoDominates(other, solution)) return false;
+  }
+  return true;
+}
+
+std::vector<Solution> EnumerateFeasibleSolutions(
+    const std::vector<QuantityVector>& demands,
+    const std::vector<const SupplySet*>& supply_sets) {
+  assert(!demands.empty());
+  QuantityVector aggregate_demand = Aggregate(demands);
+  // Candidate supply vectors per node, capped by the aggregate demand (a
+  // node never usefully supplies more of a class than the system demands).
+  std::vector<std::vector<QuantityVector>> candidates;
+  candidates.reserve(supply_sets.size());
+  for (const SupplySet* set : supply_sets) {
+    candidates.push_back(EnumerateWithin(*set, aggregate_demand));
+  }
+
+  std::vector<Solution> solutions;
+  std::vector<QuantityVector> chosen(supply_sets.size());
+  std::function<void(size_t)> pick_supply = [&](size_t i) {
+    if (i == supply_sets.size()) {
+      QuantityVector aggregate_supply = Aggregate(chosen);
+      if (!aggregate_supply.ComponentwiseLeq(aggregate_demand)) return;
+      EnumerateConsumptionSplits(
+          demands, aggregate_supply,
+          [&](const std::vector<QuantityVector>& consumptions) {
+            Solution s;
+            s.supplies = chosen;
+            s.consumptions = consumptions;
+            solutions.push_back(std::move(s));
+          });
+      return;
+    }
+    for (const QuantityVector& v : candidates[i]) {
+      chosen[i] = v;
+      pick_supply(i + 1);
+    }
+  };
+  pick_supply(0);
+  return solutions;
+}
+
+Quantity MaxTotalConsumption(
+    const std::vector<QuantityVector>& demands,
+    const std::vector<const SupplySet*>& supply_sets) {
+  QuantityVector aggregate_demand = Aggregate(demands);
+  std::vector<std::vector<QuantityVector>> candidates;
+  candidates.reserve(supply_sets.size());
+  for (const SupplySet* set : supply_sets) {
+    candidates.push_back(EnumerateWithin(*set, aggregate_demand));
+  }
+  Quantity best = 0;
+  std::vector<QuantityVector> chosen(supply_sets.size());
+  std::function<void(size_t, QuantityVector)> recurse =
+      [&](size_t i, QuantityVector acc) {
+        if (!acc.ComponentwiseLeq(aggregate_demand)) return;
+        if (i == supply_sets.size()) {
+          best = std::max(best, acc.Total());
+          return;
+        }
+        for (const QuantityVector& v : candidates[i]) {
+          recurse(i + 1, acc + v);
+        }
+      };
+  recurse(0, QuantityVector(aggregate_demand.num_classes()));
+  return best;
+}
+
+bool IsParetoOptimal(const Solution& solution,
+                     const std::vector<QuantityVector>& demands,
+                     const std::vector<const SupplySet*>& supply_sets) {
+  if (!IsFeasible(solution, demands, supply_sets)) return false;
+  std::vector<Solution> all = EnumerateFeasibleSolutions(demands, supply_sets);
+  return IsParetoOptimalAmong(solution, all);
+}
+
+}  // namespace qa::market

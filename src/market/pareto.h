@@ -1,0 +1,74 @@
+#ifndef QAMARKET_MARKET_PARETO_H_
+#define QAMARKET_MARKET_PARETO_H_
+
+#include <vector>
+
+#include "market/supply_set.h"
+#include "market/vectors.h"
+
+namespace qa::market {
+
+/// A candidate outcome of the Query Allocation problem: per-node supply and
+/// consumption vectors <[s_i], [c_i]> (§2.2).
+struct Solution {
+  std::vector<QuantityVector> supplies;
+  std::vector<QuantityVector> consumptions;
+
+  int num_nodes() const { return static_cast<int>(consumptions.size()); }
+  QuantityVector AggregateSupply() const { return Aggregate(supplies); }
+  QuantityVector AggregateConsumption() const {
+    return Aggregate(consumptions);
+  }
+};
+
+/// The preference relation >=_i used throughout the paper: node i prefers
+/// the consumption vector with the larger total query count (§2.2).
+inline bool Prefers(const QuantityVector& a, const QuantityVector& b) {
+  return a.Total() >= b.Total();
+}
+inline bool StrictlyPrefers(const QuantityVector& a, const QuantityVector& b) {
+  return a.Total() > b.Total();
+}
+
+/// Validates a solution against the model's constraints:
+///   - every supply vector lies in its node's supply set,
+///   - every consumption vector is componentwise <= that node's demand,
+///   - aggregate supply == aggregate consumption (eq. 3).
+bool IsFeasible(const Solution& solution,
+                const std::vector<QuantityVector>& demands,
+                const std::vector<const SupplySet*>& supply_sets);
+
+/// Definition 1: `a` Pareto-dominates `b` iff every node weakly prefers its
+/// consumption in `a` and at least one strictly prefers it.
+bool ParetoDominates(const Solution& a, const Solution& b);
+
+/// True iff no solution in `candidates` Pareto-dominates `solution`.
+bool IsParetoOptimalAmong(const Solution& solution,
+                          const std::vector<Solution>& candidates);
+
+/// Exhaustively enumerates all feasible solutions of a small QA instance.
+///
+/// Consumption is capped by the per-node demands and supply by the supply
+/// sets; complexity is exponential in I*K, so this is strictly a test/
+/// example oracle (the paper's Fig. 1 instance has I = K = 2).
+std::vector<Solution> EnumerateFeasibleSolutions(
+    const std::vector<QuantityVector>& demands,
+    const std::vector<const SupplySet*>& supply_sets);
+
+/// The largest total consumption achievable by any feasible solution, via
+/// the same exhaustive enumeration (test oracle).
+Quantity MaxTotalConsumption(const std::vector<QuantityVector>& demands,
+                             const std::vector<const SupplySet*>& supply_sets);
+
+/// True iff `solution` is feasible and not Pareto-dominated by any feasible
+/// solution of the instance (exhaustive check; test oracle for small
+/// instances). Note that with the total-count preference, achieving
+/// MaxTotalConsumption is *sufficient* for Pareto optimality (a dominating
+/// solution would have to strictly increase the total) but not necessary.
+bool IsParetoOptimal(const Solution& solution,
+                     const std::vector<QuantityVector>& demands,
+                     const std::vector<const SupplySet*>& supply_sets);
+
+}  // namespace qa::market
+
+#endif  // QAMARKET_MARKET_PARETO_H_

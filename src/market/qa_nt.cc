@@ -1,0 +1,167 @@
+#include "market/qa_nt.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qa::market {
+
+QaNtAgent::QaNtAgent(catalog::NodeId node,
+                     std::vector<util::VDuration> unit_costs,
+                     util::VDuration period_budget, QaNtConfig config)
+    : node_(node),
+      supply_set_(std::move(unit_costs), period_budget),
+      config_(config),
+      prices_(supply_set_.num_classes(), config.initial_price),
+      planned_supply_(supply_set_.num_classes()),
+      remaining_supply_(supply_set_.num_classes()) {}
+
+void QaNtAgent::BeginPeriod() {
+  // Settle last period's books: work accepted beyond one period's capacity
+  // carries over as debt and eats into this period's budget. Unused
+  // capacity is banked as *negative* debt (at most one period's worth):
+  // the integer knapsack always strands a fractional budget remainder, and
+  // without banking that remainder is lost every period, systematically
+  // under-supplying the market. No settlement happens before the first
+  // period (there is nothing to bank yet).
+  if (first_period_) {
+    first_period_ = false;
+  } else {
+    util::VDuration floor =
+        config_.bank_leftover_capacity ? -supply_set_.budget() : 0;
+    debt_ = std::max<util::VDuration>(
+        debt_ + accepted_cost_ - supply_set_.budget(), floor);
+  }
+  accepted_cost_ = 0;
+
+  remaining_budget_ = supply_set_.budget() - debt_;
+  if (remaining_budget_ <= 0) {
+    planned_supply_ = QuantityVector(supply_set_.num_classes());
+  } else {
+    planned_supply_ =
+        supply_set_.MaximizeValueWithBudget(prices_, remaining_budget_);
+  }
+  remaining_supply_ = planned_supply_;
+
+  max_density_ = 0.0;
+  for (int k = 0; k < supply_set_.num_classes(); ++k) {
+    if (!CanEvaluate(k)) continue;
+    double density =
+        prices_[k] / static_cast<double>(supply_set_.unit_cost(k));
+    max_density_ = std::max(max_density_, density);
+  }
+  ++stats_.periods;
+}
+
+bool QaNtAgent::SupplyRestrictionActive() const {
+  if (config_.activation_threshold <= 0.0) return true;
+  double max_price = 0.0;
+  for (int k = 0; k < prices_.num_classes(); ++k) {
+    max_price = std::max(max_price, prices_[k]);
+  }
+  return max_price >= config_.activation_threshold;
+}
+
+bool QaNtAgent::WouldAccept(int k) const {
+  if (!CanEvaluate(k)) return false;
+  if (remaining_budget_ <= 0) return false;
+  util::VDuration cost = supply_set_.unit_cost(k);
+  if (cost > remaining_budget_) {
+    // Overshoot: only for classes that can never fit within one period
+    // (cost > T), and only if the config allows debt financing. Classes
+    // that do fit a period must wait for a period with budget.
+    if (!config_.allow_min_one_offer || cost <= supply_set_.budget()) {
+      return false;
+    }
+  }
+  // First-order-condition gate (eq. 4, relaxed by the tolerance): supply
+  // classes whose price-per-cost density is near the node's best. Armed
+  // only while capacity is contended — an uncontended node's capacity has
+  // zero shadow price, so it serves whatever it can evaluate.
+  if (!density_gate_active_ && !config_.density_gate_when_idle) return true;
+  if (max_density_ <= 0.0) return false;
+  double density = prices_[k] / static_cast<double>(cost);
+  return density >= config_.supply_density_tolerance * max_density_ - 1e-18;
+}
+
+bool QaNtAgent::OnRequest(int k) {
+  ++stats_.requests_seen;
+  if (!CanEvaluate(k)) return false;  // no data: not a market event at all
+  if (WouldAccept(k)) {
+    ++stats_.offers_made;
+    return true;
+  }
+  if (!SupplyRestrictionActive()) {
+    // Below the activation threshold the node behaves permissively: it
+    // offers whenever it can physically evaluate the class, while prices
+    // keep tracking demand in the background.
+    ++stats_.offers_made;
+    BumpPriceUp(k);
+    return true;
+  }
+  // Step 8-9: decline and raise the price of the scarce class.
+  ++stats_.declines_no_supply;
+  BumpPriceUp(k);
+  return false;
+}
+
+void QaNtAgent::OnOfferAccepted(int k) {
+  assert(CanEvaluate(k));
+  ++stats_.offers_accepted;
+  earnings_ += prices_[k];
+  util::VDuration cost = supply_set_.unit_cost(k);
+  accepted_cost_ += cost;
+  remaining_budget_ -= cost;
+  if (remaining_supply_[k] > 0) {
+    remaining_supply_[k] -= 1;
+  }
+}
+
+void QaNtAgent::OnOfferRejected(int k) {
+  // The algorithm listing adjusts prices only on trading *failures* (a
+  // request the node could not serve, or leftover supply at period end).
+  // Losing one offer to a competitor is neither, so nothing happens here.
+  (void)k;
+}
+
+void QaNtAgent::EndPeriod() {
+  // Complementary slackness: arm the density gate for the next period only
+  // if this one consumed the whole budget (capacity was scarce).
+  density_gate_active_ = remaining_budget_ <= 0;
+  // Steps 12-14: leftover supply means the price was too high for the
+  // demand this node saw; decay proportionally to the leftover quantity.
+  for (int k = 0; k < prices_.num_classes(); ++k) {
+    Quantity leftover = std::min<Quantity>(
+        remaining_supply_[k], config_.max_leftover_decay_units);
+    if (leftover > 0) {
+      double factor = 1.0 - config_.lambda * static_cast<double>(leftover);
+      prices_[k] *= std::max(factor, 0.0);
+    }
+  }
+  prices_.ClampFloor(config_.price_floor);
+}
+
+void QaNtAgent::BumpPriceUp(int k) {
+  prices_[k] = std::min(prices_[k] * (1.0 + config_.lambda),
+                        config_.price_cap);
+  // A bump can promote this class to the node's best density.
+  if (CanEvaluate(k)) {
+    max_density_ = std::max(
+        max_density_,
+        prices_[k] / static_cast<double>(supply_set_.unit_cost(k)));
+  }
+}
+
+void QaNtAgent::SetPrices(PriceVector prices) {
+  assert(prices.num_classes() == prices_.num_classes());
+  prices_ = std::move(prices);
+  prices_.ClampFloor(config_.price_floor);
+  max_density_ = 0.0;
+  for (int k = 0; k < supply_set_.num_classes(); ++k) {
+    if (!CanEvaluate(k)) continue;
+    max_density_ = std::max(
+        max_density_,
+        prices_[k] / static_cast<double>(supply_set_.unit_cost(k)));
+  }
+}
+
+}  // namespace qa::market

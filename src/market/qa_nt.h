@@ -1,0 +1,197 @@
+#ifndef QAMARKET_MARKET_QA_NT_H_
+#define QAMARKET_MARKET_QA_NT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "market/supply_set.h"
+#include "market/vectors.h"
+#include "util/vtime.h"
+
+namespace qa::market {
+
+/// Tuning knobs of the QA-NT non-tâtonnement agent (§3.3).
+struct QaNtConfig {
+  /// Price adjustment step lambda. Each trading failure moves the affected
+  /// price by a factor (1 +/- lambda-ish); larger values react faster but
+  /// estimate equilibrium prices less accurately.
+  double lambda = 0.05;
+  double initial_price = 1.0;
+  /// Prices stay within [price_floor, price_cap] (R_+ with guards against
+  /// collapse to zero and runaway growth during long overloads).
+  double price_floor = 1e-6;
+  double price_cap = 1e12;
+  /// Optional overload-activation threshold (§5.1 closing remark): when the
+  /// node's maximum price is below the threshold the agent keeps tracking
+  /// prices but offers to evaluate any feasible query, i.e. supply
+  /// restriction only kicks in when prices signal system overload.
+  /// 0 disables the feature (supply restriction always active).
+  double activation_threshold = 0.0;
+  /// Queries costing more than the period T would make the per-period
+  /// knapsack supply zero forever (the paper's workloads have 1-14 s
+  /// queries against T = 500 ms). With this enabled (default), an agent
+  /// whose knapsack came out empty while budget remains still offers one
+  /// query of any acceptable-density class; the overshoot is carried as
+  /// debt that suppresses supply in following periods, so long-run
+  /// capacity is respected.
+  bool allow_min_one_offer = true;
+  /// Relaxation of the first-order conditions used for admission: a class
+  /// is supplied while budget remains iff its price-per-cost density is at
+  /// least this fraction of the node's best density. 1.0 supplies only the
+  /// densest class (fully rigid; with many classes and ~1 query per period
+  /// the node would decline almost everything while idle); 0 disables the
+  /// gate (plain admission control). The default keeps the market steering
+  /// of the two-class experiments while staying elastic with 100 classes.
+  ///
+  /// The gate only arms itself when capacity is actually contended: by
+  /// complementary slackness the shadow price of capacity is zero while
+  /// budget goes unsold, so an agent whose previous period left budget on
+  /// the table admits any evaluable class (see density_gate_when_idle to
+  /// force the gate permanently on).
+  double supply_density_tolerance = 0.5;
+  /// Keep the density gate armed even after idle periods (paper-rigid
+  /// behaviour; mainly for tests and ablations).
+  bool density_gate_when_idle = false;
+  /// Cap on the leftover quantity used in the end-of-period decay
+  /// p_k -= s_ik * lambda * p_k. With planned supplies of 10-20 units an
+  /// uncapped decay crashes a price to the floor in one period, and the
+  /// one-bump-per-decline recovery then takes dozens of periods: the
+  /// classic tatonnement-overshoot oscillation. Bounded per-period price
+  /// moves are the standard stabilization.
+  market::Quantity max_leftover_decay_units = 3;
+  /// Bank one period's worth of unused capacity as negative debt. The
+  /// integer knapsack always strands a fractional budget remainder; without
+  /// banking that remainder is lost every period and the market
+  /// systematically under-supplies. Disable for strict per-period supply
+  /// sets (some tests and the Pareto oracle need that).
+  bool bank_leftover_capacity = true;
+};
+
+/// Counters exposed for the experiments (autonomy/message accounting).
+struct QaNtAgentStats {
+  int64_t requests_seen = 0;
+  int64_t offers_made = 0;
+  int64_t offers_accepted = 0;
+  int64_t declines_no_supply = 0;
+  int64_t periods = 0;
+};
+
+/// One server node's QA-NT state machine: private prices, the per-period
+/// supply vector obtained by solving eq. (4), and the non-tâtonnement price
+/// adjustments of the QA-NT algorithm listing (§3.3).
+///
+/// The agent is deliberately self-contained: it never sees other nodes'
+/// prices, loads or capabilities — its only inputs are the requests clients
+/// send it and the fate of its own offers. This is what preserves node
+/// autonomy (Table 2).
+class QaNtAgent {
+ public:
+  /// `unit_costs[k]` is this node's execution time for one k-class query or
+  /// CapacitySupplySet::kCannotEvaluate; `period_budget` is the length T of
+  /// a time period (the node's serial execution capacity per period).
+  QaNtAgent(catalog::NodeId node, std::vector<util::VDuration> unit_costs,
+            util::VDuration period_budget, QaNtConfig config = {});
+
+  /// Step 2: given current prices, recompute the optimal supply vector for
+  /// the period that now begins.
+  void BeginPeriod();
+
+  /// Steps 4-10: a client asks this node to evaluate a k-class query.
+  /// Returns true iff the node offers: the period's execution-time budget
+  /// still covers the query (see WouldAccept) and the class's price
+  /// density passes the first-order-condition gate. When the node declines
+  /// a class it could evaluate in principle, the price of k is raised:
+  /// p_k += lambda * p_k (step 9).
+  bool OnRequest(int k);
+
+  /// Step 6: the client accepted our offer; one unit of supply is consumed.
+  void OnOfferAccepted(int k);
+
+  /// The client chose another node's offer. The algorithm listing makes no
+  /// price move here; the unused unit is caught by the end-of-period decay.
+  void OnOfferRejected(int k);
+
+  /// Steps 12-14: for every class with leftover planned supply, decay the
+  /// price: p_k -= s_ik * lambda * p_k (clamped to the floor).
+  void EndPeriod();
+
+  catalog::NodeId node() const { return node_; }
+  const PriceVector& prices() const { return prices_; }
+  /// s_i computed at the start of the current period.
+  const QuantityVector& planned_supply() const { return planned_supply_; }
+  /// Remaining (not yet accepted) part of the planned supply.
+  const QuantityVector& remaining_supply() const { return remaining_supply_; }
+  const CapacitySupplySet& supply_set() const { return supply_set_; }
+  const QaNtAgentStats& stats() const { return stats_; }
+
+  bool CanEvaluate(int k) const { return supply_set_.CanEvaluateClass(k); }
+  util::VDuration unit_cost(int k) const { return supply_set_.unit_cost(k); }
+
+  /// True when the activation threshold (if any) says prices are still low
+  /// enough that the agent should not restrict supply.
+  bool SupplyRestrictionActive() const;
+
+  /// Capacity debt carried into the current period: execution time accepted
+  /// in earlier periods that exceeds the capacity those periods offered.
+  util::VDuration debt() const { return debt_; }
+
+  /// Unspent execution-time budget of the current period (negative after
+  /// an allowed overshoot).
+  util::VDuration remaining_budget() const { return remaining_budget_; }
+
+  /// Whether a request for class `k` would currently be offered.
+  bool WouldAccept(int k) const;
+
+  /// Cumulative virtual value earned by this node: the sum over accepted
+  /// queries of their price at acceptance time. This is the node's utility
+  /// in the market; the equitable-allocation extension (paper §6) selects
+  /// offers so as to equalize it across nodes.
+  double earnings() const { return earnings_; }
+
+  /// True when the first-order-condition density gate is armed (capacity
+  /// was contended in the previous period).
+  bool density_gate_active() const { return density_gate_active_; }
+
+  /// Overrides the current prices (tests / warm starts).
+  void SetPrices(PriceVector prices);
+
+  /// Revises this node's own execution-time belief for class `k` (fed by
+  /// the node's plan-history estimator in the real-DBMS deployment, §5.2).
+  /// Takes effect at the next BeginPeriod. Only the node's private data is
+  /// involved, so autonomy is intact.
+  void UpdateUnitCost(int k, util::VDuration cost) {
+    supply_set_.SetUnitCost(k, cost);
+  }
+
+ private:
+  void BumpPriceUp(int k);
+
+  catalog::NodeId node_;
+  CapacitySupplySet supply_set_;
+  QaNtConfig config_;
+  PriceVector prices_;
+  QuantityVector planned_supply_;
+  QuantityVector remaining_supply_;
+  QaNtAgentStats stats_;
+  /// Execution time accepted during the current period.
+  util::VDuration accepted_cost_ = 0;
+  /// Carryover debt (see QaNtConfig::allow_min_one_offer); negative values
+  /// are banked capacity from integer-rounding leftovers.
+  util::VDuration debt_ = 0;
+  bool first_period_ = true;
+  /// Unspent budget of the running period (admission is budget-elastic
+  /// within the density gate, not hard-committed to the planned classes).
+  util::VDuration remaining_budget_ = 0;
+  /// Best price-per-cost density over evaluable classes at period start
+  /// (kept fresh as declines bump prices up).
+  double max_density_ = 0.0;
+  /// Armed when the previous period ended with no budget left (capacity
+  /// contended => positive shadow price => enforce first-order conditions).
+  bool density_gate_active_ = false;
+  double earnings_ = 0.0;
+};
+
+}  // namespace qa::market
+
+#endif  // QAMARKET_MARKET_QA_NT_H_

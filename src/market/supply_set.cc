@@ -1,0 +1,142 @@
+#include "market/supply_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace qa::market {
+
+bool SupplySet::CanAddUnit(const QuantityVector& supply, int k) const {
+  QuantityVector next = supply;
+  next[k] += 1;
+  return Contains(next);
+}
+
+CapacitySupplySet::CapacitySupplySet(std::vector<util::VDuration> unit_costs,
+                                     util::VDuration budget)
+    : unit_costs_(std::move(unit_costs)), budget_(budget) {
+  for (util::VDuration c : unit_costs_) {
+    assert(c == kCannotEvaluate || c > 0);
+    (void)c;
+  }
+}
+
+util::VDuration CapacitySupplySet::CostOf(const QuantityVector& supply) const {
+  assert(supply.num_classes() == num_classes());
+  util::VDuration total = 0;
+  for (int k = 0; k < num_classes(); ++k) {
+    if (supply[k] == 0) continue;
+    if (!CanEvaluateClass(k)) return kCannotEvaluate;
+    total += unit_costs_[static_cast<size_t>(k)] * supply[k];
+  }
+  return total;
+}
+
+bool CapacitySupplySet::Contains(const QuantityVector& supply) const {
+  if (supply.num_classes() != num_classes()) return false;
+  for (int k = 0; k < num_classes(); ++k) {
+    if (supply[k] < 0) return false;
+  }
+  util::VDuration cost = CostOf(supply);
+  return cost != kCannotEvaluate && cost <= budget_;
+}
+
+QuantityVector CapacitySupplySet::MaximizeValue(
+    const PriceVector& prices) const {
+  return MaximizeValueWithBudget(prices, budget_);
+}
+
+QuantityVector CapacitySupplySet::MaximizeValueWithBudget(
+    const PriceVector& prices, util::VDuration budget) const {
+  assert(prices.num_classes() == num_classes());
+  // Order evaluable classes by descending value density p_k / cost_k.
+  std::vector<int> order;
+  for (int k = 0; k < num_classes(); ++k) {
+    if (CanEvaluateClass(k) && prices[k] > 0.0) order.push_back(k);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    double da = prices[a] / static_cast<double>(unit_cost(a));
+    double db = prices[b] / static_cast<double>(unit_cost(b));
+    if (da != db) return da > db;
+    return a < b;
+  });
+  QuantityVector supply(num_classes());
+  util::VDuration remaining = budget;
+  for (int k : order) {
+    util::VDuration c = unit_cost(k);
+    Quantity fit = remaining / c;
+    if (fit > 0) {
+      supply[k] += fit;
+      remaining -= fit * c;
+    }
+  }
+  return supply;
+}
+
+int CapacitySupplySet::BestDensityClass(const PriceVector& prices) const {
+  int best = -1;
+  double best_density = 0.0;
+  for (int k = 0; k < num_classes(); ++k) {
+    if (!CanEvaluateClass(k) || prices[k] <= 0.0) continue;
+    double density = prices[k] / static_cast<double>(unit_cost(k));
+    if (best < 0 || density > best_density) {
+      best = k;
+      best_density = density;
+    }
+  }
+  return best;
+}
+
+FiniteSupplySet::FiniteSupplySet(std::vector<QuantityVector> vectors)
+    : vectors_(std::move(vectors)) {
+  assert(!vectors_.empty());
+  num_classes_ = vectors_[0].num_classes();
+  for (const QuantityVector& v : vectors_) {
+    assert(v.num_classes() == num_classes_);
+    (void)v;
+  }
+}
+
+bool FiniteSupplySet::Contains(const QuantityVector& supply) const {
+  return std::find(vectors_.begin(), vectors_.end(), supply) !=
+         vectors_.end();
+}
+
+QuantityVector FiniteSupplySet::MaximizeValue(
+    const PriceVector& prices) const {
+  assert(prices.num_classes() == num_classes_);
+  const QuantityVector* best = &vectors_[0];
+  double best_value = Dot(prices, vectors_[0]);
+  for (const QuantityVector& v : vectors_) {
+    double value = Dot(prices, v);
+    if (value > best_value) {
+      best_value = value;
+      best = &v;
+    }
+  }
+  return *best;
+}
+
+std::vector<QuantityVector> EnumerateSupplyVectors(
+    const CapacitySupplySet& set, const QuantityVector& ceil) {
+  std::vector<QuantityVector> result;
+  QuantityVector current(set.num_classes());
+  std::function<void(int)> recurse = [&](int k) {
+    if (k == set.num_classes()) {
+      if (set.Contains(current)) result.push_back(current);
+      return;
+    }
+    Quantity max_k = set.CanEvaluateClass(k) ? ceil[k] : 0;
+    for (Quantity q = 0; q <= max_k; ++q) {
+      current[k] = q;
+      if (!set.CanEvaluateClass(k) && q > 0) break;
+      recurse(k + 1);
+    }
+    current[k] = 0;
+  };
+  recurse(0);
+  return result;
+}
+
+}  // namespace qa::market

@@ -1,0 +1,98 @@
+#ifndef QAMARKET_MARKET_VECTORS_H_
+#define QAMARKET_MARKET_VECTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qa::market {
+
+/// Number of queries of one class (entries of the demand/consumption/supply
+/// vectors of §2.2).
+using Quantity = int64_t;
+
+/// A K-dimensional vector of query counts: one of the paper's demand (d_i),
+/// consumption (c_i) or supply (s_i) vectors.
+class QuantityVector {
+ public:
+  QuantityVector() = default;
+  explicit QuantityVector(int num_classes)
+      : q_(static_cast<size_t>(num_classes), 0) {}
+  explicit QuantityVector(std::vector<Quantity> values)
+      : q_(std::move(values)) {}
+
+  int num_classes() const { return static_cast<int>(q_.size()); }
+
+  Quantity operator[](int k) const { return q_[static_cast<size_t>(k)]; }
+  Quantity& operator[](int k) { return q_[static_cast<size_t>(k)]; }
+
+  /// Total number of queries (the preference relation of §2.2 compares
+  /// exactly this: nodes prefer consuming more queries overall).
+  Quantity Total() const;
+
+  bool IsZero() const;
+  /// True iff every component is <= the corresponding component of `other`.
+  bool ComponentwiseLeq(const QuantityVector& other) const;
+
+  QuantityVector& operator+=(const QuantityVector& other);
+  QuantityVector& operator-=(const QuantityVector& other);
+  friend QuantityVector operator+(QuantityVector lhs,
+                                  const QuantityVector& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend QuantityVector operator-(QuantityVector lhs,
+                                  const QuantityVector& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend bool operator==(const QuantityVector& a,
+                         const QuantityVector& b) = default;
+
+  const std::vector<Quantity>& values() const { return q_; }
+
+  /// "(1, 6)" — for logs and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<Quantity> q_;
+};
+
+/// Sums a family of per-node vectors into the aggregate vector (eq. 1).
+QuantityVector Aggregate(const std::vector<QuantityVector>& vectors);
+
+/// The paper's virtual price vector p in R^K_+.
+class PriceVector {
+ public:
+  PriceVector() = default;
+  explicit PriceVector(int num_classes, double initial = 1.0)
+      : p_(static_cast<size_t>(num_classes), initial) {}
+  explicit PriceVector(std::vector<double> values) : p_(std::move(values)) {}
+  PriceVector(std::initializer_list<double> values) : p_(values) {}
+
+  int num_classes() const { return static_cast<int>(p_.size()); }
+  double operator[](int k) const { return p_[static_cast<size_t>(k)]; }
+  double& operator[](int k) { return p_[static_cast<size_t>(k)]; }
+
+  /// Clamps every price to at least `floor` (prices live in R_+; the
+  /// adjustment process must not drive them to zero or negative).
+  void ClampFloor(double floor);
+
+  const std::vector<double>& values() const { return p_; }
+  std::string ToString() const;
+
+ private:
+  std::vector<double> p_;
+};
+
+/// Virtual value p . q of a consumption or supply vector (§3.1).
+double Dot(const PriceVector& prices, const QuantityVector& quantities);
+
+/// Excess demand z(p) = aggregate demand - aggregate supply (Definition 2).
+/// (The dependence on p is through the supply vector the sellers chose.)
+QuantityVector ExcessDemand(const QuantityVector& aggregate_demand,
+                            const QuantityVector& aggregate_supply);
+
+}  // namespace qa::market
+
+#endif  // QAMARKET_MARKET_VECTORS_H_

@@ -1,0 +1,160 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qa::query {
+
+namespace {
+
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+
+/// Seconds to read `bytes` at `mbps` MB/s.
+double IoSeconds(double bytes, double mbps) {
+  return bytes / (mbps * kBytesPerMb);
+}
+
+/// Seconds to spend `cycles` CPU cycles at `ghz` GHz.
+double CpuSeconds(double cycles, double ghz) { return cycles / (ghz * 1e9); }
+
+}  // namespace
+
+std::vector<catalog::NodeId> CostModel::FeasibleNodes(QueryClassId k) const {
+  std::vector<catalog::NodeId> nodes;
+  for (catalog::NodeId n = 0; n < num_nodes(); ++n) {
+    if (CanEvaluate(k, n)) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+util::VDuration CostModel::BestCost(QueryClassId k) const {
+  util::VDuration best = kInfeasibleCost;
+  for (catalog::NodeId n = 0; n < num_nodes(); ++n) {
+    best = std::min(best, Cost(k, n));
+  }
+  return best;
+}
+
+SyntheticCostModel::SyntheticCostModel(const catalog::Catalog* catalog,
+                                       std::vector<NodeProfile> profiles,
+                                       std::vector<QueryTemplate> templates,
+                                       CostModelConfig config)
+    : catalog_(catalog),
+      profiles_(std::move(profiles)),
+      templates_(std::move(templates)),
+      config_(config) {
+  assert(catalog_ != nullptr);
+  RecomputeMatrix();
+}
+
+void SyntheticCostModel::RecomputeMatrix() {
+  costs_.assign(templates_.size() * profiles_.size(), kInfeasibleCost);
+  for (size_t k = 0; k < templates_.size(); ++k) {
+    const QueryTemplate& tmpl = templates_[k];
+    for (size_t n = 0; n < profiles_.size(); ++n) {
+      catalog::NodeId node = static_cast<catalog::NodeId>(n);
+      // A node can evaluate a class only if it locally mirrors every base
+      // relation the template touches (nodes are autonomous black boxes; we
+      // allocate whole queries, not subqueries).
+      if (!catalog_->NodeHoldsAll(node, tmpl.relations)) continue;
+      costs_[k * profiles_.size() + n] = ComputeCost(tmpl, profiles_[n]);
+    }
+  }
+}
+
+util::VDuration SyntheticCostModel::ComputeCost(
+    const QueryTemplate& tmpl, const NodeProfile& profile) const {
+  double seconds = 0.0;
+  double buffer_bytes = profile.buffer_mb * kBytesPerMb;
+
+  // Scan + filter every base relation.
+  std::vector<double> side_bytes;
+  std::vector<double> side_tuples;
+  for (catalog::RelationId rel_id : tmpl.relations) {
+    const catalog::Relation& rel = catalog_->relation(rel_id);
+    double bytes = static_cast<double>(rel.size_bytes);
+    double tuples = static_cast<double>(rel.cardinality);
+    seconds += IoSeconds(bytes, profile.io_mbps);
+    seconds += CpuSeconds(tuples * config_.scan_cycles_per_tuple,
+                          profile.cpu_ghz);
+    side_bytes.push_back(bytes * tmpl.selectivity);
+    side_tuples.push_back(tuples * tmpl.selectivity);
+  }
+
+  // Left-deep join chain over the filtered inputs.
+  double acc_bytes = side_bytes.empty() ? 0.0 : side_bytes[0];
+  double acc_tuples = side_tuples.empty() ? 0.0 : side_tuples[0];
+  for (size_t j = 1; j < side_bytes.size(); ++j) {
+    double rhs_bytes = side_bytes[j];
+    double rhs_tuples = side_tuples[j];
+    double build_bytes = std::min(acc_bytes, rhs_bytes);
+    if (profile.supports_hash_join) {
+      seconds += CpuSeconds(
+          (acc_tuples + rhs_tuples) * config_.hash_cycles_per_tuple,
+          profile.cpu_ghz);
+      if (build_bytes > buffer_bytes) {
+        // Grace hash join: partition both sides to disk and re-read them.
+        seconds += config_.spill_io_passes *
+                   IoSeconds(acc_bytes + rhs_bytes, profile.io_mbps);
+      }
+    } else {
+      // Sort-merge: sort each side (n log2 n compares), spilling runs when a
+      // side exceeds the work buffer, then a linear merge.
+      for (double side : {acc_tuples, rhs_tuples}) {
+        if (side > 1.0) {
+          seconds += CpuSeconds(side * std::log2(side) *
+                                    config_.sort_cycles_per_compare,
+                                profile.cpu_ghz);
+        }
+      }
+      for (double bytes : {acc_bytes, rhs_bytes}) {
+        if (bytes > buffer_bytes) {
+          seconds += 2.0 * IoSeconds(bytes, profile.io_mbps);
+        }
+      }
+      seconds += CpuSeconds(
+          (acc_tuples + rhs_tuples) * config_.scan_cycles_per_tuple,
+          profile.cpu_ghz);
+    }
+    // Foreign-key-style join: the result stays at the size of the larger
+    // input (no cartesian blowup, no pruning).
+    acc_tuples = std::max(acc_tuples, rhs_tuples);
+    acc_bytes = std::max(acc_bytes, rhs_bytes);
+  }
+
+  // Final projection and optional ORDER BY on the output.
+  double out_tuples = acc_tuples * tmpl.output_fraction;
+  double out_bytes = acc_bytes * tmpl.output_fraction;
+  seconds += CpuSeconds(out_tuples * config_.output_cycles_per_tuple,
+                        profile.cpu_ghz);
+  if (tmpl.has_sort && out_tuples > 1.0) {
+    seconds += CpuSeconds(
+        out_tuples * std::log2(out_tuples) * config_.sort_cycles_per_compare,
+        profile.cpu_ghz);
+    if (out_bytes > buffer_bytes) {
+      seconds += 2.0 * IoSeconds(out_bytes, profile.io_mbps);
+    }
+  }
+
+  seconds *= tmpl.work_scale;
+  return std::max<util::VDuration>(util::FromSeconds(seconds), 1);
+}
+
+double SyntheticCostModel::CalibrateBestCost(util::VDuration target) {
+  double sum_best = 0.0;
+  int counted = 0;
+  for (QueryClassId k = 0; k < num_classes(); ++k) {
+    util::VDuration best = BestCost(k);
+    if (best == kInfeasibleCost) continue;
+    sum_best += static_cast<double>(best);
+    ++counted;
+  }
+  if (counted == 0 || sum_best <= 0.0) return 1.0;
+  double factor = static_cast<double>(target) * counted / sum_best;
+  for (QueryTemplate& tmpl : templates_) tmpl.work_scale *= factor;
+  RecomputeMatrix();
+  return factor;
+}
+
+}  // namespace qa::query

@@ -1,0 +1,147 @@
+#ifndef QAMARKET_QUERY_COST_MODEL_H_
+#define QAMARKET_QUERY_COST_MODEL_H_
+
+#include <limits>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/node_profile.h"
+#include "query/query.h"
+#include "util/vtime.h"
+
+namespace qa::query {
+
+/// Sentinel cost for (class, node) pairs the node cannot evaluate at all
+/// (missing data or capability).
+inline constexpr util::VDuration kInfeasibleCost =
+    std::numeric_limits<util::VDuration>::max();
+
+/// Per-(query class, node) execution-cost oracle.
+///
+/// This is the information each *node* has about its own execution costs.
+/// The allocation baselines that consult other nodes' costs (Greedy, BNQRD)
+/// obtain them through the network protocol, which the simulator charges
+/// for; the cost model itself is mechanism-neutral.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  virtual int num_classes() const = 0;
+  virtual int num_nodes() const = 0;
+
+  /// Estimated execution time of a `k`-class query on `node`, or
+  /// kInfeasibleCost when the node cannot evaluate the class.
+  virtual util::VDuration Cost(QueryClassId k, catalog::NodeId node) const = 0;
+
+  bool CanEvaluate(QueryClassId k, catalog::NodeId node) const {
+    return Cost(k, node) != kInfeasibleCost;
+  }
+
+  /// Nodes able to evaluate class `k`, in id order.
+  std::vector<catalog::NodeId> FeasibleNodes(QueryClassId k) const;
+
+  /// Cheapest feasible cost of class `k` over all nodes (kInfeasibleCost if
+  /// nowhere feasible).
+  util::VDuration BestCost(QueryClassId k) const;
+};
+
+/// Cost model backed by an explicit K x I matrix, used for the paper's
+/// hand-crafted examples (Fig. 1) and the two-class sinusoid experiments.
+class MatrixCostModel : public CostModel {
+ public:
+  MatrixCostModel(int num_classes, int num_nodes)
+      : num_classes_(num_classes),
+        num_nodes_(num_nodes),
+        costs_(static_cast<size_t>(num_classes) *
+                   static_cast<size_t>(num_nodes),
+               kInfeasibleCost) {}
+
+  void SetCost(QueryClassId k, catalog::NodeId node, util::VDuration cost) {
+    costs_[Index(k, node)] = cost;
+  }
+  void SetInfeasible(QueryClassId k, catalog::NodeId node) {
+    costs_[Index(k, node)] = kInfeasibleCost;
+  }
+
+  int num_classes() const override { return num_classes_; }
+  int num_nodes() const override { return num_nodes_; }
+  util::VDuration Cost(QueryClassId k, catalog::NodeId node) const override {
+    return costs_[Index(k, node)];
+  }
+
+ private:
+  size_t Index(QueryClassId k, catalog::NodeId node) const {
+    return static_cast<size_t>(k) * static_cast<size_t>(num_nodes_) +
+           static_cast<size_t>(node);
+  }
+
+  int num_classes_;
+  int num_nodes_;
+  std::vector<util::VDuration> costs_;
+};
+
+/// Knobs of the analytic cost formulas (cycles are per tuple).
+struct CostModelConfig {
+  double scan_cycles_per_tuple = 500;
+  double hash_cycles_per_tuple = 1500;
+  double sort_cycles_per_compare = 120;
+  double output_cycles_per_tuple = 200;
+  /// I/O multiplier for a partitioned (grace) hash join spilling to disk.
+  double spill_io_passes = 2.0;
+};
+
+/// Analytic cost model for select-join-project-sort templates executed on
+/// heterogeneous nodes (the simulator's stand-in for a real optimizer's
+/// estimates).
+///
+/// For each template the model charges, per joined relation: a sequential
+/// scan (I/O at the node's bandwidth plus CPU per tuple), then a pairwise
+/// left-deep join chain using hash join when the node supports it (with
+/// grace-hash spill passes when the build side exceeds the node's buffer)
+/// and sort-merge otherwise (n log n compares plus external-sort I/O when a
+/// side exceeds the buffer), and finally an optional output sort. All costs
+/// are precomputed into a K x I matrix at construction.
+class SyntheticCostModel : public CostModel {
+ public:
+  SyntheticCostModel(const catalog::Catalog* catalog,
+                     std::vector<NodeProfile> profiles,
+                     std::vector<QueryTemplate> templates,
+                     CostModelConfig config = {});
+
+  int num_classes() const override {
+    return static_cast<int>(templates_.size());
+  }
+  int num_nodes() const override { return static_cast<int>(profiles_.size()); }
+  util::VDuration Cost(QueryClassId k, catalog::NodeId node) const override {
+    return costs_[static_cast<size_t>(k) * profiles_.size() +
+                  static_cast<size_t>(node)];
+  }
+
+  const QueryTemplate& GetTemplate(QueryClassId k) const {
+    return templates_[static_cast<size_t>(k)];
+  }
+  const NodeProfile& profile(catalog::NodeId node) const {
+    return profiles_[static_cast<size_t>(node)];
+  }
+
+  /// Rescales all template work factors so that the mean over classes of
+  /// the *best* per-class cost equals `target`. Returns the applied factor.
+  /// (Paper: "Average best execution time of queries: 2000 ms".)
+  double CalibrateBestCost(util::VDuration target);
+
+ private:
+  /// Cost of `tmpl` on `profile` ignoring feasibility, in microseconds.
+  util::VDuration ComputeCost(const QueryTemplate& tmpl,
+                              const NodeProfile& profile) const;
+  void RecomputeMatrix();
+
+  const catalog::Catalog* catalog_;
+  std::vector<NodeProfile> profiles_;
+  std::vector<QueryTemplate> templates_;
+  CostModelConfig config_;
+  std::vector<util::VDuration> costs_;
+};
+
+}  // namespace qa::query
+
+#endif  // QAMARKET_QUERY_COST_MODEL_H_

@@ -1,0 +1,29 @@
+#include "query/node_profile.h"
+
+#include <cmath>
+
+namespace qa::query {
+
+std::vector<NodeProfile> MakeSyntheticProfiles(const NodeProfileConfig& config,
+                                               util::Rng& rng) {
+  std::vector<NodeProfile> profiles(static_cast<size_t>(config.num_nodes));
+  for (NodeProfile& p : profiles) {
+    p.cpu_ghz = rng.UniformReal(config.min_cpu_ghz, config.max_cpu_ghz);
+    p.io_mbps = rng.UniformReal(config.min_io_mbps, config.max_io_mbps);
+    p.buffer_mb = rng.UniformReal(config.min_buffer_mb, config.max_buffer_mb);
+    p.supports_hash_join = false;
+  }
+  int num_hash = static_cast<int>(
+      std::lround(config.hash_join_fraction * config.num_nodes));
+  for (int idx : rng.Sample(config.num_nodes, num_hash)) {
+    profiles[static_cast<size_t>(idx)].supports_hash_join = true;
+  }
+  return profiles;
+}
+
+std::vector<NodeProfile> MakeHomogeneousProfiles(int num_nodes,
+                                                 const NodeProfile& profile) {
+  return std::vector<NodeProfile>(static_cast<size_t>(num_nodes), profile);
+}
+
+}  // namespace qa::query

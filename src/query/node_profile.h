@@ -1,0 +1,49 @@
+#ifndef QAMARKET_QUERY_NODE_PROFILE_H_
+#define QAMARKET_QUERY_NODE_PROFILE_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qa::query {
+
+/// Hardware capabilities of one RDBMS node (Table 3 of the paper).
+struct NodeProfile {
+  /// CPU clock in GHz; one CPU per node, 1-3.5 GHz (avg 2.3).
+  double cpu_ghz = 2.3;
+  /// Sequential I/O bandwidth in MB/s; 5-80 (avg 42.5).
+  double io_mbps = 42.5;
+  /// Sorting/hashing buffer per query in MB; 2-10 (avg 6).
+  double buffer_mb = 6.0;
+  /// Whether the node's executor supports hash joins (95 of 100 nodes);
+  /// merge-scan join is supported everywhere.
+  bool supports_hash_join = true;
+};
+
+/// Parameters for synthetic profile generation (Table 3 defaults).
+struct NodeProfileConfig {
+  int num_nodes = 100;
+  double min_cpu_ghz = 1.0;
+  double max_cpu_ghz = 3.5;
+  double min_io_mbps = 5.0;
+  double max_io_mbps = 80.0;
+  double min_buffer_mb = 2.0;
+  double max_buffer_mb = 10.0;
+  /// Fraction of nodes with hash-join capability (95/100 in the paper).
+  double hash_join_fraction = 0.95;
+};
+
+/// Draws `config.num_nodes` heterogeneous profiles uniformly within the
+/// Table 3 ranges. Exactly round(num_nodes * hash_join_fraction) nodes get
+/// hash-join support (chosen at random).
+std::vector<NodeProfile> MakeSyntheticProfiles(const NodeProfileConfig& config,
+                                               util::Rng& rng);
+
+/// A homogeneous federation (all nodes identical), used by tests and by the
+/// homogeneous control experiments the paper mentions in §5.1.
+std::vector<NodeProfile> MakeHomogeneousProfiles(int num_nodes,
+                                                 const NodeProfile& profile);
+
+}  // namespace qa::query
+
+#endif  // QAMARKET_QUERY_NODE_PROFILE_H_

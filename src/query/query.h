@@ -1,0 +1,57 @@
+#ifndef QAMARKET_QUERY_QUERY_H_
+#define QAMARKET_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/vtime.h"
+
+namespace qa::query {
+
+/// Index of a query template/class (the paper's q_k, 0 <= k < K).
+using QueryClassId = int32_t;
+
+/// Globally unique id of a query instance.
+using QueryId = int64_t;
+
+/// A family of select-join-project-sort queries differing only in selection
+/// constants. Queries of the same template use similar resources and have
+/// similar estimated execution cost on the same node (paper §2.1).
+struct QueryTemplate {
+  QueryClassId class_id = -1;
+  /// Base relations joined by the query (num_joins = relations.size() - 1).
+  std::vector<catalog::RelationId> relations;
+  /// Fraction of each base relation surviving the selection predicates.
+  double selectivity = 1.0;
+  /// Whether the query ends with an ORDER BY over its result.
+  bool has_sort = true;
+  /// Fraction of joined tuples surviving to the (projected) output.
+  double output_fraction = 0.1;
+  /// Calibration multiplier applied to the whole cost (used to hit the
+  /// paper's "average best execution time ~2000 ms").
+  double work_scale = 1.0;
+
+  int num_joins() const {
+    return relations.empty() ? 0 : static_cast<int>(relations.size()) - 1;
+  }
+};
+
+/// One query instance flowing through the system.
+struct Query {
+  QueryId id = -1;
+  QueryClassId class_id = -1;
+  /// Node at which the query was posed (the buyer/client in the market).
+  catalog::NodeId origin = -1;
+  /// Time the query first entered the system.
+  util::VTime arrival = 0;
+  /// Multiplicative jitter on the execution cost of this particular instance
+  /// (selection constants differ within a class; paper: "similar", not
+  /// identical, resources). Drawn once at generation time.
+  double cost_jitter = 1.0;
+};
+
+}  // namespace qa::query
+
+#endif  // QAMARKET_QUERY_QUERY_H_

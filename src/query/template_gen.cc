@@ -1,0 +1,47 @@
+#include "query/template_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qa::query {
+
+std::vector<QueryTemplate> GenerateTemplates(const catalog::Catalog& catalog,
+                                             const TemplateGenConfig& config,
+                                             util::Rng& rng) {
+  assert(catalog.num_nodes() > 0);
+  std::vector<QueryTemplate> templates;
+  templates.reserve(static_cast<size_t>(config.num_classes));
+  for (int k = 0; k < config.num_classes; ++k) {
+    // Anchor the template at a home node that holds at least one relation.
+    catalog::NodeId home = -1;
+    for (int attempts = 0; attempts < 1000; ++attempts) {
+      catalog::NodeId candidate = static_cast<catalog::NodeId>(
+          rng.UniformInt(0, catalog.num_nodes() - 1));
+      if (!catalog.RelationsAt(candidate).empty()) {
+        home = candidate;
+        break;
+      }
+    }
+    assert(home >= 0 && "catalog has no populated node");
+
+    const std::vector<catalog::RelationId>& local = catalog.RelationsAt(home);
+    int num_joins =
+        static_cast<int>(rng.UniformInt(config.min_joins, config.max_joins));
+    int num_relations =
+        std::min<int>(num_joins + 1, static_cast<int>(local.size()));
+
+    QueryTemplate tmpl;
+    tmpl.class_id = static_cast<QueryClassId>(k);
+    for (int idx :
+         rng.Sample(static_cast<int>(local.size()), num_relations)) {
+      tmpl.relations.push_back(local[static_cast<size_t>(idx)]);
+    }
+    tmpl.selectivity = config.selectivity;
+    tmpl.output_fraction = config.output_fraction;
+    tmpl.has_sort = rng.Bernoulli(config.sort_probability);
+    templates.push_back(std::move(tmpl));
+  }
+  return templates;
+}
+
+}  // namespace qa::query

@@ -1,0 +1,36 @@
+#ifndef QAMARKET_QUERY_TEMPLATE_GEN_H_
+#define QAMARKET_QUERY_TEMPLATE_GEN_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace qa::query {
+
+/// Parameters of the synthetic workload templates (Table 3).
+struct TemplateGenConfig {
+  int num_classes = 100;
+  int min_joins = 0;
+  int max_joins = 49;
+  double selectivity = 0.5;
+  double output_fraction = 0.1;
+  double sort_probability = 0.8;
+};
+
+/// Generates `config.num_classes` select-join-project-sort templates over
+/// the catalog.
+///
+/// Each template is anchored at a random "home" node and draws its joined
+/// relations from that node's local set, which guarantees at least one node
+/// can evaluate the whole query (mirroring makes further nodes eligible).
+/// When a home node holds fewer relations than the drawn join count, the
+/// count is clamped to what is locally available.
+std::vector<QueryTemplate> GenerateTemplates(const catalog::Catalog& catalog,
+                                             const TemplateGenConfig& config,
+                                             util::Rng& rng);
+
+}  // namespace qa::query
+
+#endif  // QAMARKET_QUERY_TEMPLATE_GEN_H_

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace qa::sim {
+
+void EventQueue::Schedule(util::VTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunOne() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; the callback must be moved out via a
+  // const_cast-free copy of the struct fields we need.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+uint64_t EventQueue::RunAll(uint64_t limit) {
+  uint64_t ran = 0;
+  while (ran < limit && RunOne()) ++ran;
+  return ran;
+}
+
+uint64_t EventQueue::RunUntil(util::VTime until) {
+  uint64_t ran = 0;
+  while (!events_.empty() && events_.top().time <= until && RunOne()) ++ran;
+  return ran;
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,59 @@
+#ifndef QAMARKET_SIM_EVENT_QUEUE_H_
+#define QAMARKET_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/vtime.h"
+
+namespace qa::sim {
+
+/// A classic discrete-event scheduler: events fire in time order, with FIFO
+/// tie-breaking via a monotonically increasing sequence number so that
+/// simultaneous events run in the order they were scheduled (determinism).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void Schedule(util::VTime when, Callback fn);
+  /// Schedules `fn` `delay` after now().
+  void ScheduleAfter(util::VDuration delay, Callback fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  util::VTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool RunOne();
+  /// Runs events until the queue empties or `limit` events have fired.
+  /// Returns the number of events run.
+  uint64_t RunAll(uint64_t limit = UINT64_MAX);
+  /// Runs events with time <= `until`.
+  uint64_t RunUntil(util::VTime until);
+
+ private:
+  struct Event {
+    util::VTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  util::VTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_EVENT_QUEUE_H_

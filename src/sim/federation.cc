@@ -1,0 +1,227 @@
+#include "sim/federation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "market/market_sim.h"
+
+namespace qa::sim {
+
+Federation::Federation(const query::CostModel* cost_model,
+                       allocation::Allocator* allocator,
+                       FederationConfig config)
+    : cost_model_(cost_model), allocator_(allocator), config_(config) {
+  assert(cost_model_ != nullptr);
+  assert(allocator_ != nullptr);
+  for (catalog::NodeId i = 0; i < cost_model_->num_nodes(); ++i) {
+    nodes_.emplace_back(i);
+  }
+  best_cost_.resize(static_cast<size_t>(cost_model_->num_classes()), 0.0);
+  for (int k = 0; k < cost_model_->num_classes(); ++k) {
+    util::VDuration best = cost_model_->BestCost(k);
+    best_cost_[static_cast<size_t>(k)] =
+        best == query::kInfeasibleCost ? 0.0 : static_cast<double>(best);
+  }
+}
+
+SimMetrics Federation::Run(const workload::Trace& trace) {
+  metrics_ = SimMetrics();
+  metrics_.completions_per_class.resize(
+      static_cast<size_t>(cost_model_->num_classes()));
+  outstanding_ = static_cast<int64_t>(trace.size());
+
+  for (const workload::Arrival& arrival : trace.arrivals()) {
+    PendingQuery pending;
+    pending.arrival = arrival;
+    pending.id = next_query_id_++;
+    events_.Schedule(arrival.time,
+                     [this, pending]() { HandleQuery(pending); });
+  }
+  events_.Schedule(TickInterval(), [this]() { MarketTick(); });
+
+  events_.RunAll();
+
+  metrics_.end_time = events_.now();
+  for (const SimNode& node : nodes_) {
+    metrics_.total_busy_time += node.busy_time();
+    metrics_.node_last_idle.push_back(node.last_idle_at());
+    metrics_.node_completed.push_back(node.completed());
+  }
+  return metrics_;
+}
+
+bool Federation::NodeOnline(catalog::NodeId node) const {
+  for (const Outage& outage : config_.outages) {
+    if (outage.node == node && events_.now() >= outage.from &&
+        events_.now() < outage.until) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Federation::HandleQuery(PendingQuery pending) {
+  allocation::AllocationDecision decision =
+      allocator_->Allocate(pending.arrival, *this);
+  metrics_.messages += decision.messages;
+
+  // A mechanism that cannot observe liveness (Random/RoundRobin) may pick
+  // an unreachable node: the query bounces at the network layer and is
+  // resubmitted like any other failed placement.
+  if (decision.node != allocation::kNoNode &&
+      !NodeOnline(decision.node)) {
+    ++metrics_.bounced;
+    decision.node = allocation::kNoNode;
+  }
+
+  if (decision.node == allocation::kNoNode) {
+    ++pending.attempts;
+    if (pending.attempts > config_.max_retries) {
+      ++metrics_.dropped;
+      --outstanding_;
+      return;
+    }
+    ++metrics_.retries;
+    // The client resubmits the query at the next market tick (§3.3 says
+    // "next time period" — with staggered autonomous periods, some node's
+    // period boundary passes every tick). Long-waiting queries back off to
+    // once per full period so a deep overload costs O(backlog) retry work
+    // per period instead of O(backlog * ticks). The tick event is already
+    // scheduled and was enqueued earlier, so the market refreshes before
+    // the retry runs.
+    int wait_ticks = std::min(pending.attempts,
+                              std::max(config_.market_tick_divisor, 1));
+    events_.Schedule(NextMarketTick() + (wait_ticks - 1) * TickInterval(),
+                     [this, pending]() { HandleQuery(pending); });
+    return;
+  }
+
+  ++metrics_.assigned;
+  QueryTask task;
+  task.query_id = pending.id;
+  task.class_id = pending.arrival.class_id;
+  task.origin = pending.arrival.origin;
+  task.arrival = pending.arrival.time;
+  util::VDuration base =
+      cost_model_->Cost(pending.arrival.class_id, decision.node);
+  task.exec_time = std::max<util::VDuration>(
+      static_cast<util::VDuration>(static_cast<double>(base) *
+                                   pending.arrival.cost_jitter),
+      1);
+  task.work_units = best_cost_[static_cast<size_t>(task.class_id)];
+
+  // Probes run in parallel: one round trip for the negotiation (when any)
+  // plus the hop that ships the query to the chosen node.
+  util::VDuration delay =
+      decision.messages >= 2 ? 3 * config_.message_latency
+                             : config_.message_latency;
+  catalog::NodeId target = decision.node;
+  events_.ScheduleAfter(delay, [this, target, task]() {
+    if (nodes_[static_cast<size_t>(target)].Enqueue(task, events_.now())) {
+      StartTask(target);
+    }
+  });
+}
+
+void Federation::StartTask(catalog::NodeId node_id) {
+  SimNode& node = nodes_[static_cast<size_t>(node_id)];
+  QueryTask task = node.BeginNext(events_.now());
+  events_.ScheduleAfter(task.exec_time, [this, node_id, task]() {
+    CompleteTask(node_id, task);
+  });
+}
+
+void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
+  SimNode& node = nodes_[static_cast<size_t>(node_id)];
+  bool more = node.CompleteCurrent(events_.now());
+
+  double response_ms = util::ToMillis(events_.now() - task.arrival);
+  metrics_.response_time_ms.Add(response_ms);
+  metrics_.completions.Add(events_.now(),
+                           static_cast<double>(task.class_id));
+  metrics_.completions_per_class[static_cast<size_t>(task.class_id)].Add(
+      events_.now(), 1.0);
+  ++metrics_.completed;
+  --outstanding_;
+
+  if (more) StartTask(node_id);
+}
+
+void Federation::MarketTick() {
+  allocator_->OnPeriodEnd(events_.now());
+  allocator_->OnPeriodStart(events_.now());
+  if (outstanding_ > 0) {
+    events_.ScheduleAfter(TickInterval(), [this]() { MarketTick(); });
+  }
+}
+
+util::VDuration Federation::TickInterval() const {
+  return std::max<util::VDuration>(
+      config_.period / std::max(config_.market_tick_divisor, 1), 1);
+}
+
+util::VTime Federation::NextMarketTick() const {
+  util::VDuration tick = TickInterval();
+  return (events_.now() / tick + 1) * tick;
+}
+
+double EstimateCapacityQps(const query::CostModel& cost_model,
+                           const std::vector<double>& mix,
+                           util::VDuration period, int periods) {
+  assert(static_cast<int>(mix.size()) == cost_model.num_classes());
+  double mix_sum = 0.0;
+  for (double m : mix) mix_sum += m;
+  assert(mix_sum > 0.0);
+
+  // Upper bound on per-period throughput: every node runs its cheapest
+  // class back to back.
+  double max_per_period = 0.0;
+  for (catalog::NodeId j = 0; j < cost_model.num_nodes(); ++j) {
+    util::VDuration cheapest = query::kInfeasibleCost;
+    for (int k = 0; k < cost_model.num_classes(); ++k) {
+      cheapest = std::min(cheapest, cost_model.Cost(k, j));
+    }
+    if (cheapest != query::kInfeasibleCost && cheapest > 0) {
+      max_per_period +=
+          static_cast<double>(period) / static_cast<double>(cheapest);
+    }
+  }
+
+  market::MarketSimConfig sim_config;
+  sim_config.period = period;
+  market::MarketSimulator sim(&cost_model, sim_config);
+
+  // Keep each class's pending queue topped up to ~2x its mix share of the
+  // throughput bound so servers are always saturated without letting the
+  // queues (and the per-period cost) grow unboundedly.
+  auto top_up = [&]() {
+    std::vector<market::QuantityVector> demand(
+        static_cast<size_t>(cost_model.num_nodes()),
+        market::QuantityVector(cost_model.num_classes()));
+    for (int k = 0; k < cost_model.num_classes(); ++k) {
+      double want = 2.0 * max_per_period *
+                    (mix[static_cast<size_t>(k)] / mix_sum);
+      market::Quantity have = 0;
+      for (const auto& p : sim.pending()) have += p[k];
+      market::Quantity need =
+          static_cast<market::Quantity>(std::ceil(want)) - have;
+      if (need > 0) demand[0][k] = need;
+    }
+    return demand;
+  };
+
+  int warmup = periods / 2;
+  market::Quantity consumed = 0;
+  for (int t = 0; t < periods; ++t) {
+    market::MarketSimulator::PeriodResult result = sim.RunPeriod(top_up());
+    if (t >= warmup) consumed += result.aggregate_consumption.Total();
+  }
+  double measured_seconds =
+      util::ToSeconds(period) * static_cast<double>(periods - warmup);
+  return measured_seconds > 0.0 ? static_cast<double>(consumed) /
+                                      measured_seconds
+                                : 0.0;
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,125 @@
+#ifndef QAMARKET_SIM_FEDERATION_H_
+#define QAMARKET_SIM_FEDERATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "allocation/allocator.h"
+#include "query/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/node.h"
+#include "workload/trace.h"
+
+namespace qa::sim {
+
+/// A scheduled node outage: the node is unreachable during [from, until).
+/// Queries already queued there keep executing (network partition
+/// semantics); new assignments bounce or are routed around, depending on
+/// what the mechanism can observe.
+struct Outage {
+  catalog::NodeId node = -1;
+  util::VTime from = 0;
+  util::VTime until = 0;
+};
+
+/// Timing and policy knobs of a federation run.
+struct FederationConfig {
+  /// Market time period T (drives the allocator's period hooks).
+  util::VDuration period = 500 * util::kMillisecond;
+  /// One-way network latency per message hop.
+  util::VDuration message_latency = 1 * util::kMillisecond;
+  /// Queries declined by every server are resubmitted at the next market
+  /// tick, at most this many times before being dropped.
+  int max_retries = 200;
+  /// The market-driver granularity: allocator period hooks run every
+  /// period / market_tick_divisor, so the staggered per-node periods of
+  /// QA-NT refresh supply continuously and rejected queries retry without
+  /// waiting a whole global period.
+  int market_tick_divisor = 8;
+  /// Scheduled node outages (failure injection).
+  std::vector<Outage> outages;
+};
+
+/// The discrete-event simulator of a federation of autonomous RDBMSs:
+/// arrivals from a workload trace are placed by an allocation mechanism
+/// onto serial-executor nodes; completions, retries and market periods are
+/// simulated in virtual time.
+///
+/// The Federation object is also the AllocationContext handed to the
+/// mechanism: it exposes node backlogs/work to the mechanisms that probe
+/// them, and charges every decision's messages to the metrics.
+class Federation : public allocation::AllocationContext {
+ public:
+  /// Both pointers must outlive the federation.
+  Federation(const query::CostModel* cost_model,
+             allocation::Allocator* allocator, FederationConfig config);
+
+  /// Runs the whole trace to completion and returns the metrics. The run
+  /// ends when all queries completed or were dropped.
+  SimMetrics Run(const workload::Trace& trace);
+
+  // ---- AllocationContext ----
+  int num_nodes() const override {
+    return static_cast<int>(nodes_.size());
+  }
+  const query::CostModel& cost_model() const override { return *cost_model_; }
+  util::VDuration NodeBacklog(catalog::NodeId node) const override {
+    return nodes_[static_cast<size_t>(node)].Backlog(events_.now());
+  }
+  double NodeQueuedWork(catalog::NodeId node) const override {
+    return nodes_[static_cast<size_t>(node)].QueuedWork();
+  }
+  double NodeCumulativeWork(catalog::NodeId node) const override {
+    return nodes_[static_cast<size_t>(node)].CumulativeWork();
+  }
+  util::VTime now() const override { return events_.now(); }
+  bool NodeOnline(catalog::NodeId node) const override;
+
+  const SimNode& node(catalog::NodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+ private:
+  struct PendingQuery {
+    workload::Arrival arrival;
+    query::QueryId id;
+    int attempts = 0;
+  };
+
+  void HandleQuery(PendingQuery pending);
+  void StartTask(catalog::NodeId node_id);
+  void CompleteTask(catalog::NodeId node_id, const QueryTask& task);
+  void MarketTick();
+  util::VTime NextMarketTick() const;
+  util::VDuration TickInterval() const;
+
+  const query::CostModel* cost_model_;
+  allocation::Allocator* allocator_;
+  FederationConfig config_;
+  EventQueue events_;
+  std::vector<SimNode> nodes_;
+  std::vector<PendingQuery> retry_queue_;
+  SimMetrics metrics_;
+  /// Queries in flight (arrived, not yet completed or dropped); the
+  /// periodic market event keeps rescheduling itself while this is > 0.
+  int64_t outstanding_ = 0;
+  bool arrivals_done_ = false;
+  query::QueryId next_query_id_ = 0;
+  /// Best-case cost per class, precomputed for work-unit accounting.
+  std::vector<double> best_cost_;
+};
+
+/// Estimates the federation's saturation throughput (queries/second) for a
+/// workload mix by running the synchronous market loop at overwhelming
+/// demand for `periods` periods and measuring steady-state consumption.
+/// `mix[k]` is the relative arrival share of class k. The paper could not
+/// compute exact optima either (§5.1); this estimate is used to express
+/// workloads as a percentage of system capacity (Figs. 4-5).
+double EstimateCapacityQps(const query::CostModel& cost_model,
+                           const std::vector<double>& mix,
+                           util::VDuration period, int periods = 40);
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_FEDERATION_H_

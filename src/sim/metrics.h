@@ -1,0 +1,56 @@
+#ifndef QAMARKET_SIM_METRICS_H_
+#define QAMARKET_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "stats/series.h"
+#include "stats/summary.h"
+#include "util/vtime.h"
+
+namespace qa::sim {
+
+/// Everything a federation run measures.
+struct SimMetrics {
+  /// Response time (ms) per completed query: completion - first arrival.
+  stats::Summary response_time_ms;
+  /// Completion events: one sample per finished query, value = class id.
+  stats::TimeSeries completions;
+  /// Completion events per class (index = class id).
+  std::vector<stats::TimeSeries> completions_per_class;
+  /// Queries that exhausted their retry budget.
+  int64_t dropped = 0;
+  /// Total re-submissions (QA-NT's "ask again next period").
+  int64_t retries = 0;
+  /// Assignments that bounced off an unreachable node (failure injection).
+  int64_t bounced = 0;
+  /// Total network messages spent on allocation decisions.
+  int64_t messages = 0;
+  /// Queries assigned to some node.
+  int64_t assigned = 0;
+  /// Queries completed.
+  int64_t completed = 0;
+  /// Sum of per-node busy time (for utilization accounting).
+  util::VDuration total_busy_time = 0;
+  /// Virtual time when the last event ran.
+  util::VTime end_time = 0;
+  /// Time at which the whole system last had an idle node... per-node last
+  /// idle times, for the overload-duration analysis of Fig. 1.
+  std::vector<util::VTime> node_last_idle;
+  /// Per-node completed-query counts.
+  std::vector<int64_t> node_completed;
+
+  /// Mean response time in ms (0 if nothing completed).
+  double MeanResponseMs() const { return response_time_ms.Mean(); }
+  /// Completed queries per second of virtual time.
+  double ThroughputQps() const {
+    return end_time > 0 ? static_cast<double>(completed) /
+                              util::ToSeconds(end_time)
+                        : 0.0;
+  }
+};
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_METRICS_H_

@@ -1,0 +1,46 @@
+#include "sim/node.h"
+
+#include <cassert>
+
+namespace qa::sim {
+
+bool SimNode::Enqueue(const QueryTask& task, util::VTime now) {
+  (void)now;
+  queue_.push_back(task);
+  queued_work_ += task.work_units;
+  cumulative_work_ += task.work_units;
+  // Start immediately only when the executor is idle and this is the only
+  // queued task (a caller that has not yet called BeginNext for an earlier
+  // enqueue must not be told to start twice).
+  return !running_ && queue_.size() == 1;
+}
+
+QueryTask SimNode::BeginNext(util::VTime now) {
+  assert(!running_);
+  assert(!queue_.empty());
+  current_ = queue_.front();
+  queue_.pop_front();
+  running_ = true;
+  busy_until_ = now + current_.exec_time;
+  busy_time_ += current_.exec_time;
+  return current_;
+}
+
+bool SimNode::CompleteCurrent(util::VTime now) {
+  assert(running_);
+  running_ = false;
+  queued_work_ -= current_.work_units;
+  if (queued_work_ < 0.0) queued_work_ = 0.0;
+  ++completed_;
+  if (queue_.empty()) last_idle_at_ = now;
+  return !queue_.empty();
+}
+
+util::VDuration SimNode::Backlog(util::VTime now) const {
+  util::VDuration backlog = 0;
+  if (running_ && busy_until_ > now) backlog += busy_until_ - now;
+  for (const QueryTask& task : queue_) backlog += task.exec_time;
+  return backlog;
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,82 @@
+#ifndef QAMARKET_SIM_NODE_H_
+#define QAMARKET_SIM_NODE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "util/vtime.h"
+
+namespace qa::sim {
+
+/// A query waiting at or running on a node.
+struct QueryTask {
+  query::QueryId query_id = -1;
+  query::QueryClassId class_id = -1;
+  catalog::NodeId origin = -1;
+  /// First arrival into the system (response time is measured from here).
+  util::VTime arrival = 0;
+  /// Actual execution time on the node this task was assigned to.
+  util::VDuration exec_time = 0;
+  /// Node-independent work units (best-case cost), for BNQRD bookkeeping.
+  double work_units = 0.0;
+};
+
+/// One autonomous RDBMS in the federation: a serial executor draining a
+/// FIFO queue of assigned queries. The node tracks its backlog in time
+/// units and in node-independent work units; the simulator exposes those to
+/// mechanisms that (legitimately or not) probe node load.
+class SimNode {
+ public:
+  explicit SimNode(catalog::NodeId id) : id_(id) {}
+
+  catalog::NodeId id() const { return id_; }
+
+  /// Adds a task to the queue. Returns true if the node was idle (the
+  /// caller should schedule a start immediately).
+  bool Enqueue(const QueryTask& task, util::VTime now);
+
+  /// Pops the task to run next and marks the node busy until
+  /// now + task.exec_time. Requires a non-empty queue and an idle node.
+  QueryTask BeginNext(util::VTime now);
+
+  /// Marks the current task finished. Returns true if more tasks wait.
+  bool CompleteCurrent(util::VTime now);
+
+  bool idle() const { return !running_; }
+  size_t queue_length() const { return queue_.size() + (running_ ? 1 : 0); }
+
+  /// Remaining execution time of everything assigned here (running task
+  /// remainder + queued tasks), in microseconds.
+  util::VDuration Backlog(util::VTime now) const;
+
+  /// Outstanding work in node-independent units.
+  double QueuedWork() const { return queued_work_; }
+
+  /// Cumulative work ever assigned here, in node-independent units.
+  double CumulativeWork() const { return cumulative_work_; }
+
+  /// Cumulative statistics.
+  util::VDuration busy_time() const { return busy_time_; }
+  int64_t completed() const { return completed_; }
+  /// Time the node last went idle (0 if never busy) — used for the
+  /// overload-duration measurements of Fig. 1.
+  util::VTime last_idle_at() const { return last_idle_at_; }
+
+ private:
+  catalog::NodeId id_;
+  std::deque<QueryTask> queue_;
+  bool running_ = false;
+  QueryTask current_;
+  util::VTime busy_until_ = 0;
+  double queued_work_ = 0.0;
+  double cumulative_work_ = 0.0;
+  util::VDuration busy_time_ = 0;
+  int64_t completed_ = 0;
+  util::VTime last_idle_at_ = 0;
+};
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_NODE_H_

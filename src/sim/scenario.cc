@@ -1,0 +1,62 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+namespace qa::sim {
+
+Scenario BuildTable3Scenario(const Table3Config& config, util::Rng& rng) {
+  Scenario scenario;
+  scenario.catalog = std::make_unique<catalog::Catalog>(
+      catalog::Catalog::MakeSynthetic(config.catalog, rng));
+  std::vector<query::NodeProfile> profiles =
+      query::MakeSyntheticProfiles(config.profiles, rng);
+  std::vector<query::QueryTemplate> templates =
+      query::GenerateTemplates(*scenario.catalog, config.templates, rng);
+  auto cost_model = std::make_unique<query::SyntheticCostModel>(
+      scenario.catalog.get(), std::move(profiles), std::move(templates));
+  cost_model->CalibrateBestCost(config.avg_best_exec);
+  scenario.cost_model = std::move(cost_model);
+  return scenario;
+}
+
+std::unique_ptr<query::MatrixCostModel> BuildTwoClassCostModel(
+    const TwoClassConfig& config, util::Rng& rng) {
+  auto model =
+      std::make_unique<query::MatrixCostModel>(2, config.num_nodes);
+  int num_q2 = static_cast<int>(
+      std::lround(config.q2_feasible_fraction * config.num_nodes));
+  std::vector<int> q2_nodes = rng.Sample(config.num_nodes, num_q2);
+  std::vector<bool> q2_ok(static_cast<size_t>(config.num_nodes), false);
+  for (int j : q2_nodes) q2_ok[static_cast<size_t>(j)] = true;
+
+  for (catalog::NodeId j = 0; j < config.num_nodes; ++j) {
+    double speed = config.node_speed_spread > 0.0
+                       ? rng.UniformReal(1.0 - config.node_speed_spread,
+                                         1.0 + config.node_speed_spread)
+                       : 1.0;
+    model->SetCost(0, j,
+                   std::max<util::VDuration>(
+                       static_cast<util::VDuration>(
+                           static_cast<double>(config.q1_avg) * speed),
+                       1));
+    if (q2_ok[static_cast<size_t>(j)]) {
+      model->SetCost(1, j,
+                     std::max<util::VDuration>(
+                         static_cast<util::VDuration>(
+                             static_cast<double>(config.q2_avg) * speed),
+                         1));
+    }
+  }
+  return model;
+}
+
+std::unique_ptr<query::MatrixCostModel> BuildFig1CostModel() {
+  auto model = std::make_unique<query::MatrixCostModel>(2, 2);
+  model->SetCost(0, 0, 400 * util::kMillisecond);   // q1 on N1
+  model->SetCost(1, 0, 100 * util::kMillisecond);   // q2 on N1
+  model->SetCost(0, 1, 450 * util::kMillisecond);   // q1 on N2
+  model->SetCost(1, 1, 500 * util::kMillisecond);   // q2 on N2
+  return model;
+}
+
+}  // namespace qa::sim

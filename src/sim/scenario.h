@@ -1,0 +1,60 @@
+#ifndef QAMARKET_SIM_SCENARIO_H_
+#define QAMARKET_SIM_SCENARIO_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "query/cost_model.h"
+#include "query/node_profile.h"
+#include "query/template_gen.h"
+#include "util/rng.h"
+
+namespace qa::sim {
+
+/// The full Table 3 parameter set, bundled.
+struct Table3Config {
+  catalog::CatalogConfig catalog;
+  query::NodeProfileConfig profiles;
+  query::TemplateGenConfig templates;
+  /// Average best execution time of queries (paper: 2000 ms).
+  util::VDuration avg_best_exec = 2000 * util::kMillisecond;
+};
+
+/// A fully built simulation scenario: the shared catalog plus the
+/// per-(class, node) cost oracle derived from it.
+struct Scenario {
+  std::unique_ptr<catalog::Catalog> catalog;
+  std::unique_ptr<query::CostModel> cost_model;
+};
+
+/// Builds the 100-node heterogeneous federation of §5.1 (Table 3):
+/// synthetic catalog, heterogeneous node profiles, 100 query templates,
+/// costs calibrated so the mean best-case execution time is ~2000 ms.
+Scenario BuildTable3Scenario(const Table3Config& config, util::Rng& rng);
+
+/// Parameters of the two-class sinusoid scenario (first experiment set of
+/// §5.1): Q1 averages 1000 ms and is evaluable everywhere; Q2 averages
+/// 500 ms and only half the nodes hold its data.
+struct TwoClassConfig {
+  int num_nodes = 100;
+  util::VDuration q1_avg = 1000 * util::kMillisecond;
+  util::VDuration q2_avg = 500 * util::kMillisecond;
+  /// Fraction of nodes able to evaluate Q2.
+  double q2_feasible_fraction = 0.5;
+  /// Per-node speed factors are drawn from [1 - spread, 1 + spread]
+  /// (heterogeneous hardware); 0 makes the federation homogeneous.
+  double node_speed_spread = 0.5;
+};
+
+/// Builds the two-class MatrixCostModel: cost(Qk, j) = avg_k * speed_j,
+/// with Q2 infeasible outside a random half of the nodes.
+std::unique_ptr<query::MatrixCostModel> BuildTwoClassCostModel(
+    const TwoClassConfig& config, util::Rng& rng);
+
+/// The Fig. 1 two-node instance: node N1 runs q1 in 400 ms and q2 in
+/// 100 ms; node N2 runs them in 450 ms and 500 ms.
+std::unique_ptr<query::MatrixCostModel> BuildFig1CostModel();
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_SCENARIO_H_

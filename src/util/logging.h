@@ -1,0 +1,46 @@
+#ifndef QAMARKET_UTIL_LOGGING_H_
+#define QAMARKET_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits a single log line to stderr (thread-safe at the line level).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream adapter behind the QA_LOG macro; flushes on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qa::util
+
+#define QA_LOG(level) \
+  ::qa::util::internal::LogStream(::qa::util::LogLevel::k##level)
+
+#endif  // QAMARKET_UTIL_LOGGING_H_

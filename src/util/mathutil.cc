@@ -1,0 +1,43 @@
+#include "util/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qa::util {
+
+double Sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return Sum(xs) / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double RelDiff(double a, double b, double eps) {
+  double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+bool Near(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
+
+}  // namespace qa::util

@@ -1,0 +1,30 @@
+#ifndef QAMARKET_UTIL_MATHUTIL_H_
+#define QAMARKET_UTIL_MATHUTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qa::util {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, `p` in [0, 100]. Sorts a copy.
+/// Returns 0 for an empty vector.
+double Percentile(std::vector<double> xs, double p);
+
+/// Sum of the vector.
+double Sum(const std::vector<double>& xs);
+
+/// Relative difference |a-b| / max(|a|,|b|, eps).
+double RelDiff(double a, double b, double eps = 1e-12);
+
+/// True if |a-b| <= tol.
+bool Near(double a, double b, double tol);
+
+}  // namespace qa::util
+
+#endif  // QAMARKET_UTIL_MATHUTIL_H_

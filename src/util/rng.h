@@ -1,0 +1,71 @@
+#ifndef QAMARKET_UTIL_RNG_H_
+#define QAMARKET_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qa::util {
+
+/// Deterministic pseudo-random number generator used throughout the library.
+///
+/// All stochastic components (workload generators, catalog placement, baseline
+/// allocators with randomized choices) draw from an explicitly seeded Rng so
+/// that every experiment is reproducible from its printed seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli draw with success probability `p` in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed real with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Normally distributed real.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed integer rank in [1, n] with exponent `alpha` > 0.
+  ///
+  /// P(X = k) is proportional to 1 / k^alpha. Uses inverse-CDF sampling over
+  /// the precomputed harmonic weights (n is at most a few thousand in all of
+  /// our workloads, so the O(log n) lookup after O(n) setup is fine).
+  int64_t Zipf(int64_t n, double alpha);
+
+  /// Returns a random permutation of {0, 1, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Picks `k` distinct indices out of [0, n) uniformly (k <= n).
+  std::vector<int> Sample(int n, int k);
+
+  /// Forks an independent generator; the child's stream is a deterministic
+  /// function of this generator's current state.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  struct ZipfTable {
+    int64_t n = 0;
+    double alpha = 0.0;
+    std::vector<double> cdf;
+  };
+
+  const ZipfTable& GetZipfTable(int64_t n, double alpha);
+
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+  std::vector<ZipfTable> zipf_cache_;
+};
+
+}  // namespace qa::util
+
+#endif  // QAMARKET_UTIL_RNG_H_

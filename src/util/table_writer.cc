@@ -1,0 +1,69 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qa::util {
+
+void TableWriter::BeginRow() { rows_.emplace_back(); }
+
+void TableWriter::AddCell(const std::string& value) {
+  rows_.back().push_back(value);
+}
+
+void TableWriter::AddCell(const char* value) {
+  rows_.back().emplace_back(value);
+}
+
+void TableWriter::AddCell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  rows_.back().emplace_back(buf);
+}
+
+void TableWriter::AddCell(int64_t value) {
+  rows_.back().push_back(std::to_string(value));
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ",";
+      if (row[c].find(',') != std::string::npos) {
+        os << '"' << row[c] << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace qa::util

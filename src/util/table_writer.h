@@ -1,0 +1,51 @@
+#ifndef QAMARKET_UTIL_TABLE_WRITER_H_
+#define QAMARKET_UTIL_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qa::util {
+
+/// Accumulates rows and renders them as an aligned text table (for bench
+/// output matching the paper's tables/figures) or as CSV.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Starts a new row; subsequent Add* calls append cells to it.
+  void BeginRow();
+  void AddCell(const std::string& value);
+  void AddCell(const char* value);
+  void AddCell(double value, int precision = 2);
+  void AddCell(int64_t value);
+  void AddCell(int value) { AddCell(static_cast<int64_t>(value)); }
+  void AddCell(size_t value) { AddCell(static_cast<int64_t>(value)); }
+
+  /// Convenience: appends a full row at once.
+  template <typename... Cells>
+  void AddRow(Cells&&... cells) {
+    BeginRow();
+    (AddCell(std::forward<Cells>(cells)), ...);
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qa::util
+
+#endif  // QAMARKET_UTIL_TABLE_WRITER_H_

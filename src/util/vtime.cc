@@ -1,0 +1,13 @@
+#include "util/vtime.h"
+
+#include <cstdio>
+
+namespace qa::util {
+
+std::string FormatTime(VTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis(t));
+  return buf;
+}
+
+}  // namespace qa::util

@@ -1,0 +1,46 @@
+#ifndef QAMARKET_UTIL_VTIME_H_
+#define QAMARKET_UTIL_VTIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qa::util {
+
+/// Virtual time in the discrete-event simulator, measured in microseconds.
+///
+/// The paper reports everything in milliseconds; we keep microsecond
+/// resolution internally so that sub-millisecond costs (e.g. network hops,
+/// CPU-bound predicate evaluation) do not collapse to zero.
+using VTime = int64_t;
+using VDuration = int64_t;
+
+inline constexpr VDuration kMicrosecond = 1;
+inline constexpr VDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr VDuration kSecond = 1000 * kMillisecond;
+
+/// Converts a duration to fractional milliseconds.
+inline double ToMillis(VDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a duration to fractional seconds.
+inline double ToSeconds(VDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts fractional milliseconds to a duration (rounded to nearest us).
+inline VDuration FromMillis(double ms) {
+  return static_cast<VDuration>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Converts fractional seconds to a duration (rounded to nearest us).
+inline VDuration FromSeconds(double s) {
+  return static_cast<VDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Formats a virtual time as "1234.567ms" for logs and bench output.
+std::string FormatTime(VTime t);
+
+}  // namespace qa::util
+
+#endif  // QAMARKET_UTIL_VTIME_H_

@@ -1,0 +1,64 @@
+#include "workload/sinusoid.h"
+
+#include <cmath>
+
+namespace qa::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+Trace GenerateSinusoidClass(query::QueryClassId class_id, double peak_rate,
+                            double frequency_hz, double phase_degrees,
+                            util::VDuration duration, int num_origin_nodes,
+                            double cost_jitter, util::Rng& rng) {
+  Trace trace;
+  if (duration <= 0 || peak_rate <= 0.0) return trace;
+  double phase = phase_degrees * kPi / 180.0;
+  double omega = 2.0 * kPi * frequency_hz;
+
+  // Integrate rate(t) over 1 ms steps; emit an arrival each time the
+  // accumulated mass crosses the next integer.
+  double mass = 0.0;
+  double next = 1.0;
+  const util::VDuration step = util::kMillisecond;
+  for (util::VTime t = 0; t < duration; t += step) {
+    double seconds = util::ToSeconds(t);
+    double rate =
+        0.5 * peak_rate * (1.0 + std::sin(omega * seconds + phase));
+    mass += rate * util::ToSeconds(step);
+    while (mass >= next) {
+      Arrival arrival;
+      arrival.time = t;
+      arrival.class_id = class_id;
+      arrival.origin = static_cast<catalog::NodeId>(
+          rng.UniformInt(0, num_origin_nodes - 1));
+      arrival.cost_jitter =
+          cost_jitter > 0.0
+              ? rng.UniformReal(1.0 - cost_jitter, 1.0 + cost_jitter)
+              : 1.0;
+      trace.Add(arrival);
+      next += 1.0;
+    }
+  }
+  return trace;
+}
+
+Trace GenerateSinusoidWorkload(const SinusoidConfig& config, util::Rng& rng) {
+  Trace q1 = GenerateSinusoidClass(config.q1_class, config.q1_peak_rate,
+                                   config.frequency_hz, 0.0, config.duration,
+                                   config.num_origin_nodes,
+                                   config.cost_jitter, rng);
+  Trace q2 = GenerateSinusoidClass(
+      config.q2_class, config.q1_peak_rate / 2.0, config.frequency_hz,
+      config.q2_phase_degrees, config.duration, config.num_origin_nodes,
+      config.cost_jitter, rng);
+  return Trace::Merge(q1, q2);
+}
+
+double SinusoidMeanRate(const SinusoidConfig& config) {
+  // Each raised sinusoid averages to half its peak over full periods.
+  return 0.5 * config.q1_peak_rate + 0.5 * (config.q1_peak_rate / 2.0);
+}
+
+}  // namespace qa::workload

@@ -1,0 +1,50 @@
+#ifndef QAMARKET_WORKLOAD_SINUSOID_H_
+#define QAMARKET_WORKLOAD_SINUSOID_H_
+
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/vtime.h"
+#include "workload/trace.h"
+
+namespace qa::workload {
+
+/// The two-class sinusoid workload of §5.1 (Fig. 3): the arrival rate of
+/// each class follows a raised sinusoid,
+///
+///   rate(t) = peak/2 * (1 + sin(2*pi*f*t + phase)),
+///
+/// Q2 lags Q1 by 900 degrees and peaks at half Q1's rate.
+struct SinusoidConfig {
+  double frequency_hz = 0.05;
+  /// Peak arrival rate of Q1 in queries/second; Q2 peaks at half of it.
+  double q1_peak_rate = 20.0;
+  /// Phase difference of Q2 relative to Q1, in degrees (paper: 900).
+  double q2_phase_degrees = 900.0;
+  util::VDuration duration = 0;
+  query::QueryClassId q1_class = 0;
+  query::QueryClassId q2_class = 1;
+  int num_origin_nodes = 1;
+  /// Execution-cost jitter half-width per query instance (0.05 => +/-5%).
+  double cost_jitter = 0.05;
+};
+
+/// Generates arrivals for one class whose instantaneous rate (queries per
+/// second) follows rate(t) = peak/2 * (1 + sin(2*pi*f*t + phase_radians)).
+/// Arrivals are produced deterministically by integrating the rate and
+/// emitting a query whenever the integral crosses an integer; only origins
+/// and jitter draw from `rng`.
+Trace GenerateSinusoidClass(query::QueryClassId class_id, double peak_rate,
+                            double frequency_hz, double phase_degrees,
+                            util::VDuration duration, int num_origin_nodes,
+                            double cost_jitter, util::Rng& rng);
+
+/// The full two-class workload of Fig. 3.
+Trace GenerateSinusoidWorkload(const SinusoidConfig& config, util::Rng& rng);
+
+/// Mean aggregate arrival rate (queries/second) of the two-class workload,
+/// in closed form: (q1_peak + q2_peak)/2 averaged over full periods.
+double SinusoidMeanRate(const SinusoidConfig& config);
+
+}  // namespace qa::workload
+
+#endif  // QAMARKET_WORKLOAD_SINUSOID_H_

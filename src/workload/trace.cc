@@ -1,0 +1,85 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace qa::workload {
+
+Trace::Trace(std::vector<Arrival> arrivals) : arrivals_(std::move(arrivals)) {
+  SortByTime();
+}
+
+void Trace::SortByTime() {
+  std::stable_sort(
+      arrivals_.begin(), arrivals_.end(),
+      [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+}
+
+util::VTime Trace::LastArrivalTime() const {
+  util::VTime last = 0;
+  for (const Arrival& a : arrivals_) last = std::max(last, a.time);
+  return last;
+}
+
+std::vector<int> Trace::ArrivalCounts(query::QueryClassId class_id,
+                                      util::VDuration bucket,
+                                      util::VTime horizon) const {
+  size_t n = bucket > 0 ? static_cast<size_t>((horizon + bucket - 1) / bucket)
+                        : 0;
+  std::vector<int> counts(n, 0);
+  for (const Arrival& a : arrivals_) {
+    if (a.class_id != class_id) continue;
+    if (a.time < 0 || a.time >= horizon) continue;
+    ++counts[static_cast<size_t>(a.time / bucket)];
+  }
+  return counts;
+}
+
+void Trace::WriteCsv(std::ostream& out) const {
+  out << "time_us,class,origin,cost_jitter\n";
+  for (const Arrival& a : arrivals_) {
+    out << a.time << ',' << a.class_id << ',' << a.origin << ','
+        << a.cost_jitter << '\n';
+  }
+}
+
+util::StatusOr<Trace> Trace::ReadCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("time_us,", 0) != 0) {
+    return util::Status::InvalidArgument("missing trace CSV header");
+  }
+  Trace trace;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Arrival a;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    if (!(fields >> a.time >> c1 >> a.class_id >> c2 >> a.origin >> c3 >>
+          a.cost_jitter) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      return util::Status::InvalidArgument(
+          "malformed trace CSV at line " + std::to_string(line_no));
+    }
+    trace.Add(a);
+  }
+  trace.SortByTime();
+  return trace;
+}
+
+Trace Trace::Merge(const Trace& a, const Trace& b) {
+  std::vector<Arrival> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.arrivals().begin(), a.arrivals().end());
+  merged.insert(merged.end(), b.arrivals().begin(), b.arrivals().end());
+  Trace result(std::move(merged));
+  return result;
+}
+
+}  // namespace qa::workload

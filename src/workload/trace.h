@@ -1,0 +1,63 @@
+#ifndef QAMARKET_WORKLOAD_TRACE_H_
+#define QAMARKET_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/status.h"
+#include "query/query.h"
+#include "util/vtime.h"
+
+namespace qa::workload {
+
+/// One query arrival in a workload trace.
+struct Arrival {
+  util::VTime time = 0;
+  query::QueryClassId class_id = 0;
+  /// Node at which the query is posed (the client/buyer).
+  catalog::NodeId origin = 0;
+  /// Per-instance execution-cost jitter (see query::Query::cost_jitter).
+  double cost_jitter = 1.0;
+};
+
+/// A time-ordered sequence of arrivals.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Arrival> arrivals);
+
+  void Add(Arrival arrival) { arrivals_.push_back(arrival); }
+  /// Sorts by time (stable), which generators call once at the end.
+  void SortByTime();
+
+  size_t size() const { return arrivals_.size(); }
+  bool empty() const { return arrivals_.empty(); }
+  const Arrival& operator[](size_t i) const { return arrivals_[i]; }
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+
+  util::VTime LastArrivalTime() const;
+
+  /// Arrival counts of class `class_id` per `bucket`-wide window over
+  /// [0, horizon) — the y-axis of the paper's Fig. 3 / Fig. 5c.
+  std::vector<int> ArrivalCounts(query::QueryClassId class_id,
+                                 util::VDuration bucket,
+                                 util::VTime horizon) const;
+
+  /// Merges two traces, keeping time order.
+  static Trace Merge(const Trace& a, const Trace& b);
+
+  /// Writes the trace as CSV (time_us,class,origin,cost_jitter) so an
+  /// experiment's exact workload can be archived and replayed.
+  void WriteCsv(std::ostream& out) const;
+
+  /// Reads a trace previously written by WriteCsv.
+  static util::StatusOr<Trace> ReadCsv(std::istream& in);
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace qa::workload
+
+#endif  // QAMARKET_WORKLOAD_TRACE_H_

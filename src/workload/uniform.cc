@@ -1,0 +1,54 @@
+#include "workload/uniform.h"
+
+#include <cassert>
+
+namespace qa::workload {
+
+namespace {
+
+Arrival MakeArrival(util::VTime t,
+                    const std::vector<query::QueryClassId>& classes,
+                    int num_origin_nodes, double cost_jitter,
+                    util::Rng& rng) {
+  Arrival arrival;
+  arrival.time = t;
+  arrival.class_id = classes[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(classes.size()) - 1))];
+  arrival.origin =
+      static_cast<catalog::NodeId>(rng.UniformInt(0, num_origin_nodes - 1));
+  arrival.cost_jitter =
+      cost_jitter > 0.0
+          ? rng.UniformReal(1.0 - cost_jitter, 1.0 + cost_jitter)
+          : 1.0;
+  return arrival;
+}
+
+}  // namespace
+
+Trace GenerateUniformWorkload(const UniformWorkloadConfig& config,
+                              util::Rng& rng) {
+  assert(!config.classes.empty());
+  Trace trace;
+  util::VTime t = 0;
+  for (int i = 0; i < config.num_queries; ++i) {
+    t += rng.UniformInt(0, 2 * config.mean_interarrival);
+    trace.Add(MakeArrival(t, config.classes, config.num_origin_nodes,
+                          config.cost_jitter, rng));
+  }
+  return trace;
+}
+
+Trace GeneratePoissonWorkload(const PoissonWorkloadConfig& config,
+                              util::Rng& rng) {
+  assert(!config.classes.empty());
+  Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < config.num_queries; ++i) {
+    t += rng.Exponential(static_cast<double>(config.mean_interarrival));
+    trace.Add(MakeArrival(static_cast<util::VTime>(t), config.classes,
+                          config.num_origin_nodes, config.cost_jitter, rng));
+  }
+  return trace;
+}
+
+}  // namespace qa::workload

@@ -1,0 +1,98 @@
+#include "workload/zipf_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace qa::workload {
+
+namespace {
+
+/// Zipf pmf over ranks 1..n with exponent alpha.
+std::vector<double> ZipfPmf(int n, double alpha) {
+  std::vector<double> pmf(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int r = 1; r <= n; ++r) {
+    pmf[static_cast<size_t>(r - 1)] =
+        1.0 / std::pow(static_cast<double>(r), alpha);
+    sum += pmf[static_cast<size_t>(r - 1)];
+  }
+  for (double& p : pmf) p /= sum;
+  return pmf;
+}
+
+/// E[min(u * R, cap)] for R ~ Zipf(alpha) over 1..n.
+double ExpectedGap(double u, double cap, const std::vector<double>& pmf) {
+  double e = 0.0;
+  for (size_t r = 0; r < pmf.size(); ++r) {
+    e += pmf[r] * std::min(u * static_cast<double>(r + 1), cap);
+  }
+  return e;
+}
+
+}  // namespace
+
+double SolveZipfUnit(util::VDuration target_mean, util::VDuration cap, int n,
+                     double alpha) {
+  assert(n >= 1);
+  std::vector<double> pmf = ZipfPmf(n, alpha);
+  double cap_d = static_cast<double>(cap);
+  double target = std::min(static_cast<double>(target_mean), cap_d * 0.999);
+  // E is monotone increasing in u from 0 to cap; bisect.
+  double lo = 0.0;
+  double hi = cap_d;  // u = cap makes every gap equal to cap
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (ExpectedGap(mid, cap_d, pmf) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Trace GenerateZipfWorkload(const ZipfWorkloadConfig& config, util::Rng& rng) {
+  double unit = SolveZipfUnit(config.mean_interarrival,
+                              config.max_interarrival, config.zipf_support,
+                              config.zipf_alpha);
+  // Horizon long enough that the merged stream comfortably exceeds
+  // num_queries arrivals: num_queries/num_classes gaps per class.
+  double per_class_span =
+      static_cast<double>(config.mean_interarrival) *
+      (static_cast<double>(config.num_queries) / config.num_classes + 2.0);
+
+  Trace trace;
+  for (int c = 0; c < config.num_classes; ++c) {
+    // Desynchronize the streams with a random initial offset.
+    double t = rng.UniformReal(
+        0.0, static_cast<double>(config.mean_interarrival));
+    while (t < per_class_span) {
+      Arrival arrival;
+      arrival.time = static_cast<util::VTime>(t);
+      arrival.class_id = static_cast<query::QueryClassId>(c);
+      arrival.origin = static_cast<catalog::NodeId>(
+          rng.UniformInt(0, config.num_origin_nodes - 1));
+      arrival.cost_jitter =
+          config.cost_jitter > 0.0
+              ? rng.UniformReal(1.0 - config.cost_jitter,
+                                1.0 + config.cost_jitter)
+              : 1.0;
+      trace.Add(arrival);
+      double gap = std::min(
+          unit * static_cast<double>(
+                     rng.Zipf(config.zipf_support, config.zipf_alpha)),
+          static_cast<double>(config.max_interarrival));
+      t += gap;
+    }
+  }
+  trace.SortByTime();
+  std::vector<Arrival> arrivals = trace.arrivals();
+  if (arrivals.size() > static_cast<size_t>(config.num_queries)) {
+    arrivals.resize(static_cast<size_t>(config.num_queries));
+  }
+  return Trace(std::move(arrivals));
+}
+
+}  // namespace qa::workload

@@ -1,0 +1,44 @@
+#ifndef QAMARKET_WORKLOAD_ZIPF_WORKLOAD_H_
+#define QAMARKET_WORKLOAD_ZIPF_WORKLOAD_H_
+
+#include "util/rng.h"
+#include "util/vtime.h"
+#include "workload/trace.h"
+
+namespace qa::workload {
+
+/// The heterogeneous Zipf workload of the second simulation study (§5.1,
+/// Fig. 6): 10,000 queries over 100 query classes; per-class inter-arrival
+/// times are Zipf(a = 1)-distributed, capped at 30,000 ms.
+struct ZipfWorkloadConfig {
+  int num_queries = 10000;
+  int num_classes = 100;
+  /// Target mean inter-arrival time between consecutive queries *of the
+  /// same class* (the paper's t, swept from 10 ms to 20,000 ms; smaller
+  /// means heavier load). The merged stream's mean gap is roughly
+  /// mean_interarrival / num_classes.
+  util::VDuration mean_interarrival = 1000 * util::kMillisecond;
+  /// Hard cap on any single inter-arrival gap (paper: 30,000 ms).
+  util::VDuration max_interarrival = 30000 * util::kMillisecond;
+  double zipf_alpha = 1.0;
+  /// Number of Zipf ranks (support size of the discrete distribution).
+  int zipf_support = 1000;
+  int num_origin_nodes = 100;
+  double cost_jitter = 0.05;
+};
+
+/// Solves for the time unit u such that E[min(u * R, cap)] == target, where
+/// R is Zipf(alpha) over ranks 1..n. Exposed for tests; monotone in u, so a
+/// simple bisection suffices.
+double SolveZipfUnit(util::VDuration target_mean, util::VDuration cap, int n,
+                     double alpha);
+
+/// Generates the workload: each class emits a stream whose gaps are
+/// u * R (R Zipf-distributed, capped at max_interarrival), with u chosen so
+/// each class's mean gap matches `config.mean_interarrival`; streams are
+/// merged, sorted and truncated to `config.num_queries` arrivals.
+Trace GenerateZipfWorkload(const ZipfWorkloadConfig& config, util::Rng& rng);
+
+}  // namespace qa::workload
+
+#endif  // QAMARKET_WORKLOAD_ZIPF_WORKLOAD_H_

@@ -1,0 +1,110 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "util/rng.h"
+
+namespace qa::catalog {
+namespace {
+
+TEST(CatalogTest, AddRelationAndLookup) {
+  Catalog cat;
+  RelationId id = cat.AddRelation("orders", 1 << 20, 10, 10000, {0, 2});
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(cat.num_relations(), 1);
+  EXPECT_EQ(cat.relation(id).name, "orders");
+  EXPECT_EQ(cat.relation(id).size_bytes, 1 << 20);
+  EXPECT_EQ(cat.MirrorsOf(id), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(cat.num_nodes(), 3);
+}
+
+TEST(CatalogTest, RelationsAtNode) {
+  Catalog cat;
+  cat.AddRelation("a", 100, 5, 10, {0, 1});
+  cat.AddRelation("b", 100, 5, 10, {1});
+  cat.AddRelation("c", 100, 5, 10, {0});
+  EXPECT_EQ(cat.RelationsAt(0), (std::vector<RelationId>{0, 2}));
+  EXPECT_EQ(cat.RelationsAt(1), (std::vector<RelationId>{0, 1}));
+}
+
+TEST(CatalogTest, NodeHoldsAll) {
+  Catalog cat;
+  cat.AddRelation("a", 100, 5, 10, {0, 1});
+  cat.AddRelation("b", 100, 5, 10, {1});
+  EXPECT_TRUE(cat.NodeHoldsAll(1, {0, 1}));
+  EXPECT_FALSE(cat.NodeHoldsAll(0, {0, 1}));
+  EXPECT_TRUE(cat.NodeHoldsAll(0, {}));
+}
+
+TEST(CatalogTest, NodesHoldingAll) {
+  Catalog cat;
+  cat.AddRelation("a", 100, 5, 10, {0, 1, 2});
+  cat.AddRelation("b", 100, 5, 10, {1, 2});
+  cat.AddRelation("c", 100, 5, 10, {2});
+  EXPECT_EQ(cat.NodesHoldingAll({0, 1}), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(cat.NodesHoldingAll({0, 1, 2}), (std::vector<NodeId>{2}));
+}
+
+TEST(CatalogTest, SyntheticMatchesConfigShape) {
+  CatalogConfig config;
+  config.num_relations = 200;
+  config.num_nodes = 50;
+  config.avg_mirrors_per_relation = 5.0;
+  util::Rng rng(42);
+  Catalog cat = Catalog::MakeSynthetic(config, rng);
+
+  EXPECT_EQ(cat.num_relations(), 200);
+  EXPECT_EQ(cat.num_nodes(), 50);
+
+  double total_mirrors = 0.0;
+  for (RelationId r = 0; r < cat.num_relations(); ++r) {
+    const Relation& rel = cat.relation(r);
+    EXPECT_GE(rel.size_bytes, config.min_relation_bytes);
+    EXPECT_LE(rel.size_bytes, config.max_relation_bytes);
+    EXPECT_EQ(rel.num_attributes, config.num_attributes);
+    EXPECT_GT(rel.cardinality, 0);
+    const std::vector<NodeId>& mirrors = cat.MirrorsOf(r);
+    EXPECT_GE(mirrors.size(), 1u);
+    // Mirrors must be distinct nodes.
+    std::set<NodeId> unique(mirrors.begin(), mirrors.end());
+    EXPECT_EQ(unique.size(), mirrors.size());
+    total_mirrors += static_cast<double>(mirrors.size());
+  }
+  // Mean mirror count should be near the configured average.
+  EXPECT_NEAR(total_mirrors / cat.num_relations(),
+              config.avg_mirrors_per_relation, 1.0);
+}
+
+TEST(CatalogTest, SyntheticPlacementConsistency) {
+  CatalogConfig config;
+  config.num_relations = 100;
+  config.num_nodes = 20;
+  util::Rng rng(7);
+  Catalog cat = Catalog::MakeSynthetic(config, rng);
+  // by-node and by-relation placements must agree.
+  for (NodeId n = 0; n < cat.num_nodes(); ++n) {
+    for (RelationId r : cat.RelationsAt(n)) {
+      const std::vector<NodeId>& mirrors = cat.MirrorsOf(r);
+      EXPECT_NE(std::find(mirrors.begin(), mirrors.end(), n), mirrors.end());
+    }
+  }
+}
+
+TEST(CatalogTest, SyntheticDeterministicBySeed) {
+  CatalogConfig config;
+  config.num_relations = 50;
+  config.num_nodes = 10;
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  Catalog a = Catalog::MakeSynthetic(config, rng1);
+  Catalog b = Catalog::MakeSynthetic(config, rng2);
+  for (RelationId r = 0; r < a.num_relations(); ++r) {
+    EXPECT_EQ(a.relation(r).size_bytes, b.relation(r).size_bytes);
+    EXPECT_EQ(a.MirrorsOf(r), b.MirrorsOf(r));
+  }
+}
+
+}  // namespace
+}  // namespace qa::catalog

@@ -1,0 +1,96 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dbms/csv.h"
+
+namespace qa::dbms {
+namespace {
+
+Table SampleTable() {
+  Table t("t", Schema({{"id", ValueType::kInt},
+                       {"name", ValueType::kString},
+                       {"score", ValueType::kDouble}}));
+  t.AppendUnchecked({Value(int64_t{1}), Value(std::string("ann")),
+                     Value(1.5)});
+  t.AppendUnchecked({Value(int64_t{2}), Value(std::string("b,ob")),
+                     Value(2.5)});
+  t.AppendUnchecked({Value(int64_t{3}), Value::Null(), Value::Null()});
+  t.AppendUnchecked({Value(int64_t{4}), Value(std::string("say \"hi\"")),
+                     Value(4.0)});
+  return t;
+}
+
+TEST(CsvTest, SplitPlainLine) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, SplitQuotedFields) {
+  auto fields = SplitCsvLine("1,\"x,y\",\"he said \"\"hi\"\"\",");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[1], "x,y");
+  EXPECT_EQ((*fields)[2], "he said \"hi\"");
+  EXPECT_EQ((*fields)[3], "");
+}
+
+TEST(CsvTest, SplitUnterminatedQuoteFails) {
+  EXPECT_FALSE(SplitCsvLine("a,\"oops").ok());
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table original = SampleTable();
+  std::ostringstream out;
+  WriteCsv(original, out);
+
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv("t", in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  ASSERT_EQ(loaded->schema().num_columns(), 3);
+  EXPECT_EQ(loaded->schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ(loaded->schema().column(1).type, ValueType::kString);
+  EXPECT_EQ(loaded->schema().column(2).type, ValueType::kDouble);
+  for (int64_t r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(loaded->row(r)[static_cast<size_t>(c)],
+                original.row(r)[static_cast<size_t>(c)])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, TypeInference) {
+  std::istringstream in("a,b,c\n1,2.5,x\n2,3.5,y\n");
+  auto table = ReadCsv("t", in);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ(table->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ(table->schema().column(2).type, ValueType::kString);
+}
+
+TEST(CsvTest, NullLeadingFieldsSkipInference) {
+  // First row has an empty (NULL) field: inference uses the next row.
+  std::istringstream in("a\n\n42\n");
+  auto table = ReadCsv("t", in);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, ValueType::kInt);
+  // Note: blank lines are skipped entirely, so only the 42 row loads.
+  EXPECT_EQ(table->num_rows(), 1);
+}
+
+TEST(CsvTest, Errors) {
+  std::istringstream empty("");
+  EXPECT_FALSE(ReadCsv("t", empty).ok());
+
+  std::istringstream ragged("a,b\n1\n");
+  EXPECT_FALSE(ReadCsv("t", ragged).ok());
+
+  std::istringstream bad_int("a\n1\nx\n");
+  EXPECT_FALSE(ReadCsv("t", bad_int).ok());
+}
+
+}  // namespace
+}  // namespace qa::dbms

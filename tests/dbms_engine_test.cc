@@ -1,0 +1,336 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dbms/database.h"
+#include "dbms/engine.h"
+#include "dbms/planner.h"
+#include "dbms/query_ast.h"
+
+namespace qa::dbms {
+namespace {
+
+/// Tiny orders/customers database used across the engine tests.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table customers("customers", Schema({{"id", ValueType::kInt},
+                                         {"name", ValueType::kString},
+                                         {"tier", ValueType::kInt}}));
+    ASSERT_TRUE(customers
+                    .Append({Value(int64_t{1}), Value(std::string("ann")),
+                             Value(int64_t{1})})
+                    .ok());
+    ASSERT_TRUE(customers
+                    .Append({Value(int64_t{2}), Value(std::string("bob")),
+                             Value(int64_t{2})})
+                    .ok());
+    ASSERT_TRUE(customers
+                    .Append({Value(int64_t{3}), Value(std::string("cat")),
+                             Value(int64_t{2})})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(std::move(customers)).ok());
+
+    Table orders("orders", Schema({{"id", ValueType::kInt},
+                                   {"customer_id", ValueType::kInt},
+                                   {"amount", ValueType::kDouble}}));
+    ASSERT_TRUE(orders
+                    .Append({Value(int64_t{100}), Value(int64_t{1}),
+                             Value(10.0)})
+                    .ok());
+    ASSERT_TRUE(orders
+                    .Append({Value(int64_t{101}), Value(int64_t{2}),
+                             Value(20.0)})
+                    .ok());
+    ASSERT_TRUE(orders
+                    .Append({Value(int64_t{102}), Value(int64_t{2}),
+                             Value(30.0)})
+                    .ok());
+    ASSERT_TRUE(orders
+                    .Append({Value(int64_t{103}), Value(int64_t{9}),
+                             Value(40.0)})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(std::move(orders)).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineTest, SingleTableScanAll) {
+  SelectStatement stmt = StatementBuilder().From("customers").Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->stats.rows_scanned, 3);
+}
+
+TEST_F(EngineTest, FilterPushdown) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("customers")
+                             .Where(0, "tier", 0, Value(int64_t{2}))
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 2);
+}
+
+TEST_F(EngineTest, RangeFilter) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .Where(0, "amount", 4, Value(15.0))  // >
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 3);
+}
+
+TEST_F(EngineTest, EquiJoinMatchesForeignKeys) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .From("customers")
+                             .Join(0, "customer_id", 1, "id")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  // Order 103 references a missing customer: 3 matches.
+  EXPECT_EQ(result->table.num_rows(), 3);
+  // Joined row = orders columns ++ customers columns.
+  EXPECT_EQ(result->table.schema().num_columns(), 6);
+}
+
+TEST_F(EngineTest, HashAndMergeJoinAgree) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .From("customers")
+                             .Join(0, "customer_id", 1, "id")
+                             .Select(0, "id")
+                             .Build();
+  PlannerOptions hash;
+  hash.use_hash_join = true;
+  PlannerOptions merge;
+  merge.use_hash_join = false;
+  auto r_hash = ExecuteStatement(db_, stmt, hash);
+  auto r_merge = ExecuteStatement(db_, stmt, merge);
+  ASSERT_TRUE(r_hash.ok());
+  ASSERT_TRUE(r_merge.ok());
+  ASSERT_EQ(r_hash->table.num_rows(), r_merge->table.num_rows());
+
+  auto ids = [](const Table& t) {
+    std::vector<int64_t> out;
+    for (const Row& r : t.rows()) out.push_back(r[0].AsInt());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(ids(r_hash->table), ids(r_merge->table));
+  // The two plans have different signatures (HJ vs MJ).
+  EXPECT_NE(r_hash->signature, r_merge->signature);
+}
+
+TEST_F(EngineTest, ProjectionAndOrderBy) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("customers")
+                             .Select(0, "name")
+                             .OrderBy(0, "name")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->table.schema().num_columns(), 1);
+  EXPECT_EQ(result->table.row(0)[0].AsString(), "ann");
+  EXPECT_EQ(result->table.row(2)[0].AsString(), "cat");
+}
+
+TEST_F(EngineTest, OrderByDescendingInput) {
+  // Sort on amount ascending regardless of insert order.
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .Select(0, "amount")
+                             .OrderBy(0, "amount")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  for (int64_t i = 1; i < result->table.num_rows(); ++i) {
+    EXPECT_LE(result->table.row(i - 1)[0].AsDouble(),
+              result->table.row(i)[0].AsDouble());
+  }
+}
+
+TEST_F(EngineTest, GroupByWithAggregates) {
+  // SELECT customer_id, SUM(amount), COUNT(id) FROM orders GROUP BY
+  // customer_id ORDER BY customer_id.
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .GroupBy(0, "customer_id")
+                             .Agg(Aggregate::Fn::kSum, 0, "amount")
+                             .Agg(Aggregate::Fn::kCount, 0, "id")
+                             .OrderBy(0, "customer_id")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), 3);  // customers 1, 2, 9
+  EXPECT_EQ(result->table.row(0)[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(result->table.row(0)[1].AsDouble(), 10.0);
+  EXPECT_EQ(result->table.row(1)[0].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(result->table.row(1)[1].AsDouble(), 50.0);
+  EXPECT_EQ(result->table.row(1)[2].AsInt(), 2);
+}
+
+TEST_F(EngineTest, GlobalAggregateOverEmptyInput) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .Where(0, "amount", 4, Value(1e9))
+                             .Agg(Aggregate::Fn::kCount, 0, "id")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), 1);
+  EXPECT_EQ(result->table.row(0)[0].AsInt(), 0);
+}
+
+TEST_F(EngineTest, MinMaxAvgAggregates) {
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .Agg(Aggregate::Fn::kMin, 0, "amount")
+                             .Agg(Aggregate::Fn::kMax, 0, "amount")
+                             .Agg(Aggregate::Fn::kAvg, 0, "amount")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(result->table.row(0)[0].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(result->table.row(0)[1].AsDouble(), 40.0);
+  EXPECT_DOUBLE_EQ(result->table.row(0)[2].AsDouble(), 25.0);
+}
+
+TEST_F(EngineTest, ViewExpansion) {
+  ViewDef view;
+  view.name = "big_orders";
+  view.base_table = "orders";
+  view.columns = {"id", "amount"};
+  view.filters.push_back({"amount", 4, Value(15.0)});  // amount > 15
+  ASSERT_TRUE(db_.CreateView(view).ok());
+
+  SelectStatement stmt = StatementBuilder().From("big_orders").Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->table.schema().num_columns(), 2);
+  EXPECT_EQ(result->table.schema().column(1).name, "amount");
+}
+
+TEST_F(EngineTest, FilterOnViewColumn) {
+  ViewDef view;
+  view.name = "v_orders";
+  view.base_table = "orders";
+  view.columns = {"id", "amount"};
+  ASSERT_TRUE(db_.CreateView(view).ok());
+  SelectStatement stmt = StatementBuilder()
+                             .From("v_orders")
+                             .Where(0, "amount", 2, Value(25.0))  // <
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 2);
+}
+
+TEST_F(EngineTest, JoinTableWithView) {
+  ViewDef view;
+  view.name = "v_customers";
+  view.base_table = "customers";
+  view.columns = {"id", "tier"};
+  ASSERT_TRUE(db_.CreateView(view).ok());
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .From("v_customers")
+                             .Join(0, "customer_id", 1, "id")
+                             .Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->table.schema().num_columns(), 5);
+}
+
+TEST_F(EngineTest, CrossProductWhenNoJoinPredicate) {
+  SelectStatement stmt =
+      StatementBuilder().From("orders").From("customers").Build();
+  auto result = ExecuteStatement(db_, stmt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 12);  // 4 x 3
+  EXPECT_GT(result->stats.nested_loop_compares, 0);
+}
+
+TEST_F(EngineTest, ErrorsOnUnknownRelationAndColumn) {
+  SelectStatement bad_table = StatementBuilder().From("nope").Build();
+  EXPECT_FALSE(ExecuteStatement(db_, bad_table).ok());
+
+  SelectStatement bad_column = StatementBuilder()
+                                   .From("orders")
+                                   .Where(0, "nope", 0, Value(int64_t{1}))
+                                   .Build();
+  EXPECT_FALSE(ExecuteStatement(db_, bad_column).ok());
+
+  SelectStatement no_from;
+  EXPECT_FALSE(ExecuteStatement(db_, no_from).ok());
+}
+
+TEST_F(EngineTest, ExplainReportsPlanAndEstimates) {
+  Planner planner(&db_);
+  SelectStatement stmt = StatementBuilder()
+                             .From("orders")
+                             .From("customers")
+                             .Join(0, "customer_id", 1, "id")
+                             .Where(0, "amount", 4, Value(15.0))
+                             .Build();
+  auto explained = planner.Explain(stmt);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->text.find("HASH_JOIN"), std::string::npos);
+  EXPECT_NE(explained->text.find("SCAN"), std::string::npos);
+  EXPECT_GT(explained->estimate.io_bytes, 0.0);
+  EXPECT_GT(explained->estimate.cpu_tuples, 0.0);
+  // The signature contains the table names but no constants.
+  EXPECT_NE(explained->signature.find("orders"), std::string::npos);
+  EXPECT_EQ(explained->signature.find("15"), std::string::npos);
+}
+
+TEST_F(EngineTest, SignatureStableAcrossConstants) {
+  Planner planner(&db_);
+  SelectStatement a = StatementBuilder()
+                          .From("orders")
+                          .Where(0, "amount", 4, Value(15.0))
+                          .Build();
+  SelectStatement b = StatementBuilder()
+                          .From("orders")
+                          .Where(0, "amount", 4, Value(99.0))
+                          .Build();
+  auto ea = planner.Explain(a);
+  auto eb = planner.Explain(b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->signature, eb->signature);
+}
+
+TEST_F(EngineTest, DatabaseCatalogOperations) {
+  EXPECT_TRUE(db_.HasTable("orders"));
+  EXPECT_FALSE(db_.HasTable("nope"));
+  EXPECT_EQ(db_.TableNames().size(), 2u);
+  EXPECT_GT(db_.TotalBytes(), 0);
+
+  // Duplicate names rejected.
+  Table dup("orders", Schema({{"x", ValueType::kInt}}));
+  EXPECT_EQ(db_.CreateTable(std::move(dup)).code(),
+            util::StatusCode::kAlreadyExists);
+
+  ViewDef bad_view;
+  bad_view.name = "v";
+  bad_view.base_table = "missing";
+  EXPECT_EQ(db_.CreateView(bad_view).code(), util::StatusCode::kNotFound);
+
+  ViewDef bad_col;
+  bad_col.name = "v";
+  bad_col.base_table = "orders";
+  bad_col.columns = {"nope"};
+  EXPECT_EQ(db_.CreateView(bad_col).code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qa::dbms

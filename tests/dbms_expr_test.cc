@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "dbms/expr.h"
+
+namespace qa::dbms {
+namespace {
+
+Row TestRow() {
+  return {Value(int64_t{5}), Value(2.5), Value(std::string("abc")),
+          Value::Null()};
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Row row = TestRow();
+  EXPECT_EQ(Expr::Column(0)->Eval(row).AsInt(), 5);
+  EXPECT_EQ(Expr::Literal(Value(int64_t{7}))->Eval(row).AsInt(), 7);
+}
+
+TEST(ExprTest, Comparisons) {
+  Row row = TestRow();
+  auto cmp = [&](CompareOp op, int col, Value lit) {
+    return Expr::Compare(op, Expr::Column(col),
+                         Expr::Literal(std::move(lit)))
+        ->EvalBool(row);
+  };
+  EXPECT_TRUE(cmp(CompareOp::kEq, 0, Value(int64_t{5})));
+  EXPECT_FALSE(cmp(CompareOp::kEq, 0, Value(int64_t{4})));
+  EXPECT_TRUE(cmp(CompareOp::kNe, 0, Value(int64_t{4})));
+  EXPECT_TRUE(cmp(CompareOp::kLt, 1, Value(3.0)));
+  EXPECT_TRUE(cmp(CompareOp::kLe, 1, Value(2.5)));
+  EXPECT_TRUE(cmp(CompareOp::kGt, 0, Value(int64_t{4})));
+  EXPECT_TRUE(cmp(CompareOp::kGe, 0, Value(int64_t{5})));
+  EXPECT_TRUE(cmp(CompareOp::kEq, 2, Value(std::string("abc"))));
+}
+
+TEST(ExprTest, NullPropagatesAndIsFalse) {
+  Row row = TestRow();
+  ExprPtr e = Expr::Compare(CompareOp::kEq, Expr::Column(3),
+                            Expr::Literal(Value(int64_t{1})));
+  EXPECT_TRUE(e->Eval(row).is_null());
+  EXPECT_FALSE(e->EvalBool(row));
+}
+
+TEST(ExprTest, LogicalOps) {
+  Row row = TestRow();
+  ExprPtr t = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                            Expr::Literal(Value(int64_t{5})));
+  ExprPtr f = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                            Expr::Literal(Value(int64_t{6})));
+  EXPECT_TRUE(Expr::And(t, t)->EvalBool(row));
+  EXPECT_FALSE(Expr::And(t, f)->EvalBool(row));
+  EXPECT_TRUE(Expr::Or(f, t)->EvalBool(row));
+  EXPECT_FALSE(Expr::Or(f, f)->EvalBool(row));
+}
+
+TEST(ExprTest, AndAllEmptyIsNull) {
+  EXPECT_EQ(Expr::AndAll({}), nullptr);
+  ExprPtr single = Expr::Literal(Value(int64_t{1}));
+  EXPECT_EQ(Expr::AndAll({single}), single);
+}
+
+TEST(ExprTest, SelectivityHeuristics) {
+  ExprPtr eq = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                             Expr::Literal(Value(int64_t{1})));
+  ExprPtr lt = Expr::Compare(CompareOp::kLt, Expr::Column(0),
+                             Expr::Literal(Value(int64_t{1})));
+  EXPECT_DOUBLE_EQ(eq->EstimatedSelectivity(), 0.1);
+  EXPECT_DOUBLE_EQ(lt->EstimatedSelectivity(), 0.3);
+  EXPECT_DOUBLE_EQ(Expr::And(eq, lt)->EstimatedSelectivity(), 0.03);
+  EXPECT_DOUBLE_EQ(Expr::Or(eq, lt)->EstimatedSelectivity(), 0.4);
+}
+
+TEST(ExprTest, RemapColumns) {
+  Row row = {Value(int64_t{10}), Value(int64_t{20})};
+  ExprPtr e = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                            Expr::Literal(Value(int64_t{20})));
+  // Remap column 0 -> 1.
+  ExprPtr remapped = e->RemapColumns({1, 0});
+  EXPECT_FALSE(e->EvalBool(row));
+  EXPECT_TRUE(remapped->EvalBool(row));
+}
+
+TEST(ExprTest, ToStringReadable) {
+  Schema schema({{"id", ValueType::kInt}});
+  ExprPtr e = Expr::Compare(CompareOp::kGe, Expr::Column(0),
+                            Expr::Literal(Value(int64_t{3})));
+  EXPECT_EQ(e->ToString(&schema), "(id >= 3)");
+  EXPECT_EQ(e->ToString(nullptr), "($0 >= 3)");
+}
+
+}  // namespace
+}  // namespace qa::dbms

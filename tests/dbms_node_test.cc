@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "dbms/buffer_pool.h"
+#include "dbms/dbms_node.h"
+#include "dbms/history.h"
+#include "util/vtime.h"
+
+namespace qa::dbms {
+namespace {
+
+using util::kMillisecond;
+
+// ------------------------------------------------------------ BufferPool
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(1000);
+  EXPECT_EQ(pool.Access("t1", 400), 400);  // cold
+  EXPECT_EQ(pool.Access("t1", 400), 0);    // cached
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_EQ(pool.used(), 400);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(1000);
+  pool.Access("a", 400);
+  pool.Access("b", 400);
+  pool.Access("c", 400);  // evicts a (LRU)
+  EXPECT_FALSE(pool.IsCached("a"));
+  EXPECT_TRUE(pool.IsCached("b"));
+  EXPECT_TRUE(pool.IsCached("c"));
+  EXPECT_LE(pool.used(), 1000);
+}
+
+TEST(BufferPoolTest, AccessRefreshesLru) {
+  BufferPool pool(1000);
+  pool.Access("a", 400);
+  pool.Access("b", 400);
+  pool.Access("a", 400);  // refresh a
+  pool.Access("c", 400);  // evicts b, not a
+  EXPECT_TRUE(pool.IsCached("a"));
+  EXPECT_FALSE(pool.IsCached("b"));
+}
+
+TEST(BufferPoolTest, OversizedTableNeverCached) {
+  BufferPool pool(100);
+  EXPECT_EQ(pool.Access("huge", 500), 500);
+  EXPECT_FALSE(pool.IsCached("huge"));
+  EXPECT_EQ(pool.Access("huge", 500), 500);  // still cold
+}
+
+TEST(BufferPoolTest, ClearResets) {
+  BufferPool pool(1000);
+  pool.Access("a", 400);
+  pool.Clear();
+  EXPECT_FALSE(pool.IsCached("a"));
+  EXPECT_EQ(pool.used(), 0);
+}
+
+TEST(BufferPoolTest, GrownTableChargesDelta) {
+  BufferPool pool(1000);
+  pool.Access("a", 400);
+  EXPECT_EQ(pool.Access("a", 500), 100);
+  EXPECT_EQ(pool.used(), 500);
+}
+
+// ------------------------------------------------------------- History
+
+TEST(ExecutionHistoryTest, EstimateAfterRecord) {
+  ExecutionHistory history(0.5);
+  EXPECT_FALSE(history.Estimate("sig").has_value());
+  history.Record("sig", 1000);
+  ASSERT_TRUE(history.Estimate("sig").has_value());
+  EXPECT_EQ(*history.Estimate("sig"), 1000);
+}
+
+TEST(ExecutionHistoryTest, EwmaSmoothing) {
+  ExecutionHistory history(0.5);
+  history.Record("sig", 1000);
+  history.Record("sig", 2000);
+  EXPECT_EQ(*history.Estimate("sig"), 1500);
+  EXPECT_EQ(history.ObservationCount("sig"), 2);
+}
+
+TEST(ExecutionHistoryTest, SignaturesIndependent) {
+  ExecutionHistory history;
+  history.Record("a", 100);
+  history.Record("b", 900);
+  EXPECT_EQ(*history.Estimate("a"), 100);
+  EXPECT_EQ(*history.Estimate("b"), 900);
+  EXPECT_EQ(history.num_signatures(), 2u);
+}
+
+// ------------------------------------------------------------- DbmsNode
+
+class DbmsNodeTest : public ::testing::Test {
+ protected:
+  static Database MakeDb() {
+    Database db;
+    Table t("items", Schema({{"id", ValueType::kInt},
+                             {"cat", ValueType::kInt},
+                             {"val", ValueType::kDouble}}));
+    for (int i = 0; i < 2000; ++i) {
+      t.AppendUnchecked({Value(int64_t{i}), Value(int64_t{i % 10}),
+                         Value(static_cast<double>(i))});
+    }
+    util::Status status = db.CreateTable(std::move(t));
+    EXPECT_TRUE(status.ok());
+    return db;
+  }
+
+  static SelectStatement Query() {
+    return StatementBuilder()
+        .From("items")
+        .Where(0, "cat", 0, Value(int64_t{3}))
+        .Build();
+  }
+};
+
+TEST_F(DbmsNodeTest, ExecuteProducesDurationAndHistory) {
+  DbmsNodeConfig config;
+  DbmsNode node(0, MakeDb(), config);
+  auto outcome = node.ExecuteQuery(Query());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result_rows, 200);
+  EXPECT_GT(outcome->duration, 0);
+  EXPECT_EQ(node.history().ObservationCount(outcome->signature), 1);
+}
+
+TEST_F(DbmsNodeTest, SecondExecutionCheaperDueToBufferPool) {
+  DbmsNodeConfig config;
+  config.data_scale = 1000.0;  // make I/O dominate
+  DbmsNode node(0, MakeDb(), config);
+  auto first = node.ExecuteQuery(Query());
+  auto second = node.ExecuteQuery(Query());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->duration, first->duration);
+}
+
+TEST_F(DbmsNodeTest, EstimateIsBufferBlindUntilHistoryExists) {
+  DbmsNodeConfig config;
+  config.data_scale = 1000.0;
+  DbmsNode node(0, MakeDb(), config);
+
+  auto cold_estimate = node.EstimateQuery(Query());
+  ASSERT_TRUE(cold_estimate.ok());
+  EXPECT_FALSE(cold_estimate->from_history);
+
+  // Execute twice: the table is now resident, so the actual duration is
+  // far below the buffer-blind estimate...
+  auto e1 = node.ExecuteQuery(Query());
+  auto warm_run = node.ExecuteQuery(Query());
+  ASSERT_TRUE(warm_run.ok());
+  EXPECT_LT(warm_run->duration, cold_estimate->est_exec);
+
+  // ...and the history-based estimate now reflects observed reality.
+  auto warm_estimate = node.EstimateQuery(Query());
+  ASSERT_TRUE(warm_estimate.ok());
+  EXPECT_TRUE(warm_estimate->from_history);
+  EXPECT_LT(warm_estimate->est_exec, cold_estimate->est_exec);
+}
+
+TEST_F(DbmsNodeTest, ExplainTimeScalesWithCpu) {
+  DbmsNodeConfig fast_config;
+  fast_config.hw.cpu_ghz = 3.0;
+  DbmsNodeConfig slow_config;
+  slow_config.hw.cpu_ghz = 1.0;
+  DbmsNode fast(0, MakeDb(), fast_config);
+  DbmsNode slow(1, MakeDb(), slow_config);
+  auto ef = fast.EstimateQuery(Query());
+  auto es = slow.EstimateQuery(Query());
+  ASSERT_TRUE(ef.ok());
+  ASSERT_TRUE(es.ok());
+  EXPECT_LT(ef->explain_time, es->explain_time);
+}
+
+TEST_F(DbmsNodeTest, CanEvaluateChecksRelations) {
+  DbmsNode node(0, MakeDb(), DbmsNodeConfig());
+  EXPECT_TRUE(node.CanEvaluate(Query()));
+  SelectStatement missing = StatementBuilder().From("nope").Build();
+  EXPECT_FALSE(node.CanEvaluate(missing));
+}
+
+TEST_F(DbmsNodeTest, ResetStateClearsCachesAndHistory) {
+  DbmsNodeConfig config;
+  config.data_scale = 1000.0;
+  DbmsNode node(0, MakeDb(), config);
+  auto r1 = node.ExecuteQuery(Query());
+  ASSERT_TRUE(r1.ok());
+  node.ResetState();
+  EXPECT_EQ(node.history().num_signatures(), 0u);
+  // Cold again: duration matches the first run.
+  auto r2 = node.ExecuteQuery(Query());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->duration, r2->duration);
+}
+
+}  // namespace
+}  // namespace qa::dbms

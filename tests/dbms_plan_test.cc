@@ -1,0 +1,198 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dbms/database.h"
+#include "dbms/plan.h"
+
+namespace qa::dbms {
+namespace {
+
+/// Direct operator-level tests: plans are built by hand (no planner) and
+/// executed against a small database.
+class PlanOperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table left("l", Schema({{"k", ValueType::kInt},
+                            {"v", ValueType::kString}}));
+    left.AppendUnchecked({Value(int64_t{1}), Value(std::string("a"))});
+    left.AppendUnchecked({Value(int64_t{2}), Value(std::string("b"))});
+    left.AppendUnchecked({Value(int64_t{2}), Value(std::string("b2"))});
+    left.AppendUnchecked({Value(int64_t{3}), Value(std::string("c"))});
+    left.AppendUnchecked({Value::Null(), Value(std::string("n"))});
+    ASSERT_TRUE(db_.CreateTable(std::move(left)).ok());
+
+    Table right("r", Schema({{"k", ValueType::kInt},
+                             {"w", ValueType::kDouble}}));
+    right.AppendUnchecked({Value(int64_t{2}), Value(20.0)});
+    right.AppendUnchecked({Value(int64_t{3}), Value(30.0)});
+    right.AppendUnchecked({Value(int64_t{3}), Value(31.0)});
+    right.AppendUnchecked({Value(int64_t{4}), Value(40.0)});
+    right.AppendUnchecked({Value::Null(), Value(0.0)});
+    ASSERT_TRUE(db_.CreateTable(std::move(right)).ok());
+  }
+
+  PlanPtr Scan(const std::string& name, ExprPtr filter = nullptr) {
+    return std::make_unique<ScanNode>(name,
+                                      db_.GetTable(name)->schema(),
+                                      std::move(filter));
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanOperatorTest, ScanReadsAllRows) {
+  ExecStats stats;
+  Table out = Scan("l")->Execute(db_, &stats);
+  EXPECT_EQ(out.num_rows(), 5);
+  EXPECT_EQ(stats.rows_scanned, 5);
+  EXPECT_GT(stats.table_bytes.at("l"), 0);
+}
+
+TEST_F(PlanOperatorTest, ScanWithFilter) {
+  ExprPtr pred = Expr::Compare(CompareOp::kGe, Expr::Column(0),
+                               Expr::Literal(Value(int64_t{2})));
+  Table out = Scan("l", pred)->Execute(db_, nullptr);
+  EXPECT_EQ(out.num_rows(), 3);  // NULL key row excluded by comparison
+}
+
+TEST_F(PlanOperatorTest, HashJoinMatchesAndSkipsNulls) {
+  HashJoinNode join(Scan("l"), Scan("r"), 0, 0);
+  ExecStats stats;
+  Table out = join.Execute(db_, &stats);
+  // k=2 matches (2 left x 1 right) + k=3 (1 x 2) = 4; NULLs never join.
+  EXPECT_EQ(out.num_rows(), 4);
+  EXPECT_EQ(out.schema().num_columns(), 4);
+  EXPECT_EQ(stats.hash_build_rows, 5);
+  EXPECT_EQ(stats.hash_probe_rows, 5);
+}
+
+TEST_F(PlanOperatorTest, MergeJoinEqualsHashJoin) {
+  HashJoinNode hash(Scan("l"), Scan("r"), 0, 0);
+  MergeJoinNode merge(Scan("l"), Scan("r"), 0, 0);
+  Table h = hash.Execute(db_, nullptr);
+  Table m = merge.Execute(db_, nullptr);
+  ASSERT_EQ(h.num_rows(), m.num_rows());
+  auto keyset = [](const Table& t) {
+    std::vector<std::pair<int64_t, double>> out;
+    for (const Row& r : t.rows()) {
+      out.emplace_back(r[0].AsInt(), r[3].AsDouble());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(keyset(h), keyset(m));
+}
+
+TEST_F(PlanOperatorTest, NestedLoopJoinWithPredicate) {
+  // l.k < r.k (non-equi): NULLs drop out via three-valued logic.
+  ExprPtr pred = Expr::Compare(CompareOp::kLt, Expr::Column(0),
+                               Expr::Column(2));
+  NestedLoopJoinNode join(Scan("l"), Scan("r"), pred);
+  ExecStats stats;
+  Table out = join.Execute(db_, &stats);
+  // pairs: k_l=1 with {2,3,3,4} = 4; k_l=2 (x2 rows) with {3,3,4} = 6;
+  // k_l=3 with {4} = 1  => 11.
+  EXPECT_EQ(out.num_rows(), 11);
+  EXPECT_EQ(stats.nested_loop_compares, 25);
+}
+
+TEST_F(PlanOperatorTest, NestedLoopCrossProduct) {
+  NestedLoopJoinNode join(Scan("l"), Scan("r"), nullptr);
+  Table out = join.Execute(db_, nullptr);
+  EXPECT_EQ(out.num_rows(), 25);
+}
+
+TEST_F(PlanOperatorTest, FilterNode) {
+  ExprPtr pred = Expr::Compare(CompareOp::kEq, Expr::Column(1),
+                               Expr::Literal(Value(std::string("b"))));
+  FilterNode filter(Scan("l"), pred);
+  Table out = filter.Execute(db_, nullptr);
+  EXPECT_EQ(out.num_rows(), 1);
+}
+
+TEST_F(PlanOperatorTest, ProjectSelectsAndRenames) {
+  ProjectNode project(Scan("l"), {1}, {"name"});
+  Table out = project.Execute(db_, nullptr);
+  EXPECT_EQ(out.schema().num_columns(), 1);
+  EXPECT_EQ(out.schema().column(0).name, "name");
+  EXPECT_EQ(out.num_rows(), 5);
+}
+
+TEST_F(PlanOperatorTest, SortIsStableAndNullsFirst) {
+  SortNode sort(Scan("l"), std::vector<int>{0});
+  Table out = sort.Execute(db_, nullptr);
+  ASSERT_EQ(out.num_rows(), 5);
+  EXPECT_TRUE(out.row(0)[0].is_null());
+  EXPECT_EQ(out.row(1)[0].AsInt(), 1);
+  // Stable: the two k=2 rows keep insertion order.
+  EXPECT_EQ(out.row(2)[1].AsString(), "b");
+  EXPECT_EQ(out.row(3)[1].AsString(), "b2");
+}
+
+TEST_F(PlanOperatorTest, GroupByCountsPerKey) {
+  std::vector<GroupByNode::Agg> aggs;
+  aggs.push_back({Aggregate::Fn::kCount, -1, "n"});
+  GroupByNode group(Scan("r"), {0}, std::move(aggs));
+  Table out = group.Execute(db_, nullptr);
+  // keys: 2, 3, 4, NULL.
+  EXPECT_EQ(out.num_rows(), 4);
+  int64_t total = 0;
+  for (const Row& row : out.rows()) total += row[1].AsInt();
+  EXPECT_EQ(total, 5);
+}
+
+TEST_F(PlanOperatorTest, GroupBySumSkipsNulls) {
+  std::vector<GroupByNode::Agg> aggs;
+  aggs.push_back({Aggregate::Fn::kSum, 1, "sum_w"});
+  aggs.push_back({Aggregate::Fn::kMin, 1, "min_w"});
+  aggs.push_back({Aggregate::Fn::kMax, 1, "max_w"});
+  GroupByNode group(Scan("r"), {}, std::move(aggs));
+  Table out = group.Execute(db_, nullptr);
+  ASSERT_EQ(out.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(out.row(0)[0].AsDouble(), 121.0);
+  EXPECT_DOUBLE_EQ(out.row(0)[1].AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(out.row(0)[2].AsDouble(), 40.0);
+}
+
+TEST_F(PlanOperatorTest, SortDescending) {
+  SortNode sort(Scan("r"), std::vector<SortKey>{{1, true}});
+  Table out = sort.Execute(db_, nullptr);
+  ASSERT_EQ(out.num_rows(), 5);
+  // Descending on w: 40, 31, 30, 20, 0 (NULL key row's w is 0.0).
+  EXPECT_DOUBLE_EQ(out.row(0)[1].AsDouble(), 40.0);
+  EXPECT_DOUBLE_EQ(out.row(1)[1].AsDouble(), 31.0);
+  EXPECT_DOUBLE_EQ(out.row(4)[1].AsDouble(), 0.0);
+}
+
+TEST_F(PlanOperatorTest, LimitTruncates) {
+  LimitNode limit(Scan("l"), 2);
+  Table out = limit.Execute(db_, nullptr);
+  EXPECT_EQ(out.num_rows(), 2);
+  LimitNode zero(Scan("l"), 0);
+  EXPECT_EQ(zero.Execute(db_, nullptr).num_rows(), 0);
+  LimitNode big(Scan("l"), 100);
+  EXPECT_EQ(big.Execute(db_, nullptr).num_rows(), 5);
+  EXPECT_EQ(LimitNode(Scan("l"), 3).Signature(), "L(SCAN(l))");
+}
+
+TEST_F(PlanOperatorTest, SignaturesEncodeShape) {
+  HashJoinNode join(Scan("l"), Scan("r"), 0, 0);
+  EXPECT_EQ(join.Signature(), "HJ(SCAN(l),SCAN(r))");
+  ExprPtr pred = Expr::Compare(CompareOp::kEq, Expr::Column(0),
+                               Expr::Literal(Value(int64_t{1})));
+  EXPECT_EQ(Scan("l", pred)->Signature(), "SCAN(l|F)");
+  SortNode sort(Scan("r"), std::vector<int>{0});
+  EXPECT_EQ(sort.Signature(), "S(SCAN(r))");
+}
+
+TEST_F(PlanOperatorTest, DescribeMentionsOperators) {
+  HashJoinNode join(Scan("l"), Scan("r"), 0, 0);
+  std::string text = join.Describe(0);
+  EXPECT_NE(text.find("HASH_JOIN"), std::string::npos);
+  EXPECT_NE(text.find("SCAN l"), std::string::npos);
+  EXPECT_NE(text.find("SCAN r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qa::dbms

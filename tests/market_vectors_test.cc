@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "market/vectors.h"
+
+namespace qa::market {
+namespace {
+
+TEST(QuantityVectorTest, ZeroInitialized) {
+  QuantityVector v(3);
+  EXPECT_EQ(v.num_classes(), 3);
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_EQ(v.Total(), 0);
+}
+
+TEST(QuantityVectorTest, TotalSumsComponents) {
+  QuantityVector v({1, 6});
+  EXPECT_EQ(v.Total(), 7);
+  EXPECT_FALSE(v.IsZero());
+}
+
+TEST(QuantityVectorTest, Arithmetic) {
+  QuantityVector a({1, 2});
+  QuantityVector b({3, 4});
+  EXPECT_EQ((a + b).values(), (std::vector<Quantity>{4, 6}));
+  EXPECT_EQ((b - a).values(), (std::vector<Quantity>{2, 2}));
+  a += b;
+  EXPECT_EQ(a.values(), (std::vector<Quantity>{4, 6}));
+}
+
+TEST(QuantityVectorTest, ComponentwiseLeq) {
+  QuantityVector small({1, 2});
+  QuantityVector big({2, 2});
+  EXPECT_TRUE(small.ComponentwiseLeq(big));
+  EXPECT_FALSE(big.ComponentwiseLeq(small));
+  EXPECT_TRUE(small.ComponentwiseLeq(small));
+  // Incomparable pair.
+  QuantityVector other({0, 5});
+  EXPECT_FALSE(other.ComponentwiseLeq(small));
+  EXPECT_FALSE(small.ComponentwiseLeq(other));
+}
+
+TEST(QuantityVectorTest, EqualityAndToString) {
+  QuantityVector a({1, 6});
+  QuantityVector b({1, 6});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "(1, 6)");
+}
+
+TEST(AggregateTest, SumsPerNodeVectors) {
+  // Paper's Fig. 2 example: d1 = (1, 6), d2 = (1, 0) => d = (2, 6).
+  QuantityVector d1({1, 6});
+  QuantityVector d2({1, 0});
+  QuantityVector d = Aggregate({d1, d2});
+  EXPECT_EQ(d, QuantityVector({2, 6}));
+}
+
+TEST(PriceVectorTest, InitialPrice) {
+  PriceVector p(3, 2.5);
+  EXPECT_EQ(p.num_classes(), 3);
+  EXPECT_DOUBLE_EQ(p[1], 2.5);
+}
+
+TEST(PriceVectorTest, ClampFloor) {
+  PriceVector p({0.5, -1.0, 2.0});
+  p.ClampFloor(1e-3);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 1e-3);
+  EXPECT_DOUBLE_EQ(p[2], 2.0);
+}
+
+TEST(DotTest, ValueOfConsumptionVector) {
+  PriceVector p({2.0, 0.5});
+  QuantityVector c({3, 4});
+  EXPECT_DOUBLE_EQ(Dot(p, c), 8.0);
+}
+
+TEST(ExcessDemandTest, Definition2) {
+  QuantityVector demand({5, 3});
+  QuantityVector supply({3, 4});
+  QuantityVector z = ExcessDemand(demand, supply);
+  EXPECT_EQ(z[0], 2);   // under-supplied => positive excess demand
+  EXPECT_EQ(z[1], -1);  // over-supplied => negative
+}
+
+}  // namespace
+}  // namespace qa::market

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "market/pareto.h"
+#include "util/rng.h"
+#include "util/vtime.h"
+
+namespace qa::market {
+namespace {
+
+using util::kMillisecond;
+
+TEST(PreferenceTest, TotalCountOrdering) {
+  EXPECT_TRUE(Prefers(QuantityVector({3, 0}), QuantityVector({1, 1})));
+  EXPECT_TRUE(StrictlyPrefers(QuantityVector({3, 0}), QuantityVector({1, 1})));
+  EXPECT_TRUE(Prefers(QuantityVector({1, 1}), QuantityVector({2, 0})));
+  EXPECT_FALSE(StrictlyPrefers(QuantityVector({1, 1}),
+                               QuantityVector({2, 0})));
+}
+
+TEST(ParetoDominatesTest, RequiresStrictImprovementSomewhere) {
+  Solution a;
+  a.consumptions = {QuantityVector({2, 0}), QuantityVector({1, 0})};
+  Solution b;
+  b.consumptions = {QuantityVector({1, 0}), QuantityVector({1, 0})};
+  EXPECT_TRUE(ParetoDominates(a, b));
+  EXPECT_FALSE(ParetoDominates(b, a));
+  EXPECT_FALSE(ParetoDominates(a, a));  // equal => no strict preference
+}
+
+TEST(ParetoDominatesTest, NoDominanceWhenTradeoff) {
+  Solution a;
+  a.consumptions = {QuantityVector({3, 0}), QuantityVector({0, 0})};
+  Solution b;
+  b.consumptions = {QuantityVector({0, 0}), QuantityVector({3, 0})};
+  EXPECT_FALSE(ParetoDominates(a, b));
+  EXPECT_FALSE(ParetoDominates(b, a));
+}
+
+/// Builds the paper's Fig. 1 / Fig. 2 instance: N1 runs q1/q2 in
+/// 400/100 ms, N2 in 450/500 ms; demand d1 = (1, 6), d2 = (1, 0); one
+/// period of T = 1000 ms (we stretch T to make the hand-computed optimum
+/// reachable within a single period).
+struct Fig1Instance {
+  CapacitySupplySet n1{{400 * kMillisecond, 100 * kMillisecond},
+                       1000 * kMillisecond};
+  CapacitySupplySet n2{{450 * kMillisecond, 500 * kMillisecond},
+                       1000 * kMillisecond};
+  std::vector<QuantityVector> demands = {QuantityVector({1, 6}),
+                                         QuantityVector({1, 0})};
+  std::vector<const SupplySet*> sets{&n1, &n2};
+};
+
+TEST(FeasibilityTest, ValidatesSupplyAndConsumption) {
+  Fig1Instance inst;
+  Solution good;
+  // N1 supplies (0, 6)? 600 ms <= 1000 ms; N2 supplies (2, 0): 900 ms.
+  good.supplies = {QuantityVector({0, 6}), QuantityVector({2, 0})};
+  good.consumptions = {QuantityVector({1, 6}), QuantityVector({1, 0})};
+  EXPECT_TRUE(IsFeasible(good, inst.demands, inst.sets));
+
+  Solution over_supply = good;
+  over_supply.supplies[0] = QuantityVector({0, 20});  // 2000 ms > budget
+  EXPECT_FALSE(IsFeasible(over_supply, inst.demands, inst.sets));
+
+  Solution over_consume = good;
+  over_consume.consumptions[1] = QuantityVector({2, 0});  // demand is (1,0)
+  EXPECT_FALSE(IsFeasible(over_consume, inst.demands, inst.sets));
+
+  Solution unbalanced = good;
+  unbalanced.supplies[1] = QuantityVector({1, 0});  // supply != consumption
+  EXPECT_FALSE(IsFeasible(unbalanced, inst.demands, inst.sets));
+}
+
+TEST(EnumerateTest, AllEnumeratedSolutionsFeasible) {
+  Fig1Instance inst;
+  std::vector<Solution> all =
+      EnumerateFeasibleSolutions(inst.demands, inst.sets);
+  ASSERT_FALSE(all.empty());
+  for (const Solution& s : all) {
+    EXPECT_TRUE(IsFeasible(s, inst.demands, inst.sets));
+  }
+}
+
+TEST(MaxTotalConsumptionTest, Fig1OptimumServesEverything) {
+  Fig1Instance inst;
+  // Full demand = 8 queries; N1 can run 6 q2 + N2 can run 2 q1 in 1 s.
+  EXPECT_EQ(MaxTotalConsumption(inst.demands, inst.sets), 8);
+}
+
+TEST(ParetoOptimalTest, QaAllocationIsParetoOptimal) {
+  Fig1Instance inst;
+  // The QA allocation of the paper: N1 evaluates all six q2, N2 both q1.
+  Solution qa;
+  qa.supplies = {QuantityVector({0, 6}), QuantityVector({2, 0})};
+  qa.consumptions = {QuantityVector({1, 6}), QuantityVector({1, 0})};
+  EXPECT_TRUE(IsParetoOptimal(qa, inst.demands, inst.sets));
+}
+
+TEST(ParetoOptimalTest, WastefulAllocationIsDominated) {
+  Fig1Instance inst;
+  // Serve only 2 queries although 8 are achievable: dominated.
+  Solution lazy;
+  lazy.supplies = {QuantityVector({0, 1}), QuantityVector({1, 0})};
+  lazy.consumptions = {QuantityVector({0, 1}), QuantityVector({1, 0})};
+  ASSERT_TRUE(IsFeasible(lazy, inst.demands, inst.sets));
+  EXPECT_FALSE(IsParetoOptimal(lazy, inst.demands, inst.sets));
+}
+
+TEST(ParetoOptimalTest, MaxTotalImpliesParetoOptimal) {
+  // Property check on random small instances: any feasible solution whose
+  // total equals MaxTotalConsumption is Pareto optimal.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    CapacitySupplySet s1({rng.UniformInt(1, 3), rng.UniformInt(1, 3)}, 4);
+    CapacitySupplySet s2({rng.UniformInt(1, 3), rng.UniformInt(1, 3)}, 4);
+    std::vector<const SupplySet*> sets{&s1, &s2};
+    std::vector<QuantityVector> demands = {
+        QuantityVector({rng.UniformInt(0, 3), rng.UniformInt(0, 3)}),
+        QuantityVector({rng.UniformInt(0, 3), rng.UniformInt(0, 3)})};
+    std::vector<Solution> all = EnumerateFeasibleSolutions(demands, sets);
+    Quantity max_total = MaxTotalConsumption(demands, sets);
+    for (const Solution& sol : all) {
+      if (sol.AggregateConsumption().Total() == max_total) {
+        EXPECT_TRUE(IsParetoOptimalAmong(sol, all));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qa::market

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/cost_model.h"
+#include "query/node_profile.h"
+#include "query/template_gen.h"
+#include "util/rng.h"
+#include "util/vtime.h"
+
+namespace qa::query {
+namespace {
+
+using util::kMillisecond;
+
+TEST(NodeProfileTest, SyntheticProfilesRespectRanges) {
+  NodeProfileConfig config;
+  config.num_nodes = 100;
+  util::Rng rng(42);
+  std::vector<NodeProfile> profiles = MakeSyntheticProfiles(config, rng);
+  ASSERT_EQ(profiles.size(), 100u);
+  int hash_nodes = 0;
+  for (const NodeProfile& p : profiles) {
+    EXPECT_GE(p.cpu_ghz, config.min_cpu_ghz);
+    EXPECT_LE(p.cpu_ghz, config.max_cpu_ghz);
+    EXPECT_GE(p.io_mbps, config.min_io_mbps);
+    EXPECT_LE(p.io_mbps, config.max_io_mbps);
+    EXPECT_GE(p.buffer_mb, config.min_buffer_mb);
+    EXPECT_LE(p.buffer_mb, config.max_buffer_mb);
+    if (p.supports_hash_join) ++hash_nodes;
+  }
+  // Exactly 95 of 100 nodes have hash joins (Table 3).
+  EXPECT_EQ(hash_nodes, 95);
+}
+
+TEST(NodeProfileTest, HomogeneousProfilesIdentical) {
+  NodeProfile base;
+  base.cpu_ghz = 2.0;
+  std::vector<NodeProfile> profiles = MakeHomogeneousProfiles(5, base);
+  ASSERT_EQ(profiles.size(), 5u);
+  for (const NodeProfile& p : profiles) EXPECT_EQ(p.cpu_ghz, 2.0);
+}
+
+TEST(MatrixCostModelTest, DefaultsInfeasible) {
+  MatrixCostModel model(2, 3);
+  EXPECT_EQ(model.Cost(0, 0), kInfeasibleCost);
+  EXPECT_FALSE(model.CanEvaluate(0, 0));
+  model.SetCost(0, 0, 100);
+  EXPECT_EQ(model.Cost(0, 0), 100);
+  EXPECT_TRUE(model.CanEvaluate(0, 0));
+  model.SetInfeasible(0, 0);
+  EXPECT_FALSE(model.CanEvaluate(0, 0));
+}
+
+TEST(MatrixCostModelTest, FeasibleNodesAndBestCost) {
+  MatrixCostModel model(1, 4);
+  model.SetCost(0, 1, 300);
+  model.SetCost(0, 3, 200);
+  EXPECT_EQ(model.FeasibleNodes(0), (std::vector<catalog::NodeId>{1, 3}));
+  EXPECT_EQ(model.BestCost(0), 200);
+}
+
+TEST(TemplateGenTest, TemplatesAreEvaluableSomewhere) {
+  catalog::CatalogConfig cat_config;
+  cat_config.num_relations = 200;
+  cat_config.num_nodes = 20;
+  util::Rng rng(42);
+  catalog::Catalog cat = catalog::Catalog::MakeSynthetic(cat_config, rng);
+
+  TemplateGenConfig config;
+  config.num_classes = 50;
+  std::vector<QueryTemplate> templates = GenerateTemplates(cat, config, rng);
+  ASSERT_EQ(templates.size(), 50u);
+  for (const QueryTemplate& tmpl : templates) {
+    EXPECT_FALSE(tmpl.relations.empty());
+    EXPECT_LE(tmpl.num_joins(), config.max_joins);
+    // Some node must hold every relation of the template.
+    EXPECT_FALSE(cat.NodesHoldingAll(tmpl.relations).empty());
+  }
+}
+
+class SyntheticCostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog::CatalogConfig cat_config;
+    cat_config.num_relations = 100;
+    cat_config.num_nodes = 10;
+    util::Rng rng(42);
+    cat_ = std::make_unique<catalog::Catalog>(
+        catalog::Catalog::MakeSynthetic(cat_config, rng));
+
+    NodeProfileConfig prof_config;
+    prof_config.num_nodes = 10;
+    std::vector<NodeProfile> profiles =
+        MakeSyntheticProfiles(prof_config, rng);
+
+    TemplateGenConfig tmpl_config;
+    tmpl_config.num_classes = 20;
+    tmpl_config.max_joins = 10;
+    std::vector<QueryTemplate> templates =
+        GenerateTemplates(*cat_, tmpl_config, rng);
+
+    model_ = std::make_unique<SyntheticCostModel>(
+        cat_.get(), std::move(profiles), std::move(templates));
+  }
+
+  std::unique_ptr<catalog::Catalog> cat_;
+  std::unique_ptr<SyntheticCostModel> model_;
+};
+
+TEST_F(SyntheticCostModelTest, CostsPositiveWhereFeasible) {
+  int feasible_pairs = 0;
+  for (QueryClassId k = 0; k < model_->num_classes(); ++k) {
+    for (catalog::NodeId n = 0; n < model_->num_nodes(); ++n) {
+      util::VDuration c = model_->Cost(k, n);
+      if (c != kInfeasibleCost) {
+        EXPECT_GT(c, 0);
+        ++feasible_pairs;
+      }
+    }
+  }
+  EXPECT_GT(feasible_pairs, 0);
+}
+
+TEST_F(SyntheticCostModelTest, FeasibilityMatchesCatalogMirrors) {
+  for (QueryClassId k = 0; k < model_->num_classes(); ++k) {
+    const QueryTemplate& tmpl = model_->GetTemplate(k);
+    for (catalog::NodeId n = 0; n < model_->num_nodes(); ++n) {
+      EXPECT_EQ(model_->CanEvaluate(k, n),
+                cat_->NodeHoldsAll(n, tmpl.relations));
+    }
+  }
+}
+
+TEST_F(SyntheticCostModelTest, EveryClassHasAnEvaluator) {
+  for (QueryClassId k = 0; k < model_->num_classes(); ++k) {
+    EXPECT_FALSE(model_->FeasibleNodes(k).empty()) << "class " << k;
+  }
+}
+
+TEST_F(SyntheticCostModelTest, CalibrationHitsTargetMeanBestCost) {
+  util::VDuration target = 2000 * kMillisecond;
+  model_->CalibrateBestCost(target);
+  double sum = 0.0;
+  int counted = 0;
+  for (QueryClassId k = 0; k < model_->num_classes(); ++k) {
+    util::VDuration best = model_->BestCost(k);
+    if (best == kInfeasibleCost) continue;
+    sum += static_cast<double>(best);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_NEAR(sum / counted, static_cast<double>(target),
+              static_cast<double>(target) * 0.01);
+}
+
+TEST_F(SyntheticCostModelTest, FasterNodeIsCheaperOnSameTemplate) {
+  // Build a 2-node model sharing the same single-relation template where
+  // node 0 strictly dominates node 1 in hardware.
+  catalog::Catalog cat;
+  cat.AddRelation("r", 10 << 20, 10, 100000, {0, 1});
+  NodeProfile fast{3.5, 80.0, 10.0, true};
+  NodeProfile slow{1.0, 5.0, 2.0, true};
+  QueryTemplate tmpl;
+  tmpl.class_id = 0;
+  tmpl.relations = {0};
+  SyntheticCostModel model(&cat, {fast, slow}, {tmpl});
+  EXPECT_LT(model.Cost(0, 0), model.Cost(0, 1));
+}
+
+TEST_F(SyntheticCostModelTest, MoreJoinsCostMore) {
+  catalog::Catalog cat;
+  cat.AddRelation("a", 10 << 20, 10, 100000, {0});
+  cat.AddRelation("b", 10 << 20, 10, 100000, {0});
+  cat.AddRelation("c", 10 << 20, 10, 100000, {0});
+  NodeProfile hw{2.0, 40.0, 6.0, true};
+  QueryTemplate one;
+  one.class_id = 0;
+  one.relations = {0};
+  QueryTemplate three;
+  three.class_id = 1;
+  three.relations = {0, 1, 2};
+  SyntheticCostModel model(&cat, {hw}, {one, three});
+  EXPECT_LT(model.Cost(0, 0), model.Cost(1, 0));
+}
+
+TEST_F(SyntheticCostModelTest, MissingHashJoinIsSlower) {
+  catalog::Catalog cat;
+  cat.AddRelation("a", 10 << 20, 10, 100000, {0, 1});
+  cat.AddRelation("b", 10 << 20, 10, 100000, {0, 1});
+  NodeProfile with_hash{2.0, 40.0, 6.0, true};
+  NodeProfile without_hash{2.0, 40.0, 6.0, false};
+  QueryTemplate tmpl;
+  tmpl.class_id = 0;
+  tmpl.relations = {0, 1};
+  SyntheticCostModel model(&cat, {with_hash, without_hash}, {tmpl});
+  EXPECT_LT(model.Cost(0, 0), model.Cost(0, 1));
+}
+
+}  // namespace
+}  // namespace qa::query

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "allocation/factory.h"
+#include "sim/event_queue.h"
+#include "sim/federation.h"
+#include "sim/node.h"
+#include "sim/scenario.h"
+#include "workload/uniform.h"
+
+namespace qa::sim {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+// ------------------------------------------------------------ EventQueue
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(10, [&] { order.push_back(2); });
+  q.Schedule(10, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(10, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; });
+  q.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.empty());
+}
+
+// --------------------------------------------------------------- SimNode
+
+TEST(SimNodeTest, SerialExecutionAccounting) {
+  SimNode node(0);
+  EXPECT_TRUE(node.idle());
+
+  QueryTask t1;
+  t1.query_id = 1;
+  t1.exec_time = 100 * kMillisecond;
+  t1.work_units = 5.0;
+  EXPECT_TRUE(node.Enqueue(t1, 0));  // was idle
+  QueryTask t2 = t1;
+  t2.query_id = 2;
+  EXPECT_FALSE(node.Enqueue(t2, 0));  // already has work
+
+  EXPECT_EQ(node.queue_length(), 2u);
+  EXPECT_EQ(node.Backlog(0), 200 * kMillisecond);
+  EXPECT_DOUBLE_EQ(node.QueuedWork(), 10.0);
+
+  QueryTask running = node.BeginNext(0);
+  EXPECT_EQ(running.query_id, 1);
+  EXPECT_FALSE(node.idle());
+  // Halfway through the first task the backlog is 150 ms.
+  EXPECT_EQ(node.Backlog(50 * kMillisecond), 150 * kMillisecond);
+
+  EXPECT_TRUE(node.CompleteCurrent(100 * kMillisecond));  // more work waits
+  EXPECT_DOUBLE_EQ(node.QueuedWork(), 5.0);
+  node.BeginNext(100 * kMillisecond);
+  EXPECT_FALSE(node.CompleteCurrent(200 * kMillisecond));
+  EXPECT_EQ(node.completed(), 2);
+  EXPECT_EQ(node.busy_time(), 200 * kMillisecond);
+  EXPECT_EQ(node.last_idle_at(), 200 * kMillisecond);
+}
+
+// ------------------------------------------------------------ Federation
+
+class FederationTest : public ::testing::Test {
+ protected:
+  workload::Trace MakeTrace(int n, util::VDuration gap,
+                            query::QueryClassId k) {
+    workload::Trace trace;
+    for (int i = 0; i < n; ++i) {
+      workload::Arrival a;
+      a.time = i * gap;
+      a.class_id = k;
+      a.origin = 0;
+      a.cost_jitter = 1.0;
+      trace.Add(a);
+    }
+    return trace;
+  }
+};
+
+TEST_F(FederationTest, AllQueriesCompleteUnderLightLoad) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  Federation fed(model.get(), alloc.get(), config);
+
+  workload::Trace trace = MakeTrace(10, 1 * kSecond, 0);
+  SimMetrics m = fed.Run(trace);
+  EXPECT_EQ(m.completed, 10);
+  EXPECT_EQ(m.dropped, 0);
+  EXPECT_EQ(m.response_time_ms.count(), 10u);
+  // Light load: response approx equals execution time (400-450 ms) plus
+  // small network delays.
+  EXPECT_LT(m.MeanResponseMs(), 600.0);
+  EXPECT_GT(m.MeanResponseMs(), 300.0);
+}
+
+TEST_F(FederationTest, BacklogGrowsUnderOverload) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  Federation fed(model.get(), alloc.get(), config);
+
+  // q1 takes ~400 ms; arrivals every 100 ms on two nodes: heavy overload.
+  workload::Trace trace = MakeTrace(50, 100 * kMillisecond, 0);
+  SimMetrics m = fed.Run(trace);
+  EXPECT_EQ(m.completed, 50);
+  // Later queries queue behind earlier ones: mean response far above the
+  // bare execution time.
+  EXPECT_GT(m.MeanResponseMs(), 1000.0);
+}
+
+TEST_F(FederationTest, QaNtRejectionsRetryAndComplete) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  params.period = 500 * kMillisecond;
+  auto alloc = allocation::CreateAllocator("QA-NT", params);
+  FederationConfig config;
+  config.period = 500 * kMillisecond;
+  Federation fed(model.get(), alloc.get(), config);
+
+  // Burst of 10 q1 at t=0: QA-NT admits only what fits each period, the
+  // rest retries at period boundaries; all must eventually complete.
+  workload::Trace trace = MakeTrace(10, 0, 0);
+  SimMetrics m = fed.Run(trace);
+  EXPECT_EQ(m.completed, 10);
+  EXPECT_GT(m.retries, 0);
+}
+
+TEST_F(FederationTest, MessagesAreCounted) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto greedy = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  Federation fed(model.get(), greedy.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(10, 1 * kSecond, 0));
+  // Greedy probes both nodes per query: 5 messages per query.
+  EXPECT_EQ(m.messages, 10 * 5);
+}
+
+TEST_F(FederationTest, InfeasibleQueriesDroppedAfterRetries) {
+  auto model = std::make_unique<query::MatrixCostModel>(1, 1);
+  // Class 0 evaluable nowhere.
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Random", params);
+  FederationConfig config;
+  config.max_retries = 3;
+  Federation fed(model.get(), alloc.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(2, 0, 0));
+  EXPECT_EQ(m.completed, 0);
+  EXPECT_EQ(m.dropped, 2);
+}
+
+TEST_F(FederationTest, DeterministicAcrossRuns) {
+  auto run_once = [this]() {
+    auto model = BuildFig1CostModel();
+    allocation::AllocatorParams params;
+    params.cost_model = model.get();
+    params.seed = 7;
+    auto alloc = allocation::CreateAllocator("Random", params);
+    FederationConfig config;
+    Federation fed(model.get(), alloc.get(), config);
+    return fed.Run(MakeTrace(30, 200 * kMillisecond, 0)).MeanResponseMs();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST_F(FederationTest, OutagesBounceBlindAssignmentsButEverythingCompletes) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  params.seed = 7;
+  auto alloc = allocation::CreateAllocator("Random", params);
+  FederationConfig config;
+  config.max_retries = 500;
+  // Node 0 unreachable during [1 s, 6 s).
+  config.outages.push_back({0, 1 * kSecond, 6 * kSecond});
+  Federation fed(model.get(), alloc.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(30, 300 * kMillisecond, 0));
+  EXPECT_GT(m.bounced, 0);
+  EXPECT_EQ(m.completed, 30);
+  EXPECT_EQ(m.dropped, 0);
+}
+
+TEST_F(FederationTest, QaNtRoutesAroundOutageWithoutBounces) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  params.period = 500 * kMillisecond;
+  auto alloc = allocation::CreateAllocator("QA-NT", params);
+  FederationConfig config;
+  config.period = 500 * kMillisecond;
+  config.max_retries = 500;
+  config.outages.push_back({0, 1 * kSecond, 6 * kSecond});
+  Federation fed(model.get(), alloc.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(20, 400 * kMillisecond, 0));
+  // The market never selects an unreachable node: no network bounces.
+  EXPECT_EQ(m.bounced, 0);
+  EXPECT_EQ(m.completed, 20);
+}
+
+// -------------------------------------------------------------- Scenario
+
+TEST(ScenarioTest, TwoClassCostModelShape) {
+  TwoClassConfig config;
+  config.num_nodes = 100;
+  config.q2_feasible_fraction = 0.5;
+  util::Rng rng(42);
+  auto model = BuildTwoClassCostModel(config, rng);
+  EXPECT_EQ(model->num_classes(), 2);
+  EXPECT_EQ(model->num_nodes(), 100);
+  EXPECT_EQ(model->FeasibleNodes(0).size(), 100u);
+  EXPECT_EQ(model->FeasibleNodes(1).size(), 50u);
+  // Costs centered on the configured averages.
+  double sum0 = 0.0;
+  for (catalog::NodeId j = 0; j < 100; ++j) {
+    sum0 += static_cast<double>(model->Cost(0, j));
+  }
+  EXPECT_NEAR(sum0 / 100.0, static_cast<double>(config.q1_avg),
+              static_cast<double>(config.q1_avg) * 0.15);
+}
+
+TEST(ScenarioTest, Fig1CostModelExactValues) {
+  auto model = BuildFig1CostModel();
+  EXPECT_EQ(model->Cost(0, 0), 400 * kMillisecond);
+  EXPECT_EQ(model->Cost(1, 0), 100 * kMillisecond);
+  EXPECT_EQ(model->Cost(0, 1), 450 * kMillisecond);
+  EXPECT_EQ(model->Cost(1, 1), 500 * kMillisecond);
+}
+
+TEST(ScenarioTest, Table3ScenarioBuilds) {
+  Table3Config config;
+  config.catalog.num_relations = 100;
+  config.catalog.num_nodes = 20;
+  config.profiles.num_nodes = 20;
+  config.templates.num_classes = 20;
+  config.templates.max_joins = 10;
+  util::Rng rng(42);
+  Scenario scenario = BuildTable3Scenario(config, rng);
+  ASSERT_NE(scenario.cost_model, nullptr);
+  EXPECT_EQ(scenario.cost_model->num_nodes(), 20);
+  EXPECT_EQ(scenario.cost_model->num_classes(), 20);
+  // Calibration: mean best cost ~2000 ms.
+  double sum = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    sum += static_cast<double>(scenario.cost_model->BestCost(k));
+  }
+  EXPECT_NEAR(sum / 20.0, 2000.0 * kMillisecond, 20.0 * kMillisecond);
+}
+
+TEST(CapacityTest, EstimateIsPositiveAndBounded) {
+  TwoClassConfig config;
+  config.num_nodes = 10;
+  util::Rng rng(42);
+  auto model = BuildTwoClassCostModel(config, rng);
+  double qps = EstimateCapacityQps(*model, {2.0, 1.0},
+                                   500 * kMillisecond, 20);
+  EXPECT_GT(qps, 0.0);
+  // Hard upper bound: every node running its cheapest class continuously.
+  double bound = 0.0;
+  for (catalog::NodeId j = 0; j < 10; ++j) {
+    util::VDuration cheapest = std::min(model->Cost(0, j),
+                                        model->Cost(1, j));
+    bound += 1.0 / util::ToSeconds(cheapest);
+  }
+  EXPECT_LE(qps, bound * 1.05);
+}
+
+}  // namespace
+}  // namespace qa::sim

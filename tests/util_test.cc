@@ -1,0 +1,236 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/mathutil.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_writer.h"
+#include "util/vtime.h"
+
+namespace qa::util {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such table");
+  EXPECT_EQ(s.ToString(), "NotFound: no such table");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::Internal("boom"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+Status FailThenPropagate() {
+  QA_RETURN_IF_ERROR(Status::InvalidArgument("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  Status s = FailThenPropagate();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(RngTest, ZipfRankOneMostFrequent) {
+  Rng rng(13);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t r = rng.Zipf(10, 1.0);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, 10);
+    ++counts[static_cast<size_t>(r)];
+  }
+  // With a = 1 rank 1 should be roughly twice as frequent as rank 2 and
+  // strictly the most frequent.
+  for (int r = 2; r <= 10; ++r) EXPECT_GT(counts[1], counts[static_cast<size_t>(r)]);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.4);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> perm = rng.Permutation(50);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, SampleDistinctAndBounded) {
+  Rng rng(19);
+  std::vector<int> sample = rng.Sample(100, 10);
+  std::set<int> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng fork = a.Fork();
+  // The fork must be deterministic given the parent's state...
+  Rng b(23);
+  Rng fork2 = b.Fork();
+  EXPECT_EQ(fork.UniformInt(0, 1 << 30), fork2.UniformInt(0, 1 << 30));
+}
+
+// ------------------------------------------------------------------ Time
+
+TEST(VTimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(FromMillis(1.0), kMillisecond);
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(ToMillis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(500 * kMillisecond), 0.5);
+}
+
+TEST(VTimeTest, FormatTime) {
+  EXPECT_EQ(FormatTime(1500 * kMillisecond), "1500.000ms");
+  EXPECT_EQ(FormatTime(1234), "1.234ms");
+}
+
+// ------------------------------------------------------------- MathUtil
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+}
+
+TEST(MathUtilTest, EmptyVectorsAreZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Sum({}), 0.0);
+}
+
+TEST(MathUtilTest, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.5);
+}
+
+TEST(MathUtilTest, RelDiff) {
+  EXPECT_DOUBLE_EQ(RelDiff(100.0, 110.0), 10.0 / 110.0);
+  EXPECT_DOUBLE_EQ(RelDiff(0.0, 0.0), 0.0);
+}
+
+// --------------------------------------------------------- TableWriter
+
+TEST(TableWriterTest, AlignedOutputContainsCells) {
+  TableWriter writer({"name", "value"});
+  writer.BeginRow();
+  writer.AddCell("alpha");
+  writer.AddCell(3.14159, 2);
+  std::ostringstream os;
+  writer.Print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_EQ(writer.num_rows(), 1u);
+}
+
+TEST(TableWriterTest, AddRowVariadic) {
+  TableWriter writer({"a", "b", "c"});
+  writer.AddRow("x", int64_t{1}, 2.5);
+  ASSERT_EQ(writer.num_rows(), 1u);
+  EXPECT_EQ(writer.rows()[0][0], "x");
+  EXPECT_EQ(writer.rows()[0][1], "1");
+  EXPECT_EQ(writer.rows()[0][2], "2.50");
+}
+
+TEST(TableWriterTest, CsvQuotesCommas) {
+  TableWriter writer({"a", "b"});
+  writer.BeginRow();
+  writer.AddCell("x,y");
+  writer.AddCell(int64_t{7});
+  std::ostringstream os;
+  writer.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"x,y\",7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qa::util

@@ -1,0 +1,207 @@
+// minidb interactive shell: an in-memory SQL REPL over the engine that
+// backs the paper's §5.2 reproduction.
+//
+//   ./build/tools/minidb_shell          # interactive
+//   ./build/tools/minidb_shell < f.sql  # batch
+//
+// Statements end with ';'. Supported SQL: CREATE TABLE, INSERT INTO ...
+// VALUES, SELECT (joins, WHERE conjunctions, GROUP BY, ORDER BY [DESC],
+// LIMIT). Dot commands: .tables, .schema <t>, .explain <select>, .help,
+// .quit.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include <fstream>
+
+#include "dbms/csv.h"
+#include "dbms/database.h"
+#include "dbms/ddl.h"
+#include "dbms/engine.h"
+#include "dbms/parser.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace qa;
+using namespace qa::dbms;
+
+void PrintResult(const Table& table) {
+  std::vector<std::string> header;
+  for (const Column& c : table.schema().columns()) header.push_back(c.name);
+  util::TableWriter writer(std::move(header));
+  for (const Row& row : table.rows()) {
+    writer.BeginRow();
+    for (const Value& v : row) writer.AddCell(v.ToString());
+  }
+  writer.Print(std::cout);
+  std::cout << "(" << table.num_rows() << " row"
+            << (table.num_rows() == 1 ? "" : "s") << ")\n";
+}
+
+void RunDotCommand(Database& db, const std::string& line) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  if (command == ".help") {
+    std::cout << "statements end with ';'\n"
+              << "  CREATE TABLE t (c INT|DOUBLE|STRING, ...);\n"
+              << "  INSERT INTO t VALUES (...), (...);\n"
+              << "  SELECT ... FROM ... [JOIN ... ON ...] [WHERE ...]\n"
+              << "         [GROUP BY ...] [ORDER BY ... [DESC]] [LIMIT n];\n"
+              << "dot commands: .tables  .schema <t>  .explain <select>\n"
+              << "              .import <file.csv> <table>  "
+                 ".export <table> <file.csv>  .help  .quit\n";
+    return;
+  }
+  if (command == ".tables") {
+    for (const std::string& name : db.TableNames()) {
+      std::cout << name << "  (" << db.GetTable(name)->num_rows()
+                << " rows)\n";
+    }
+    for (const std::string& name : db.ViewNames()) {
+      std::cout << name << "  (view)\n";
+    }
+    return;
+  }
+  if (command == ".schema") {
+    std::string name;
+    in >> name;
+    auto schema = db.RelationSchema(name);
+    if (!schema.ok()) {
+      std::cout << schema.status() << "\n";
+      return;
+    }
+    std::cout << name << " " << schema->ToString() << "\n";
+    return;
+  }
+  if (command == ".explain") {
+    std::string rest;
+    std::getline(in, rest);
+    auto stmt = ParseSelect(rest);
+    if (!stmt.ok()) {
+      std::cout << stmt.status() << "\n";
+      return;
+    }
+    Planner planner(&db);
+    auto explained = planner.Explain(*stmt);
+    if (!explained.ok()) {
+      std::cout << explained.status() << "\n";
+      return;
+    }
+    std::cout << explained->text << "signature: " << explained->signature
+              << "\nest I/O bytes: " << explained->estimate.io_bytes
+              << "  est CPU tuples: " << explained->estimate.cpu_tuples
+              << "\n";
+    return;
+  }
+  if (command == ".import") {
+    std::string path;
+    std::string table;
+    in >> path >> table;
+    std::ifstream file(path);
+    if (!file) {
+      std::cout << "cannot open " << path << "\n";
+      return;
+    }
+    auto loaded = ReadCsv(table, file);
+    if (!loaded.ok()) {
+      std::cout << loaded.status() << "\n";
+      return;
+    }
+    int64_t rows = loaded->num_rows();
+    auto status = db.CreateTable(std::move(loaded).value());
+    if (!status.ok()) {
+      std::cout << status << "\n";
+      return;
+    }
+    std::cout << "imported " << rows << " rows into " << table << "\n";
+    return;
+  }
+  if (command == ".export") {
+    std::string table;
+    std::string path;
+    in >> table >> path;
+    const Table* t = db.GetTable(table);
+    if (t == nullptr) {
+      std::cout << "no table named " << table << "\n";
+      return;
+    }
+    std::ofstream file(path);
+    if (!file) {
+      std::cout << "cannot open " << path << "\n";
+      return;
+    }
+    WriteCsv(*t, file);
+    std::cout << "exported " << t->num_rows() << " rows to " << path << "\n";
+    return;
+  }
+  std::cout << "unknown command " << command << " (try .help)\n";
+}
+
+void RunStatement(Database& db, const std::string& sql) {
+  auto parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    std::cout << parsed.status() << "\n";
+    return;
+  }
+  if (const auto* select = std::get_if<SelectStatement>(&*parsed)) {
+    auto result = ExecuteStatement(db, *select);
+    if (!result.ok()) {
+      std::cout << result.status() << "\n";
+      return;
+    }
+    PrintResult(result->table);
+    return;
+  }
+  auto applied = ApplyStatement(&db, *parsed);
+  if (!applied.ok()) {
+    std::cout << applied.status() << "\n";
+    return;
+  }
+  if (std::holds_alternative<CreateTableStatement>(*parsed)) {
+    std::cout << "ok\n";
+  } else {
+    std::cout << *applied << " row" << (*applied == 1 ? "" : "s")
+              << " inserted\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  bool interactive = true;
+  std::cout << "minidb shell — .help for help, .quit to exit\n";
+
+  std::string buffer;
+  std::string line;
+  auto buffer_blank = [&buffer]() {
+    return buffer.find_first_not_of(" \t\r\n") == std::string::npos;
+  };
+  while (true) {
+    if (buffer_blank()) buffer.clear();
+    if (interactive) std::cout << (buffer.empty() ? "minidb> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+
+    // Dot commands act on a full line, outside any pending statement.
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (line.rfind(".quit", 0) == 0 || line.rfind(".exit", 0) == 0) break;
+      RunDotCommand(db, line);
+      continue;
+    }
+
+    buffer += line;
+    buffer += " ";
+    size_t semi;
+    while ((semi = buffer.find(';')) != std::string::npos) {
+      std::string sql = buffer.substr(0, semi);
+      buffer.erase(0, semi + 1);
+      // Skip empty statements.
+      if (sql.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+      RunStatement(db, sql);
+    }
+  }
+  return 0;
+}
