@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_equitable.dir/bench_ablation_equitable.cc.o"
+  "CMakeFiles/bench_ablation_equitable.dir/bench_ablation_equitable.cc.o.d"
+  "bench_ablation_equitable"
+  "bench_ablation_equitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_equitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_information.dir/bench_ablation_information.cc.o"
+  "CMakeFiles/bench_ablation_information.dir/bench_ablation_information.cc.o.d"
+  "bench_ablation_information"
+  "bench_ablation_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

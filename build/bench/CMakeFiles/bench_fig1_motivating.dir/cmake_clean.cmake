@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_motivating.dir/bench_fig1_motivating.cc.o"
+  "CMakeFiles/bench_fig1_motivating.dir/bench_fig1_motivating.cc.o.d"
+  "bench_fig1_motivating"
+  "bench_fig1_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_tracking.dir/bench_fig5c_tracking.cc.o"
+  "CMakeFiles/bench_fig5c_tracking.dir/bench_fig5c_tracking.cc.o.d"
+  "bench_fig5c_tracking"
+  "bench_fig5c_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_realdbms.dir/bench_fig7_realdbms.cc.o"
+  "CMakeFiles/bench_fig7_realdbms.dir/bench_fig7_realdbms.cc.o.d"
+  "bench_fig7_realdbms"
+  "bench_fig7_realdbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_realdbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

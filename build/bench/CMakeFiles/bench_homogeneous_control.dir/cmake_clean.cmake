@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homogeneous_control.dir/bench_homogeneous_control.cc.o"
+  "CMakeFiles/bench_homogeneous_control.dir/bench_homogeneous_control.cc.o.d"
+  "bench_homogeneous_control"
+  "bench_homogeneous_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homogeneous_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_market.dir/bench_micro_market.cc.o"
+  "CMakeFiles/bench_micro_market.dir/bench_micro_market.cc.o.d"
+  "bench_micro_market"
+  "bench_micro_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

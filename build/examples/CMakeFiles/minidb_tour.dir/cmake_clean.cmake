@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_tour.dir/minidb_tour.cpp.o"
+  "CMakeFiles/minidb_tour.dir/minidb_tour.cpp.o.d"
+  "minidb_tour"
+  "minidb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

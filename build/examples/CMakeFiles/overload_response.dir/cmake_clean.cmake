@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_response.dir/overload_response.cpp.o"
+  "CMakeFiles/overload_response.dir/overload_response.cpp.o.d"
+  "overload_response"
+  "overload_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

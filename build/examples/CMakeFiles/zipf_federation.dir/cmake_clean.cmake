@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipf_federation.dir/zipf_federation.cpp.o"
+  "CMakeFiles/zipf_federation.dir/zipf_federation.cpp.o.d"
+  "zipf_federation"
+  "zipf_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipf_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allocation/baselines.cc" "src/allocation/CMakeFiles/qa_allocation.dir/baselines.cc.o" "gcc" "src/allocation/CMakeFiles/qa_allocation.dir/baselines.cc.o.d"
+  "/root/repo/src/allocation/factory.cc" "src/allocation/CMakeFiles/qa_allocation.dir/factory.cc.o" "gcc" "src/allocation/CMakeFiles/qa_allocation.dir/factory.cc.o.d"
+  "/root/repo/src/allocation/markov.cc" "src/allocation/CMakeFiles/qa_allocation.dir/markov.cc.o" "gcc" "src/allocation/CMakeFiles/qa_allocation.dir/markov.cc.o.d"
+  "/root/repo/src/allocation/qa_nt_allocator.cc" "src/allocation/CMakeFiles/qa_allocation.dir/qa_nt_allocator.cc.o" "gcc" "src/allocation/CMakeFiles/qa_allocation.dir/qa_nt_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/qa_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_allocation.dir/baselines.cc.o"
+  "CMakeFiles/qa_allocation.dir/baselines.cc.o.d"
+  "CMakeFiles/qa_allocation.dir/factory.cc.o"
+  "CMakeFiles/qa_allocation.dir/factory.cc.o.d"
+  "CMakeFiles/qa_allocation.dir/markov.cc.o"
+  "CMakeFiles/qa_allocation.dir/markov.cc.o.d"
+  "CMakeFiles/qa_allocation.dir/qa_nt_allocator.cc.o"
+  "CMakeFiles/qa_allocation.dir/qa_nt_allocator.cc.o.d"
+  "libqa_allocation.a"
+  "libqa_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

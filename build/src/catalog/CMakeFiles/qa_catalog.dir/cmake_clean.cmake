@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_catalog.dir/catalog.cc.o"
+  "CMakeFiles/qa_catalog.dir/catalog.cc.o.d"
+  "libqa_catalog.a"
+  "libqa_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

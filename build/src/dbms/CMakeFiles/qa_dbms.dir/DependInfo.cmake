@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbms/buffer_pool.cc" "src/dbms/CMakeFiles/qa_dbms.dir/buffer_pool.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/dbms/csv.cc" "src/dbms/CMakeFiles/qa_dbms.dir/csv.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/csv.cc.o.d"
+  "/root/repo/src/dbms/database.cc" "src/dbms/CMakeFiles/qa_dbms.dir/database.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/database.cc.o.d"
+  "/root/repo/src/dbms/dataset.cc" "src/dbms/CMakeFiles/qa_dbms.dir/dataset.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/dataset.cc.o.d"
+  "/root/repo/src/dbms/dbms_federation.cc" "src/dbms/CMakeFiles/qa_dbms.dir/dbms_federation.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/dbms_federation.cc.o.d"
+  "/root/repo/src/dbms/dbms_node.cc" "src/dbms/CMakeFiles/qa_dbms.dir/dbms_node.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/dbms_node.cc.o.d"
+  "/root/repo/src/dbms/ddl.cc" "src/dbms/CMakeFiles/qa_dbms.dir/ddl.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/ddl.cc.o.d"
+  "/root/repo/src/dbms/engine.cc" "src/dbms/CMakeFiles/qa_dbms.dir/engine.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/engine.cc.o.d"
+  "/root/repo/src/dbms/expr.cc" "src/dbms/CMakeFiles/qa_dbms.dir/expr.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/expr.cc.o.d"
+  "/root/repo/src/dbms/history.cc" "src/dbms/CMakeFiles/qa_dbms.dir/history.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/history.cc.o.d"
+  "/root/repo/src/dbms/lexer.cc" "src/dbms/CMakeFiles/qa_dbms.dir/lexer.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/lexer.cc.o.d"
+  "/root/repo/src/dbms/parser.cc" "src/dbms/CMakeFiles/qa_dbms.dir/parser.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/parser.cc.o.d"
+  "/root/repo/src/dbms/plan.cc" "src/dbms/CMakeFiles/qa_dbms.dir/plan.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/plan.cc.o.d"
+  "/root/repo/src/dbms/planner.cc" "src/dbms/CMakeFiles/qa_dbms.dir/planner.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/planner.cc.o.d"
+  "/root/repo/src/dbms/table.cc" "src/dbms/CMakeFiles/qa_dbms.dir/table.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/table.cc.o.d"
+  "/root/repo/src/dbms/value.cc" "src/dbms/CMakeFiles/qa_dbms.dir/value.cc.o" "gcc" "src/dbms/CMakeFiles/qa_dbms.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/qa_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/market_sim.cc" "src/market/CMakeFiles/qa_market.dir/market_sim.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/market_sim.cc.o.d"
+  "/root/repo/src/market/pareto.cc" "src/market/CMakeFiles/qa_market.dir/pareto.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/pareto.cc.o.d"
+  "/root/repo/src/market/qa_nt.cc" "src/market/CMakeFiles/qa_market.dir/qa_nt.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/qa_nt.cc.o.d"
+  "/root/repo/src/market/supply_set.cc" "src/market/CMakeFiles/qa_market.dir/supply_set.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/supply_set.cc.o.d"
+  "/root/repo/src/market/tatonnement.cc" "src/market/CMakeFiles/qa_market.dir/tatonnement.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/tatonnement.cc.o.d"
+  "/root/repo/src/market/vectors.cc" "src/market/CMakeFiles/qa_market.dir/vectors.cc.o" "gcc" "src/market/CMakeFiles/qa_market.dir/vectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

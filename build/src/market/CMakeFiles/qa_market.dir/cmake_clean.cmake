@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_market.dir/market_sim.cc.o"
+  "CMakeFiles/qa_market.dir/market_sim.cc.o.d"
+  "CMakeFiles/qa_market.dir/pareto.cc.o"
+  "CMakeFiles/qa_market.dir/pareto.cc.o.d"
+  "CMakeFiles/qa_market.dir/qa_nt.cc.o"
+  "CMakeFiles/qa_market.dir/qa_nt.cc.o.d"
+  "CMakeFiles/qa_market.dir/supply_set.cc.o"
+  "CMakeFiles/qa_market.dir/supply_set.cc.o.d"
+  "CMakeFiles/qa_market.dir/tatonnement.cc.o"
+  "CMakeFiles/qa_market.dir/tatonnement.cc.o.d"
+  "CMakeFiles/qa_market.dir/vectors.cc.o"
+  "CMakeFiles/qa_market.dir/vectors.cc.o.d"
+  "libqa_market.a"
+  "libqa_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

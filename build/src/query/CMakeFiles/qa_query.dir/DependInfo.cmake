@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/cost_model.cc" "src/query/CMakeFiles/qa_query.dir/cost_model.cc.o" "gcc" "src/query/CMakeFiles/qa_query.dir/cost_model.cc.o.d"
+  "/root/repo/src/query/node_profile.cc" "src/query/CMakeFiles/qa_query.dir/node_profile.cc.o" "gcc" "src/query/CMakeFiles/qa_query.dir/node_profile.cc.o.d"
+  "/root/repo/src/query/template_gen.cc" "src/query/CMakeFiles/qa_query.dir/template_gen.cc.o" "gcc" "src/query/CMakeFiles/qa_query.dir/template_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

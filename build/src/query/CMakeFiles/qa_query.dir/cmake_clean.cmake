@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_query.dir/cost_model.cc.o"
+  "CMakeFiles/qa_query.dir/cost_model.cc.o.d"
+  "CMakeFiles/qa_query.dir/node_profile.cc.o"
+  "CMakeFiles/qa_query.dir/node_profile.cc.o.d"
+  "CMakeFiles/qa_query.dir/template_gen.cc.o"
+  "CMakeFiles/qa_query.dir/template_gen.cc.o.d"
+  "libqa_query.a"
+  "libqa_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

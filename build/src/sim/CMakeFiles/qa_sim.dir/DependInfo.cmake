@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/qa_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/federation.cc" "src/sim/CMakeFiles/qa_sim.dir/federation.cc.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/federation.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/qa_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/node.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/qa_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/qa_sim.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allocation/CMakeFiles/qa_allocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/qa_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

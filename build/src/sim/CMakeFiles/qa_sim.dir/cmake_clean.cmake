@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_sim.dir/event_queue.cc.o"
+  "CMakeFiles/qa_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/qa_sim.dir/federation.cc.o"
+  "CMakeFiles/qa_sim.dir/federation.cc.o.d"
+  "CMakeFiles/qa_sim.dir/node.cc.o"
+  "CMakeFiles/qa_sim.dir/node.cc.o.d"
+  "CMakeFiles/qa_sim.dir/scenario.cc.o"
+  "CMakeFiles/qa_sim.dir/scenario.cc.o.d"
+  "libqa_sim.a"
+  "libqa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_stats.dir/series.cc.o"
+  "CMakeFiles/qa_stats.dir/series.cc.o.d"
+  "CMakeFiles/qa_stats.dir/summary.cc.o"
+  "CMakeFiles/qa_stats.dir/summary.cc.o.d"
+  "libqa_stats.a"
+  "libqa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

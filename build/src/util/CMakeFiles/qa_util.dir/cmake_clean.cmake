@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_util.dir/logging.cc.o"
+  "CMakeFiles/qa_util.dir/logging.cc.o.d"
+  "CMakeFiles/qa_util.dir/mathutil.cc.o"
+  "CMakeFiles/qa_util.dir/mathutil.cc.o.d"
+  "CMakeFiles/qa_util.dir/rng.cc.o"
+  "CMakeFiles/qa_util.dir/rng.cc.o.d"
+  "CMakeFiles/qa_util.dir/status.cc.o"
+  "CMakeFiles/qa_util.dir/status.cc.o.d"
+  "CMakeFiles/qa_util.dir/table_writer.cc.o"
+  "CMakeFiles/qa_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/qa_util.dir/vtime.cc.o"
+  "CMakeFiles/qa_util.dir/vtime.cc.o.d"
+  "libqa_util.a"
+  "libqa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/sinusoid.cc" "src/workload/CMakeFiles/qa_workload.dir/sinusoid.cc.o" "gcc" "src/workload/CMakeFiles/qa_workload.dir/sinusoid.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/qa_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/qa_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/uniform.cc" "src/workload/CMakeFiles/qa_workload.dir/uniform.cc.o" "gcc" "src/workload/CMakeFiles/qa_workload.dir/uniform.cc.o.d"
+  "/root/repo/src/workload/zipf_workload.cc" "src/workload/CMakeFiles/qa_workload.dir/zipf_workload.cc.o" "gcc" "src/workload/CMakeFiles/qa_workload.dir/zipf_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_workload.dir/sinusoid.cc.o"
+  "CMakeFiles/qa_workload.dir/sinusoid.cc.o.d"
+  "CMakeFiles/qa_workload.dir/trace.cc.o"
+  "CMakeFiles/qa_workload.dir/trace.cc.o.d"
+  "CMakeFiles/qa_workload.dir/uniform.cc.o"
+  "CMakeFiles/qa_workload.dir/uniform.cc.o.d"
+  "CMakeFiles/qa_workload.dir/zipf_workload.cc.o"
+  "CMakeFiles/qa_workload.dir/zipf_workload.cc.o.d"
+  "libqa_workload.a"
+  "libqa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_csv_test.dir/dbms_csv_test.cc.o"
+  "CMakeFiles/dbms_csv_test.dir/dbms_csv_test.cc.o.d"
+  "dbms_csv_test"
+  "dbms_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

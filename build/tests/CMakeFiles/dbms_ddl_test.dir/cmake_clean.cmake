@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_ddl_test.dir/dbms_ddl_test.cc.o"
+  "CMakeFiles/dbms_ddl_test.dir/dbms_ddl_test.cc.o.d"
+  "dbms_ddl_test"
+  "dbms_ddl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_ddl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_differential_test.dir/dbms_differential_test.cc.o"
+  "CMakeFiles/dbms_differential_test.dir/dbms_differential_test.cc.o.d"
+  "dbms_differential_test"
+  "dbms_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_engine_test.dir/dbms_engine_test.cc.o"
+  "CMakeFiles/dbms_engine_test.dir/dbms_engine_test.cc.o.d"
+  "dbms_engine_test"
+  "dbms_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

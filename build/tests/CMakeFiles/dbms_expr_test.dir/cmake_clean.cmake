@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_expr_test.dir/dbms_expr_test.cc.o"
+  "CMakeFiles/dbms_expr_test.dir/dbms_expr_test.cc.o.d"
+  "dbms_expr_test"
+  "dbms_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_federation_test.dir/dbms_federation_test.cc.o"
+  "CMakeFiles/dbms_federation_test.dir/dbms_federation_test.cc.o.d"
+  "dbms_federation_test"
+  "dbms_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

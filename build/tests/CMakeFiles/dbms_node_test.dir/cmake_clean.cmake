@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_node_test.dir/dbms_node_test.cc.o"
+  "CMakeFiles/dbms_node_test.dir/dbms_node_test.cc.o.d"
+  "dbms_node_test"
+  "dbms_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_plan_test.dir/dbms_plan_test.cc.o"
+  "CMakeFiles/dbms_plan_test.dir/dbms_plan_test.cc.o.d"
+  "dbms_plan_test"
+  "dbms_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

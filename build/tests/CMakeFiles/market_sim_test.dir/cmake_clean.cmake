@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_sim_test.dir/market_sim_test.cc.o"
+  "CMakeFiles/market_sim_test.dir/market_sim_test.cc.o.d"
+  "market_sim_test"
+  "market_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

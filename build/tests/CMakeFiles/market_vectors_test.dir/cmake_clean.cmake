@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_vectors_test.dir/market_vectors_test.cc.o"
+  "CMakeFiles/market_vectors_test.dir/market_vectors_test.cc.o.d"
+  "market_vectors_test"
+  "market_vectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

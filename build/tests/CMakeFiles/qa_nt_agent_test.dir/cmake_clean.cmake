@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_nt_agent_test.dir/qa_nt_agent_test.cc.o"
+  "CMakeFiles/qa_nt_agent_test.dir/qa_nt_agent_test.cc.o.d"
+  "qa_nt_agent_test"
+  "qa_nt_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_nt_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/supply_set_test.cc" "tests/CMakeFiles/supply_set_test.dir/supply_set_test.cc.o" "gcc" "tests/CMakeFiles/supply_set_test.dir/supply_set_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbms/CMakeFiles/qa_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/allocation/CMakeFiles/qa_allocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/qa_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/qa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qa_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

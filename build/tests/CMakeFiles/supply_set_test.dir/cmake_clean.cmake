@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_set_test.dir/supply_set_test.cc.o"
+  "CMakeFiles/supply_set_test.dir/supply_set_test.cc.o.d"
+  "supply_set_test"
+  "supply_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

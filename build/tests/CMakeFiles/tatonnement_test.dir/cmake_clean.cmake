@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tatonnement_test.dir/tatonnement_test.cc.o"
+  "CMakeFiles/tatonnement_test.dir/tatonnement_test.cc.o.d"
+  "tatonnement_test"
+  "tatonnement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tatonnement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

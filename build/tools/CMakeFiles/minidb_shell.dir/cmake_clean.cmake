@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_shell.dir/minidb_shell.cc.o"
+  "CMakeFiles/minidb_shell.dir/minidb_shell.cc.o.d"
+  "minidb_shell"
+  "minidb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
