@@ -34,8 +34,9 @@ double EarningsCv(const allocation::QaNtAllocator& alloc) {
 
 int main(int argc, char** argv) {
   using namespace qa;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Ablation: equitable allocation (paper future work)",
                 "Cheapest-offer vs equal-utility offer selection", seed);
 
@@ -54,20 +55,35 @@ int main(int argc, char** argv) {
   util::Rng wl_rng(seed + 1);
   workload::Trace trace = workload::GenerateSinusoidWorkload(wave, wl_rng);
 
+  using Selection = allocation::QaNtAllocator::OfferSelection;
+  std::vector<Selection> selections = {Selection::kCheapest,
+                                       Selection::kEquitable};
+  std::vector<exec::RunSpec> specs;
+  for (Selection selection : selections) {
+    exec::RunSpec spec = bench::MakeSpec(*model, "", trace, period, seed);
+    spec.make_allocator = [&model, period, selection]() {
+      return std::make_unique<allocation::QaNtAllocator>(
+          model.get(), period, market::QaNtConfig{}, selection);
+    };
+    // The fairness readout lives in the allocator's agents, which only the
+    // worker ever sees: the probe extracts it before the allocator dies.
+    spec.probe = [](const allocation::Allocator& alloc) {
+      return EarningsCv(
+          static_cast<const allocation::QaNtAllocator&>(alloc));
+    };
+    specs.push_back(std::move(spec));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
   util::TableWriter table({"Offer selection", "Mean (ms)", "p95 (ms)",
                            "Earnings CV (lower = fairer)"});
-  using Selection = allocation::QaNtAllocator::OfferSelection;
-  for (Selection selection : {Selection::kCheapest, Selection::kEquitable}) {
-    allocation::QaNtAllocator alloc(model.get(), period, {}, selection);
-    sim::FederationConfig config;
-    config.period = period;
-    config.max_retries = 5000;
-    sim::Federation fed(model.get(), &alloc, config);
-    sim::SimMetrics m = fed.Run(trace);
-    table.AddRow(selection == Selection::kCheapest ? "cheapest (paper)"
-                                                   : "equitable (future work)",
+  for (size_t i = 0; i < selections.size(); ++i) {
+    const sim::SimMetrics& m = cells[i].metrics;
+    table.AddRow(selections[i] == Selection::kCheapest
+                     ? "cheapest (paper)"
+                     : "equitable (future work)",
                  m.MeanResponseMs(), m.response_time_ms.Percentile(95),
-                 EarningsCv(alloc));
+                 cells[i].probe);
   }
   table.Print(std::cout);
   std::cout << "\nReading: the equitable rule flattens the earnings "

@@ -17,24 +17,14 @@ namespace {
 using util::kMillisecond;
 using util::kSecond;
 
-sim::SimMetrics RunWith(allocation::Allocator* alloc,
-                        const query::CostModel& model,
-                        const workload::Trace& trace,
-                        util::VDuration period) {
-  sim::FederationConfig config;
-  config.period = period;
-  config.max_retries = 5000;
-  sim::Federation fed(&model, alloc, config);
-  return fed.Run(trace);
-}
-
 }  // namespace
 }  // namespace qa
 
 int main(int argc, char** argv) {
   using namespace qa;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Ablation: load information",
                 "Blind-greedy randomization sweep vs QA-NT vs informed "
                 "Greedy vs stale two-probes (95% peak sinusoid)",
@@ -56,41 +46,53 @@ int main(int argc, char** argv) {
   workload::Trace trace =
       workload::GenerateSinusoidWorkload(workload, wl_rng);
 
-  util::TableWriter table({"Mechanism", "Load info", "Mean (ms)",
-                           "p95 (ms)"});
+  // The whole ablation grid, one RunSpec per row; custom allocators are
+  // built on the worker via make_allocator. Row labels are paired with the
+  // specs by index.
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<exec::RunSpec> specs;
+  auto add = [&](const std::string& row, const std::string& info,
+                 std::function<std::unique_ptr<allocation::Allocator>()>
+                     make) {
+    exec::RunSpec spec = bench::MakeSpec(*model, "", trace, period, seed);
+    spec.make_allocator = std::move(make);
+    specs.push_back(std::move(spec));
+    labels.emplace_back(row, info);
+  };
 
   for (double r : {0.0, 0.25, 0.5, 1.0, 1.5}) {
-    allocation::BlindGreedyAllocator greedy(seed, r);
-    sim::SimMetrics m = RunWith(&greedy, *model, trace, period);
-    table.AddRow("GreedyBlind r=" + std::to_string(r).substr(0, 4),
-                 "estimates only", m.MeanResponseMs(),
-                 m.response_time_ms.Percentile(95));
+    add("GreedyBlind r=" + std::to_string(r).substr(0, 4),
+        "estimates only", [seed, r]() {
+          return std::make_unique<allocation::BlindGreedyAllocator>(seed,
+                                                                    r);
+        });
   }
-
   for (int stale_s : {0, 2, 5, 15}) {
-    allocation::TwoRandomProbesAllocator probes(
-        seed, stale_s * 1000 * kMillisecond);
-    sim::SimMetrics m = RunWith(&probes, *model, trace, period);
-    table.AddRow("TwoProbes stale=" + std::to_string(stale_s) + "s",
-                 "2 sampled loads", m.MeanResponseMs(),
-                 m.response_time_ms.Percentile(95));
+    add("TwoProbes stale=" + std::to_string(stale_s) + "s",
+        "2 sampled loads", [seed, stale_s]() {
+          return std::make_unique<allocation::TwoRandomProbesAllocator>(
+              seed, stale_s * 1000 * kMillisecond);
+        });
   }
-
-  {
+  add("QA-NT", "none (private prices)", [&model, period, seed]() {
     allocation::AllocatorParams params;
     params.cost_model = model.get();
     params.period = period;
     params.seed = seed;
-    auto qa_nt = allocation::CreateAllocator("QA-NT", params);
-    sim::SimMetrics m = RunWith(qa_nt.get(), *model, trace, period);
-    table.AddRow("QA-NT", "none (private prices)", m.MeanResponseMs(),
+    return allocation::CreateAllocator("QA-NT", params);
+  });
+  add("Greedy (informed)", "all fresh backlogs", [seed]() {
+    return std::make_unique<allocation::GreedyAllocator>(seed);
+  });
+
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
+  util::TableWriter table({"Mechanism", "Load info", "Mean (ms)",
+                           "p95 (ms)"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const sim::SimMetrics& m = cells[i].metrics;
+    table.AddRow(labels[i].first, labels[i].second, m.MeanResponseMs(),
                  m.response_time_ms.Percentile(95));
-  }
-  {
-    allocation::GreedyAllocator greedy(seed);
-    sim::SimMetrics m = RunWith(&greedy, *model, trace, period);
-    table.AddRow("Greedy (informed)", "all fresh backlogs",
-                 m.MeanResponseMs(), m.response_time_ms.Percentile(95));
   }
   table.Print(std::cout);
   std::cout << "\nReading: QA-NT approaches the fully informed Greedy "

@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Ablation: lambda",
                 "Price-adjustment step in tatonnement and in QA-NT", seed);
 
@@ -58,19 +59,30 @@ int main(int argc, char** argv) {
       workload::GenerateSinusoidWorkload(workload, wl_rng);
 
   std::cout << "\n(b) QA-NT mean response under a 120% overload sinusoid:\n";
+  std::vector<double> lambdas = {0.01, 0.05, 0.1, 0.25, 0.5};
+  std::vector<exec::RunSpec> specs;
+  for (double lambda : lambdas) {
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.trace = &trace;
+    spec.period = period;
+    spec.seed = seed;
+    spec.make_allocator = [&model, period, seed, lambda]() {
+      allocation::AllocatorParams params;
+      params.cost_model = model.get();
+      params.period = period;
+      params.seed = seed;
+      params.qa_nt.lambda = lambda;
+      return allocation::CreateAllocator("QA-NT", params);
+    };
+    specs.push_back(std::move(spec));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
   util::TableWriter table({"lambda", "QA-NT mean (ms)", "retries"});
-  for (double lambda : {0.01, 0.05, 0.1, 0.25, 0.5}) {
-    allocation::AllocatorParams params;
-    params.cost_model = model.get();
-    params.period = period;
-    params.seed = seed;
-    params.qa_nt.lambda = lambda;
-    auto alloc = allocation::CreateAllocator("QA-NT", params);
-    sim::FederationConfig fed_config;
-    fed_config.period = period;
-    sim::Federation fed(model.get(), alloc.get(), fed_config);
-    sim::SimMetrics m = fed.Run(trace);
-    table.AddRow(lambda, m.MeanResponseMs(), m.retries);
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    table.AddRow(lambdas[i], cells[i].metrics.MeanResponseMs(),
+                 cells[i].metrics.retries);
   }
   table.Print(std::cout);
   std::cout << "\nExpected: convergence iterations fall as lambda grows "

@@ -17,24 +17,14 @@ namespace {
 using util::kMillisecond;
 using util::kSecond;
 
-sim::SimMetrics RunWith(allocation::Allocator* alloc,
-                        const query::CostModel& model,
-                        const workload::Trace& trace,
-                        util::VDuration period) {
-  sim::FederationConfig config;
-  config.period = period;
-  config.max_retries = 5000;
-  sim::Federation fed(&model, alloc, config);
-  return fed.Run(trace);
-}
-
 }  // namespace
 }  // namespace qa
 
 int main(int argc, char** argv) {
   using namespace qa;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Ablation: Markov [4]",
                 "Static-optimal routing vs QA-NT/Greedy on static and "
                 "dynamic loads",
@@ -73,32 +63,32 @@ int main(int argc, char** argv) {
 
   std::vector<double> true_rates = {rate * 2.0 / 3.0, rate / 3.0};
 
+  std::vector<std::string> names = {"Markov", "QA-NT", "Greedy", "Random"};
+  std::vector<exec::RunSpec> specs;
+  for (const std::string& name : names) {
+    for (const workload::Trace* trace : {&static_trace, &dynamic_trace}) {
+      exec::RunSpec spec =
+          bench::MakeSpec(*model, name, *trace, period, seed);
+      if (name == "Markov") {
+        // Markov is not in the factory registry: the solver needs the true
+        // arrival rates. A fresh allocator per run (built on the worker):
+        // mechanisms carry state (prices, period clocks, routing RNG) that
+        // must not leak across experiments.
+        spec.make_allocator = [&model, &true_rates, seed]() {
+          return std::make_unique<allocation::MarkovAllocator>(
+              model.get(), true_rates, seed);
+        };
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
   util::TableWriter table({"Mechanism", "Static mean (ms)",
                            "Dynamic mean (ms)"});
-  for (const std::string& name : {std::string("Markov"),
-                                  std::string("QA-NT"),
-                                  std::string("Greedy"),
-                                  std::string("Random")}) {
-    // A fresh allocator per run: mechanisms carry state (prices, period
-    // clocks, routing RNG) that must not leak across experiments.
-    auto make = [&]() -> std::unique_ptr<allocation::Allocator> {
-      if (name == "Markov") {
-        return std::make_unique<allocation::MarkovAllocator>(
-            model.get(), true_rates, seed);
-      }
-      allocation::AllocatorParams params;
-      params.cost_model = model.get();
-      params.period = period;
-      params.seed = seed;
-      return allocation::CreateAllocator(name, params);
-    };
-    auto static_alloc = make();
-    sim::SimMetrics s =
-        RunWith(static_alloc.get(), *model, static_trace, period);
-    auto dynamic_alloc = make();
-    sim::SimMetrics d =
-        RunWith(dynamic_alloc.get(), *model, dynamic_trace, period);
-    table.AddRow(name, s.MeanResponseMs(), d.MeanResponseMs());
+  for (size_t i = 0; i < names.size(); ++i) {
+    table.AddRow(names[i], cells[2 * i].metrics.MeanResponseMs(),
+                 cells[2 * i + 1].metrics.MeanResponseMs());
   }
   table.Print(std::cout);
   std::cout << "\nExpected (paper §4): Markov excellent on the static load "

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Ablation: period T",
                 "QA-NT under static vs dynamic load while T varies", seed);
 
@@ -46,14 +47,20 @@ int main(int argc, char** argv) {
       workload::GenerateSinusoidWorkload(dynamic_wl, rng_d);
 
   std::vector<int64_t> periods_ms = {125, 250, 500, 1000, 2000, 4000};
+  std::vector<exec::RunSpec> specs;
+  for (int64_t t_ms : periods_ms) {
+    specs.push_back(bench::MakeSpec(*model, "QA-NT", static_trace,
+                                    t_ms * kMillisecond, seed));
+    specs.push_back(bench::MakeSpec(*model, "QA-NT", dynamic_trace,
+                                    t_ms * kMillisecond, seed));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
   util::TableWriter table({"T (ms)", "Static load mean (ms)",
                            "Dynamic load mean (ms)"});
-  for (int64_t t_ms : periods_ms) {
-    sim::SimMetrics s = bench::RunMechanism(
-        *model, "QA-NT", static_trace, t_ms * kMillisecond, seed);
-    sim::SimMetrics d = bench::RunMechanism(
-        *model, "QA-NT", dynamic_trace, t_ms * kMillisecond, seed);
-    table.AddRow(t_ms, s.MeanResponseMs(), d.MeanResponseMs());
+  for (size_t i = 0; i < periods_ms.size(); ++i) {
+    table.AddRow(periods_ms[i], cells[2 * i].metrics.MeanResponseMs(),
+                 cells[2 * i + 1].metrics.MeanResponseMs());
   }
   table.Print(std::cout);
   std::cout << "\nExpected: static load tolerates (or prefers) larger T; "

@@ -1,11 +1,15 @@
 #ifndef QAMARKET_BENCH_BENCH_COMMON_H_
 #define QAMARKET_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "allocation/factory.h"
+#include "exec/experiment_runner.h"
 #include "sim/federation.h"
 #include "sim/scenario.h"
 #include "util/table_writer.h"
@@ -13,29 +17,72 @@
 
 namespace qa::bench {
 
+/// The flags every experiment binary shares, parsed in one place instead
+/// of ad-hoc per-binary argv scans:
+///   --quick       smaller grids/workloads for smoke runs
+///   --threads=N   experiment-runner parallelism (N<1 = all hardware
+///                 threads; 1 reproduces the serial behavior exactly)
+///   --seed=S      master RNG seed
+struct BenchArgs {
+  bool quick = false;
+  int threads = 0;  // 0 => hardware_concurrency
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv, uint64_t default_seed = 42) {
+    BenchArgs args;
+    args.seed = default_seed;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg(argv[i]);
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        args.threads = std::atoi(arg.c_str() + 10);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else {
+        std::cerr << "warning: ignoring unknown flag '" << arg
+                  << "' (known: --quick --threads=N --seed=S)\n";
+      }
+    }
+    return args;
+  }
+
+  /// The runner this invocation asked for.
+  exec::ExperimentRunner MakeRunner() const {
+    return exec::ExperimentRunner(threads);
+  }
+};
+
+/// Builds the standard grid cell shared by the figure benches.
+inline exec::RunSpec MakeSpec(const query::CostModel& cost_model,
+                              const std::string& mechanism,
+                              const workload::Trace& trace,
+                              util::VDuration period, uint64_t seed,
+                              int max_retries = 5000) {
+  exec::RunSpec spec;
+  spec.cost_model = &cost_model;
+  spec.mechanism = mechanism;
+  spec.trace = &trace;
+  spec.period = period;
+  spec.seed = seed;
+  spec.config.max_retries = max_retries;
+  return spec;
+}
+
 /// Runs one mechanism over one trace on one cost model and returns the
-/// metrics. Every experiment binary funnels through this so mechanisms are
-/// compared under identical conditions.
+/// metrics. Every experiment binary funnels through this (or through
+/// exec::ExperimentRunner, which uses the same RunSpecOnce path) so
+/// mechanisms are compared under identical conditions. Aborts on an
+/// unknown mechanism name.
 inline sim::SimMetrics RunMechanism(const query::CostModel& cost_model,
                                     const std::string& mechanism,
                                     const workload::Trace& trace,
                                     util::VDuration period, uint64_t seed,
                                     int max_retries = 5000) {
-  allocation::AllocatorParams params;
-  params.cost_model = &cost_model;
-  params.period = period;
-  params.seed = seed;
-  std::unique_ptr<allocation::Allocator> alloc =
-      allocation::CreateAllocator(mechanism, params);
-  if (alloc == nullptr) {
-    std::cerr << "unknown mechanism " << mechanism << "\n";
-    return sim::SimMetrics();
-  }
-  sim::FederationConfig config;
-  config.period = period;
-  config.max_retries = max_retries;
-  sim::Federation fed(&cost_model, alloc.get(), config);
-  return fed.Run(trace);
+  return exec::RunSpecOnce(
+             MakeSpec(cost_model, mechanism, trace, period, seed,
+                      max_retries))
+      .metrics;
 }
 
 /// Prints the experiment banner: id, description, seed.
@@ -45,14 +92,6 @@ inline void Banner(const std::string& experiment,
             << experiment << ": " << description << "\n"
             << "(seed=" << seed << ", deterministic)\n"
             << "==================================================\n";
-}
-
-/// True when argv contains --quick (smaller workloads for smoke runs).
-inline bool QuickMode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") return true;
-  }
-  return false;
 }
 
 }  // namespace qa::bench

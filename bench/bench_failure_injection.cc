@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Failure injection",
                 "30% of nodes unreachable during [20 s, 40 s) at 70% load",
                 seed);

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 4",
                 "Normalized mean response time, 0.05 Hz sinusoid, peak "
                 "slightly below capacity, 100 heterogeneous nodes",
@@ -42,13 +43,22 @@ int main(int argc, char** argv) {
   std::cout << "Workload: " << trace.size() << " queries over "
             << util::ToSeconds(workload.duration) << " s\n\n";
 
+  // One grid cell per mechanism, run concurrently; results come back in
+  // submission order, so the table below is byte-identical at any
+  // --threads value.
+  std::vector<std::string> names = allocation::AllMechanismNames();
+  std::vector<exec::RunSpec> specs;
+  for (const std::string& name : names) {
+    specs.push_back(bench::MakeSpec(*model, name, trace, period, seed));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+
   double qa_nt_ms = 0.0;
   std::vector<std::pair<std::string, sim::SimMetrics>> results;
-  for (const std::string& name : allocation::AllMechanismNames()) {
-    sim::SimMetrics m = bench::RunMechanism(*model, name, trace, period,
-                                            seed);
-    if (name == "QA-NT") qa_nt_ms = m.MeanResponseMs();
-    results.emplace_back(name, std::move(m));
+  for (size_t i = 0; i < names.size(); ++i) {
+    sim::SimMetrics m = std::move(cells[i].metrics);
+    if (names[i] == "QA-NT") qa_nt_ms = m.MeanResponseMs();
+    results.emplace_back(names[i], std::move(m));
   }
 
   util::TableWriter table({"Mechanism", "Mean response (ms)",

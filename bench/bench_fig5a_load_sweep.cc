@@ -11,8 +11,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 5a",
                 "Greedy vs QA-NT across average load 10%-300% of capacity "
                 "(20 s, 0.05 Hz sinusoid)",
@@ -31,8 +32,10 @@ int main(int argc, char** argv) {
                                   : std::vector<double>{0.1, 0.25, 0.5,
                                                         0.75, 1.0, 1.5,
                                                         2.0, 3.0};
-  util::TableWriter table({"Avg load (% capacity)", "QA-NT mean (ms)",
-                           "Greedy mean (ms)", "Greedy / QA-NT"});
+  // Generate every load level's trace up front (they must outlive the
+  // runner), then run the whole (load x mechanism) grid concurrently.
+  std::vector<workload::Trace> traces;
+  traces.reserve(loads.size());
   for (double load : loads) {
     workload::SinusoidConfig workload;
     workload.frequency_hz = 0.05;
@@ -40,14 +43,21 @@ int main(int argc, char** argv) {
     workload.num_origin_nodes = scenario.num_nodes;
     workload.q1_peak_rate = load * capacity / 0.75;
     util::Rng wl_rng(seed + 1);
-    workload::Trace trace =
-        workload::GenerateSinusoidWorkload(workload, wl_rng);
+    traces.push_back(workload::GenerateSinusoidWorkload(workload, wl_rng));
+  }
+  std::vector<exec::RunSpec> specs;
+  for (const workload::Trace& trace : traces) {
+    specs.push_back(bench::MakeSpec(*model, "QA-NT", trace, period, seed));
+    specs.push_back(bench::MakeSpec(*model, "Greedy", trace, period, seed));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
-    sim::SimMetrics qa_nt =
-        bench::RunMechanism(*model, "QA-NT", trace, period, seed);
-    sim::SimMetrics greedy =
-        bench::RunMechanism(*model, "Greedy", trace, period, seed);
-    table.AddRow(load * 100.0, qa_nt.MeanResponseMs(),
+  util::TableWriter table({"Avg load (% capacity)", "QA-NT mean (ms)",
+                           "Greedy mean (ms)", "Greedy / QA-NT"});
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const sim::SimMetrics& qa_nt = cells[2 * i].metrics;
+    const sim::SimMetrics& greedy = cells[2 * i + 1].metrics;
+    table.AddRow(loads[i] * 100.0, qa_nt.MeanResponseMs(),
                  greedy.MeanResponseMs(),
                  qa_nt.MeanResponseMs() > 0
                      ? greedy.MeanResponseMs() / qa_nt.MeanResponseMs()

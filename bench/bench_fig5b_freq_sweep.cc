@@ -16,8 +16,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 5b",
                 "Greedy/QA-NT response-time ratio vs sinusoid frequency "
                 "(just above the Greedy crossover load)",
@@ -33,8 +34,10 @@ int main(int argc, char** argv) {
   std::vector<double> freqs =
       quick ? std::vector<double>{0.05, 0.5, 2.0}
             : std::vector<double>{0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
-  util::TableWriter table({"Frequency (Hz)", "QA-NT mean (ms)",
-                           "Greedy mean (ms)", "Greedy / QA-NT"});
+  // Per-frequency traces first (they must outlive the runner), then the
+  // whole (frequency x mechanism) grid concurrently.
+  std::vector<workload::Trace> traces;
+  traces.reserve(freqs.size());
   for (double freq : freqs) {
     workload::SinusoidConfig workload;
     workload.frequency_hz = freq;
@@ -42,14 +45,21 @@ int main(int argc, char** argv) {
     workload.num_origin_nodes = scenario.num_nodes;
     workload.q1_peak_rate = 1.5 * capacity / 0.75;
     util::Rng wl_rng(seed + 1);
-    workload::Trace trace =
-        workload::GenerateSinusoidWorkload(workload, wl_rng);
+    traces.push_back(workload::GenerateSinusoidWorkload(workload, wl_rng));
+  }
+  std::vector<exec::RunSpec> specs;
+  for (const workload::Trace& trace : traces) {
+    specs.push_back(bench::MakeSpec(*model, "QA-NT", trace, period, seed));
+    specs.push_back(bench::MakeSpec(*model, "Greedy", trace, period, seed));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
-    sim::SimMetrics qa_nt =
-        bench::RunMechanism(*model, "QA-NT", trace, period, seed);
-    sim::SimMetrics greedy =
-        bench::RunMechanism(*model, "Greedy", trace, period, seed);
-    table.AddRow(freq, qa_nt.MeanResponseMs(), greedy.MeanResponseMs(),
+  util::TableWriter table({"Frequency (Hz)", "QA-NT mean (ms)",
+                           "Greedy mean (ms)", "Greedy / QA-NT"});
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    const sim::SimMetrics& qa_nt = cells[2 * i].metrics;
+    const sim::SimMetrics& greedy = cells[2 * i + 1].metrics;
+    table.AddRow(freqs[i], qa_nt.MeanResponseMs(), greedy.MeanResponseMs(),
                  qa_nt.MeanResponseMs() > 0
                      ? greedy.MeanResponseMs() / qa_nt.MeanResponseMs()
                      : 0.0);

@@ -12,8 +12,9 @@ int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
   using util::kSecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 5c",
                 "Q1 arrivals vs Q1 completions per half second "
                 "(near-capacity sinusoid)",

@@ -13,8 +13,9 @@
 int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 6",
                 "Zipf workload on the Table 3 federation: Greedy/QA-NT "
                 "ratio vs per-class mean inter-arrival time",
@@ -41,10 +42,10 @@ int main(int argc, char** argv) {
                                    10000, 14000, 17000, 20000};
 
   util::VDuration period = 500 * kMillisecond;
-  util::TableWriter table({"Per-class inter-arrival (ms)",
-                           "QA-NT mean (ms)", "Greedy mean (ms)",
-                           "Greedy / QA-NT", "QA-NT dropped",
-                           "Greedy dropped"});
+  // Traces first (they must outlive the runner), then the whole
+  // (inter-arrival x mechanism) grid concurrently.
+  std::vector<workload::Trace> traces;
+  traces.reserve(interarrivals_ms.size());
   for (int64_t t_ms : interarrivals_ms) {
     workload::ZipfWorkloadConfig workload;
     workload.num_queries = num_queries;
@@ -52,13 +53,24 @@ int main(int argc, char** argv) {
     workload.mean_interarrival = t_ms * kMillisecond;
     workload.num_origin_nodes = model.num_nodes();
     util::Rng wl_rng(seed + 1);
-    workload::Trace trace = workload::GenerateZipfWorkload(workload, wl_rng);
+    traces.push_back(workload::GenerateZipfWorkload(workload, wl_rng));
+  }
+  std::vector<exec::RunSpec> specs;
+  for (const workload::Trace& trace : traces) {
+    specs.push_back(bench::MakeSpec(model, "QA-NT", trace, period, seed));
+    specs.push_back(bench::MakeSpec(model, "Greedy", trace, period, seed));
+  }
+  std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
-    sim::SimMetrics qa_nt =
-        bench::RunMechanism(model, "QA-NT", trace, period, seed);
-    sim::SimMetrics greedy =
-        bench::RunMechanism(model, "Greedy", trace, period, seed);
-    table.AddRow(t_ms, qa_nt.MeanResponseMs(), greedy.MeanResponseMs(),
+  util::TableWriter table({"Per-class inter-arrival (ms)",
+                           "QA-NT mean (ms)", "Greedy mean (ms)",
+                           "Greedy / QA-NT", "QA-NT dropped",
+                           "Greedy dropped"});
+  for (size_t i = 0; i < interarrivals_ms.size(); ++i) {
+    const sim::SimMetrics& qa_nt = cells[2 * i].metrics;
+    const sim::SimMetrics& greedy = cells[2 * i + 1].metrics;
+    table.AddRow(interarrivals_ms[i], qa_nt.MeanResponseMs(),
+                 greedy.MeanResponseMs(),
                  qa_nt.MeanResponseMs() > 0
                      ? greedy.MeanResponseMs() / qa_nt.MeanResponseMs()
                      : 0.0,

@@ -16,8 +16,9 @@
 int main(int argc, char** argv) {
   using namespace qa;
   using util::kMillisecond;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Fig. 7",
                 "minidb federation of 5 nodes: assign time and total time "
                 "for Greedy and QA-NT",

@@ -27,8 +27,9 @@ double RunMean(const query::CostModel& model, const std::string& name,
 
 int main(int argc, char** argv) {
   using namespace qa;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Homogeneous control (§5.1)",
                 "Identical nodes compress the mechanism comparison", seed);
 

@@ -93,12 +93,13 @@ BENCHMARK(BM_TatonnementIteration)->Arg(10)->Arg(100);
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {
-    sim::EventQueue q;
+    sim::EventQueue<int> q;
+    q.Reserve(1000);
     int64_t fired = 0;
     for (int i = 0; i < 1000; ++i) {
-      q.Schedule(i, [&fired] { ++fired; });
+      q.Schedule(i, i);
     }
-    q.RunAll();
+    q.RunAll([&fired](int) { ++fired; });
     benchmark::DoNotOptimize(fired);
   }
   state.SetItemsProcessed(state.iterations() * 1000);

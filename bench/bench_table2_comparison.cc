@@ -26,8 +26,9 @@ std::string PerfBucket(double normalized) {
 
 int main(int argc, char** argv) {
   using namespace qa;
-  const uint64_t seed = 42;
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const uint64_t seed = args.seed;
+  bool quick = args.quick;
   bench::Banner("Table 2", "Comparison of query allocation mechanisms",
                 seed);
 

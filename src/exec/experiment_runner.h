@@ -1,0 +1,87 @@
+#ifndef QAMARKET_EXEC_EXPERIMENT_RUNNER_H_
+#define QAMARKET_EXEC_EXPERIMENT_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "allocation/allocator.h"
+#include "query/cost_model.h"
+#include "sim/federation.h"
+#include "sim/metrics.h"
+#include "workload/trace.h"
+
+namespace qa::exec {
+
+/// One cell of an experiment grid: everything needed to build a fresh
+/// Federation + Allocator pair and run one trace through it.
+///
+/// The referenced cost model and trace are shared *read-only* across
+/// concurrent runs (both are immutable after construction); all mutable
+/// state — the allocator, the federation, the metrics — is created
+/// per-run, so cells never interact and every cell is as deterministic as
+/// a serial run.
+struct RunSpec {
+  /// Immutable cost oracle, shared across cells. Required.
+  const query::CostModel* cost_model = nullptr;
+  /// Mechanism name for allocation::CreateAllocator. Ignored when
+  /// make_allocator is set. An unknown name aborts the process — a typo in
+  /// a bench grid must not silently produce zero rows.
+  std::string mechanism;
+  /// Immutable arrival trace, shared across cells. Required.
+  const workload::Trace* trace = nullptr;
+  /// Market period T (configures both the allocator and the federation).
+  util::VDuration period = 500 * util::kMillisecond;
+  /// Seed for the allocator's private RNG.
+  uint64_t seed = 0;
+  /// Federation knobs. `config.period` is overwritten with `period`.
+  sim::FederationConfig config;
+  /// Optional factory overriding `mechanism` for custom allocators
+  /// (ablations construct BlindGreedy/Markov/equitable QA-NT directly).
+  /// Called once per run, on the worker thread.
+  std::function<std::unique_ptr<allocation::Allocator>()> make_allocator;
+  /// Optional post-run probe, called on the worker thread with the
+  /// allocator the run used; its value lands in RunResult::probe (e.g. the
+  /// earnings dispersion of QA-NT agents).
+  std::function<double(const allocation::Allocator&)> probe;
+};
+
+/// What one grid cell produced.
+struct RunResult {
+  sim::SimMetrics metrics;
+  /// Value of RunSpec::probe (0 when no probe was set).
+  double probe = 0.0;
+};
+
+/// Builds the spec's allocator (aborting on an unknown mechanism name) and
+/// runs its trace through a fresh Federation. This is the single funnel
+/// every experiment goes through, serial or parallel.
+RunResult RunSpecOnce(const RunSpec& spec);
+
+/// Runs a grid of independent simulation cells on a fixed-size thread
+/// pool, one Federation per worker, and returns results in *submission
+/// order* — so tables and BENCH JSON built from the results are
+/// byte-identical to a serial run regardless of thread count.
+class ExperimentRunner {
+ public:
+  /// `threads` < 1 selects hardware_concurrency. threads() == 1 runs the
+  /// specs inline on the calling thread (exactly today's serial behavior).
+  explicit ExperimentRunner(int threads = 0)
+      : threads_(ResolvedThreads(threads)) {}
+
+  int threads() const { return threads_; }
+
+  /// Runs every spec and returns one result per spec, index-aligned with
+  /// `specs`. Rethrows the first exception any cell threw.
+  std::vector<RunResult> Run(const std::vector<RunSpec>& specs) const;
+
+ private:
+  static int ResolvedThreads(int requested);
+
+  int threads_;
+};
+
+}  // namespace qa::exec
+
+#endif  // QAMARKET_EXEC_EXPERIMENT_RUNNER_H_

@@ -1,0 +1,51 @@
+#ifndef QAMARKET_EXEC_THREAD_POOL_H_
+#define QAMARKET_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qa::exec {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks are arbitrary void() callables; Submit returns a future that
+/// becomes ready when the task finishes and carries any exception the task
+/// threw (so callers can rethrow on their own thread). The destructor
+/// drains the queue: every task already submitted still runs, then the
+/// workers join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; it runs on some worker as soon as one is free.
+  std::future<void> Submit(std::function<void()> fn);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// The number of threads `requested` resolves to: values < 1 mean "use
+  /// hardware_concurrency" (itself clamped to >= 1 when unknown).
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qa::exec
+
+#endif  // QAMARKET_EXEC_THREAD_POOL_H_

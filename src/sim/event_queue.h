@@ -1,9 +1,10 @@
 #ifndef QAMARKET_SIM_EVENT_QUEUE_H_
 #define QAMARKET_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/vtime.h"
@@ -13,43 +14,89 @@ namespace qa::sim {
 /// A classic discrete-event scheduler: events fire in time order, with FIFO
 /// tie-breaking via a monotonically increasing sequence number so that
 /// simultaneous events run in the order they were scheduled (determinism).
+///
+/// `Event` is a by-value payload (for the federation: a small tagged
+/// struct, see SimEvent) handed back to the dispatcher passed to
+/// RunOne/RunAll/RunUntil. Storing plain structs instead of type-erased
+/// std::function callbacks keeps the hot path allocation-free: the only
+/// memory the queue ever touches is its own heap vector, which Reserve()
+/// can size up front.
+template <typename Event>
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
-
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  void Schedule(util::VTime when, Callback fn);
-  /// Schedules `fn` `delay` after now().
-  void ScheduleAfter(util::VDuration delay, Callback fn) {
-    Schedule(now_ + delay, std::move(fn));
+  /// Schedules `event` at absolute time `when` (must be >= now()).
+  /// Scheduling into the past is a bug in the caller: debug builds assert,
+  /// and all builds clamp `when` to now() so the event cannot time-travel
+  /// and corrupt the monotonic clock.
+  void Schedule(util::VTime when, Event event) {
+    assert(when >= now_ && "cannot schedule into the past");
+    if (when < now_) when = now_;
+    heap_.push_back(Entry{when, next_seq_++, std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  /// Schedules `event` `delay` after now().
+  void ScheduleAfter(util::VDuration delay, Event event) {
+    Schedule(now_ + delay, std::move(event));
   }
 
-  util::VTime now() const { return now_; }
-  bool empty() const { return events_.empty(); }
-  size_t size() const { return events_.size(); }
+  /// Pre-sizes the underlying heap so steady-state scheduling never
+  /// reallocates (e.g. every trace arrival is scheduled up front).
+  void Reserve(size_t events) { heap_.reserve(events); }
 
-  /// Runs the next event; returns false when the queue is empty.
-  bool RunOne();
+  util::VTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Pops and dispatches the next event; returns false when the queue is
+  /// empty. `dispatch` may schedule further events.
+  template <typename Dispatch>
+  bool RunOne(Dispatch&& dispatch) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = entry.time;
+    dispatch(entry.event);
+    return true;
+  }
+
   /// Runs events until the queue empties or `limit` events have fired.
   /// Returns the number of events run.
-  uint64_t RunAll(uint64_t limit = UINT64_MAX);
+  template <typename Dispatch>
+  uint64_t RunAll(Dispatch&& dispatch, uint64_t limit = UINT64_MAX) {
+    uint64_t ran = 0;
+    while (ran < limit && RunOne(dispatch)) ++ran;
+    return ran;
+  }
+
   /// Runs events with time <= `until`.
-  uint64_t RunUntil(util::VTime until);
+  template <typename Dispatch>
+  uint64_t RunUntil(util::VTime until, Dispatch&& dispatch) {
+    uint64_t ran = 0;
+    while (!heap_.empty() && heap_.front().time <= until &&
+           RunOne(dispatch)) {
+      ++ran;
+    }
+    return ran;
+  }
 
  private:
-  struct Event {
+  struct Entry {
     util::VTime time;
     uint64_t seq;
-    Callback fn;
+    Event event;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  // A std::push_heap/pop_heap max-heap over a plain vector (rather than
+  // std::priority_queue) so Reserve() is possible and the popped entry can
+  // be moved out without const_cast.
+  std::vector<Entry> heap_;
   util::VTime now_ = 0;
   uint64_t next_seq_ = 0;
 };

@@ -23,6 +23,14 @@ Federation::Federation(const query::CostModel* cost_model,
     best_cost_[static_cast<size_t>(k)] =
         best == query::kInfeasibleCost ? 0.0 : static_cast<double>(best);
   }
+  cost_cache_.resize(static_cast<size_t>(cost_model_->num_classes()) *
+                     nodes_.size());
+  for (int k = 0; k < cost_model_->num_classes(); ++k) {
+    for (catalog::NodeId j = 0; j < cost_model_->num_nodes(); ++j) {
+      cost_cache_[static_cast<size_t>(k) * nodes_.size() +
+                  static_cast<size_t>(j)] = cost_model_->Cost(k, j);
+    }
+  }
 }
 
 SimMetrics Federation::Run(const workload::Trace& trace) {
@@ -31,16 +39,18 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
       static_cast<size_t>(cost_model_->num_classes()));
   outstanding_ = static_cast<int64_t>(trace.size());
 
+  // All arrivals live in the heap at once, plus one in-flight
+  // deliver/complete event per node and the market tick: reserving here
+  // makes steady-state scheduling allocation-free.
+  events_.Reserve(trace.size() + nodes_.size() + 1);
   for (const workload::Arrival& arrival : trace.arrivals()) {
-    PendingQuery pending;
-    pending.arrival = arrival;
-    pending.id = next_query_id_++;
-    events_.Schedule(arrival.time,
-                     [this, pending]() { HandleQuery(pending); });
+    events_.Schedule(
+        arrival.time,
+        SimEvent::MakeArrival({arrival, next_query_id_++, /*attempts=*/0}));
   }
-  events_.Schedule(TickInterval(), [this]() { MarketTick(); });
+  events_.Schedule(TickInterval(), SimEvent::MakeMarketTick());
 
-  events_.RunAll();
+  events_.RunAll([this](const SimEvent& event) { Dispatch(event); });
 
   metrics_.end_time = events_.now();
   for (const SimNode& node : nodes_) {
@@ -49,6 +59,23 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
     metrics_.node_completed.push_back(node.completed());
   }
   return metrics_;
+}
+
+void Federation::Dispatch(const SimEvent& event) {
+  switch (event.kind) {
+    case SimEvent::Kind::kArrival:
+      HandleQuery(event.pending);
+      break;
+    case SimEvent::Kind::kDeliver:
+      DeliverTask(event.node, event.task);
+      break;
+    case SimEvent::Kind::kComplete:
+      CompleteTask(event.node, event.task);
+      break;
+    case SimEvent::Kind::kMarketTick:
+      MarketTick();
+      break;
+  }
 }
 
 bool Federation::NodeOnline(catalog::NodeId node) const {
@@ -61,7 +88,7 @@ bool Federation::NodeOnline(catalog::NodeId node) const {
   return true;
 }
 
-void Federation::HandleQuery(PendingQuery pending) {
+void Federation::HandleQuery(SimEvent::Pending pending) {
   allocation::AllocationDecision decision =
       allocator_->Allocate(pending.arrival, *this);
   metrics_.messages += decision.messages;
@@ -93,7 +120,7 @@ void Federation::HandleQuery(PendingQuery pending) {
     int wait_ticks = std::min(pending.attempts,
                               std::max(config_.market_tick_divisor, 1));
     events_.Schedule(NextMarketTick() + (wait_ticks - 1) * TickInterval(),
-                     [this, pending]() { HandleQuery(pending); });
+                     SimEvent::MakeArrival(pending));
     return;
   }
 
@@ -104,7 +131,7 @@ void Federation::HandleQuery(PendingQuery pending) {
   task.origin = pending.arrival.origin;
   task.arrival = pending.arrival.time;
   util::VDuration base =
-      cost_model_->Cost(pending.arrival.class_id, decision.node);
+      CachedCost(pending.arrival.class_id, decision.node);
   task.exec_time = std::max<util::VDuration>(
       static_cast<util::VDuration>(static_cast<double>(base) *
                                    pending.arrival.cost_jitter),
@@ -116,20 +143,20 @@ void Federation::HandleQuery(PendingQuery pending) {
   util::VDuration delay =
       decision.messages >= 2 ? 3 * config_.message_latency
                              : config_.message_latency;
-  catalog::NodeId target = decision.node;
-  events_.ScheduleAfter(delay, [this, target, task]() {
-    if (nodes_[static_cast<size_t>(target)].Enqueue(task, events_.now())) {
-      StartTask(target);
-    }
-  });
+  events_.ScheduleAfter(delay, SimEvent::MakeDeliver(decision.node, task));
+}
+
+void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
+  if (nodes_[static_cast<size_t>(node_id)].Enqueue(task, events_.now())) {
+    StartTask(node_id);
+  }
 }
 
 void Federation::StartTask(catalog::NodeId node_id) {
   SimNode& node = nodes_[static_cast<size_t>(node_id)];
   QueryTask task = node.BeginNext(events_.now());
-  events_.ScheduleAfter(task.exec_time, [this, node_id, task]() {
-    CompleteTask(node_id, task);
-  });
+  events_.ScheduleAfter(task.exec_time,
+                        SimEvent::MakeComplete(node_id, task));
 }
 
 void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
@@ -152,7 +179,7 @@ void Federation::MarketTick() {
   allocator_->OnPeriodEnd(events_.now());
   allocator_->OnPeriodStart(events_.now());
   if (outstanding_ > 0) {
-    events_.ScheduleAfter(TickInterval(), [this]() { MarketTick(); });
+    events_.ScheduleAfter(TickInterval(), SimEvent::MakeMarketTick());
   }
 }
 

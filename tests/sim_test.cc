@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "allocation/factory.h"
 #include "sim/event_queue.h"
 #include "sim/federation.h"
@@ -16,46 +20,74 @@ using util::kSecond;
 // ------------------------------------------------------------ EventQueue
 
 TEST(EventQueueTest, RunsInTimeOrder) {
-  EventQueue q;
+  EventQueue<int> q;
   std::vector<int> order;
-  q.Schedule(30, [&] { order.push_back(3); });
-  q.Schedule(10, [&] { order.push_back(1); });
-  q.Schedule(20, [&] { order.push_back(2); });
-  q.RunAll();
+  q.Schedule(30, 3);
+  q.Schedule(10, 1);
+  q.Schedule(20, 2);
+  q.RunAll([&](int tag) { order.push_back(tag); });
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(q.now(), 30);
 }
 
 TEST(EventQueueTest, FifoTieBreak) {
-  EventQueue q;
+  EventQueue<int> q;
   std::vector<int> order;
-  q.Schedule(10, [&] { order.push_back(1); });
-  q.Schedule(10, [&] { order.push_back(2); });
-  q.Schedule(10, [&] { order.push_back(3); });
-  q.RunAll();
+  q.Schedule(10, 1);
+  q.Schedule(10, 2);
+  q.Schedule(10, 3);
+  q.RunAll([&](int tag) { order.push_back(tag); });
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueueTest, EventsCanScheduleEvents) {
-  EventQueue q;
+  EventQueue<int> q;
   int fired = 0;
-  q.Schedule(10, [&] {
+  q.Schedule(10, 1);
+  q.RunAll([&](int tag) {
     ++fired;
-    q.ScheduleAfter(5, [&] { ++fired; });
+    if (tag == 1) q.ScheduleAfter(5, 2);
   });
-  q.RunAll();
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(q.now(), 15);
 }
 
 TEST(EventQueueTest, RunUntilStopsAtBoundary) {
-  EventQueue q;
+  EventQueue<int> q;
   int fired = 0;
-  q.Schedule(10, [&] { ++fired; });
-  q.Schedule(20, [&] { ++fired; });
-  q.RunUntil(15);
+  q.Schedule(10, 1);
+  q.Schedule(20, 2);
+  q.RunUntil(15, [&](int) { ++fired; });
   EXPECT_EQ(fired, 1);
   EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, ReserveDoesNotDisturbOrdering) {
+  EventQueue<int> q;
+  q.Reserve(100);
+  std::vector<int> order;
+  for (int i = 9; i >= 0; --i) q.Schedule(i, i);
+  q.RunAll([&](int tag) { order.push_back(tag); });
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastAssertsAndClamps) {
+  EventQueue<int> q;
+  q.Schedule(10, 1);
+  q.RunAll([](int) {});
+  ASSERT_EQ(q.now(), 10);
+  // A `when` before now() is a caller bug: debug builds trip the assert;
+  // release builds clamp the event to now() instead of time-traveling.
+  EXPECT_DEBUG_DEATH(q.Schedule(5, 2), "cannot schedule into the past");
+#ifdef NDEBUG
+  std::vector<std::pair<util::VTime, int>> fired;
+  q.RunAll([&](int tag) { fired.emplace_back(q.now(), tag); });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, 10);  // clamped to now(), not 5
+  EXPECT_EQ(fired[0].second, 2);
+  EXPECT_EQ(q.now(), 10);
+#endif
 }
 
 // --------------------------------------------------------------- SimNode
