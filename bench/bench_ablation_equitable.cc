@@ -73,12 +73,19 @@ int main(int argc, char** argv) {
     };
     specs.push_back(std::move(spec));
   }
+  bench::Telemetry telemetry(args, "Ablation: equitable allocation");
+  telemetry.ReportField("capacity_qps", capacity);
+  // Trace the cheapest-offer (paper) run.
+  if (!specs.empty()) telemetry.Trace(specs.front());
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
   util::TableWriter table({"Offer selection", "Mean (ms)", "p95 (ms)",
                            "Earnings CV (lower = fairer)"});
   for (size_t i = 0; i < selections.size(); ++i) {
     const sim::SimMetrics& m = cells[i].metrics;
+    telemetry.Report(selections[i] == Selection::kCheapest ? "cheapest"
+                                                           : "equitable",
+                     m);
     table.AddRow(selections[i] == Selection::kCheapest
                      ? "cheapest (paper)"
                      : "equitable (future work)",

@@ -85,12 +85,19 @@ int main(int argc, char** argv) {
     return std::make_unique<allocation::GreedyAllocator>(seed);
   });
 
+  bench::Telemetry telemetry(args, "Ablation: load information");
+  telemetry.ReportField("capacity_qps", capacity);
+  // Trace the QA-NT row (single-writer recorder, one traced run).
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i].first == "QA-NT") telemetry.Trace(specs[i]);
+  }
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
   util::TableWriter table({"Mechanism", "Load info", "Mean (ms)",
                            "p95 (ms)"});
   for (size_t i = 0; i < cells.size(); ++i) {
     const sim::SimMetrics& m = cells[i].metrics;
+    telemetry.Report(labels[i].first, m);
     table.AddRow(labels[i].first, labels[i].second, m.MeanResponseMs(),
                  m.response_time_ms.Percentile(95));
   }

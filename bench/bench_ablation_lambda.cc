@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
                                1000 * kMillisecond);
   std::vector<const market::SupplySet*> sets{&n1, &n2};
 
+  bench::Telemetry telemetry(args, "Ablation: lambda");
   std::cout << "(a) Tatonnement iterations to clear demand (4, 2):\n";
   util::TableWriter conv({"lambda", "iterations", "converged",
                           "final prices"});
@@ -38,6 +39,12 @@ int main(int argc, char** argv) {
         market::QuantityVector({4, 2}), sets, config);
     conv.AddRow(lambda, r.iterations, r.converged ? "yes" : "no",
                 r.prices.ToString());
+    // Traced runs also log the umpire's final prices/excess demand per
+    // lambda (stamped with the iteration count it took).
+    QA_OBS(telemetry.recorder()) {
+      telemetry.recorder()->RecordSnapshot(
+          r.iterations, obs::SnapshotFromTatonnement(r));
+    }
   }
   conv.Print(std::cout);
 
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
 
   util::TableWriter table({"lambda", "QA-NT mean (ms)", "retries"});
   for (size_t i = 0; i < lambdas.size(); ++i) {
+    telemetry.Report("QA-NT@lambda=" + std::to_string(lambdas[i]),
+                     cells[i].metrics);
     table.AddRow(lambdas[i], cells[i].metrics.MeanResponseMs(),
                  cells[i].metrics.retries);
   }

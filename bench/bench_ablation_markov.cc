@@ -82,11 +82,19 @@ int main(int argc, char** argv) {
       specs.push_back(std::move(spec));
     }
   }
+  bench::Telemetry telemetry(args, "Ablation: Markov");
+  telemetry.ReportField("capacity_qps", capacity);
+  // Trace the first QA-NT cell (single-writer recorder, one traced run).
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "QA-NT") telemetry.Trace(specs[2 * i]);
+  }
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
   util::TableWriter table({"Mechanism", "Static mean (ms)",
                            "Dynamic mean (ms)"});
   for (size_t i = 0; i < names.size(); ++i) {
+    telemetry.Report(names[i] + "@static", cells[2 * i].metrics);
+    telemetry.Report(names[i] + "@dynamic", cells[2 * i + 1].metrics);
     table.AddRow(names[i], cells[2 * i].metrics.MeanResponseMs(),
                  cells[2 * i + 1].metrics.MeanResponseMs());
   }

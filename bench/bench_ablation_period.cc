@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   workload::Trace dynamic_trace =
       workload::GenerateSinusoidWorkload(dynamic_wl, rng_d);
 
+  bench::Telemetry telemetry(args, "Ablation: period T");
+  telemetry.ReportField("capacity_qps", capacity);
   std::vector<int64_t> periods_ms = {125, 250, 500, 1000, 2000, 4000};
   std::vector<exec::RunSpec> specs;
   for (int64_t t_ms : periods_ms) {
@@ -54,7 +56,14 @@ int main(int argc, char** argv) {
     specs.push_back(bench::MakeSpec(*model, "QA-NT", dynamic_trace,
                                     t_ms * kMillisecond, seed));
   }
+  // Trace the first cell (single-writer recorder, one traced run).
+  if (!specs.empty()) telemetry.Trace(specs.front());
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+  for (size_t i = 0; i < periods_ms.size(); ++i) {
+    std::string suffix = "@T=" + std::to_string(periods_ms[i]) + "ms";
+    telemetry.Report("static" + suffix, cells[2 * i].metrics);
+    telemetry.Report("dynamic" + suffix, cells[2 * i + 1].metrics);
+  }
 
   util::TableWriter table({"T (ms)", "Static load mean (ms)",
                            "Dynamic load mean (ms)"});

@@ -10,7 +10,10 @@
 
 #include "allocation/factory.h"
 #include "exec/experiment_runner.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
 #include "sim/federation.h"
+#include "sim/metrics_json.h"
 #include "sim/scenario.h"
 #include "util/table_writer.h"
 #include "workload/sinusoid.h"
@@ -19,14 +22,19 @@ namespace qa::bench {
 
 /// The flags every experiment binary shares, parsed in one place instead
 /// of ad-hoc per-binary argv scans:
-///   --quick       smaller grids/workloads for smoke runs
-///   --threads=N   experiment-runner parallelism (N<1 = all hardware
-///                 threads; 1 reproduces the serial behavior exactly)
-///   --seed=S      master RNG seed
+///   --quick        smaller grids/workloads for smoke runs
+///   --threads=N    experiment-runner parallelism (N<1 = all hardware
+///                  threads; 1 reproduces the serial behavior exactly)
+///   --seed=S       master RNG seed
+///   --trace=FILE   stream a JSONL telemetry trace of the binary's traced
+///                  run into FILE (analyze with tools/qa_trace)
+///   --report=FILE  write a structured JSON run report (SimMetrics per run)
 struct BenchArgs {
   bool quick = false;
   int threads = 0;  // 0 => hardware_concurrency
   uint64_t seed = 42;
+  std::string trace_path;
+  std::string report_path;
 
   static BenchArgs Parse(int argc, char** argv, uint64_t default_seed = 42) {
     BenchArgs args;
@@ -39,9 +47,14 @@ struct BenchArgs {
         args.threads = std::atoi(arg.c_str() + 10);
       } else if (arg.rfind("--seed=", 0) == 0) {
         args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        args.trace_path = arg.substr(8);
+      } else if (arg.rfind("--report=", 0) == 0) {
+        args.report_path = arg.substr(9);
       } else {
         std::cerr << "warning: ignoring unknown flag '" << arg
-                  << "' (known: --quick --threads=N --seed=S)\n";
+                  << "' (known: --quick --threads=N --seed=S "
+                     "--trace=FILE --report=FILE)\n";
       }
     }
     return args;
@@ -51,6 +64,64 @@ struct BenchArgs {
   exec::ExperimentRunner MakeRunner() const {
     return exec::ExperimentRunner(threads);
   }
+};
+
+/// The telemetry outputs of one experiment binary: the optional JSONL
+/// trace recorder (--trace) and the optional JSON run report (--report).
+/// Construct it once near the top of main(); it writes everything out on
+/// destruction. With neither flag set every call is a cheap no-op.
+class Telemetry {
+ public:
+  Telemetry(const BenchArgs& args, const std::string& bench_name)
+      : report_path_(args.report_path), report_(bench_name) {
+    report_.SetField("seed", static_cast<int64_t>(args.seed));
+    if (!args.trace_path.empty()) {
+      util::StatusOr<std::unique_ptr<obs::Recorder>> opened =
+          obs::Recorder::OpenFile(args.trace_path);
+      if (opened.ok()) {
+        recorder_ = std::move(opened).value();
+      } else {
+        std::cerr << "warning: --trace: " << opened.status()
+                  << "; tracing disabled\n";
+      }
+    }
+  }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  ~Telemetry() {
+    if (recorder_ != nullptr) recorder_->Finish();
+    if (!report_path_.empty() && !report_.empty()) {
+      util::Status status = report_.WriteFile(report_path_);
+      if (!status.ok()) {
+        std::cerr << "warning: --report: " << status << "\n";
+      }
+    }
+  }
+
+  /// Null when --trace was not given (probes compile to one branch).
+  obs::Recorder* recorder() { return recorder_.get(); }
+
+  /// Attaches the trace recorder to `spec`. The recorder is single-writer:
+  /// attach it to exactly one spec per binary (benches trace their QA-NT
+  /// run) so parallel grid execution stays race-free.
+  void Trace(exec::RunSpec& spec) { spec.config.recorder = recorder_.get(); }
+
+  /// Adds one labeled SimMetrics row to the run report.
+  void Report(const std::string& label, const sim::SimMetrics& metrics) {
+    report_.Add(label, sim::MetricsToJson(metrics));
+  }
+
+  /// Top-level report extras (capacity estimates, grid shape...).
+  void ReportField(const std::string& key, obs::Json value) {
+    report_.SetField(key, std::move(value));
+  }
+
+ private:
+  std::string report_path_;
+  obs::RunReport report_;
+  std::unique_ptr<obs::Recorder> recorder_;
 };
 
 /// Builds the standard grid cell shared by the figure benches.

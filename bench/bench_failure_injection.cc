@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   std::cout << "Workload: " << trace.size() << " queries; " << outages.size()
             << " of " << scenario.num_nodes << " nodes fail.\n\n";
 
+  bench::Telemetry telemetry(args, "Failure injection");
+  telemetry.ReportField("capacity_qps", capacity);
   util::TableWriter table({"Mechanism", "Mean (ms)", "p95 (ms)", "Bounced",
                            "Retries", "Dropped"});
   for (const std::string& name : allocation::AllMechanismNames()) {
@@ -56,8 +58,13 @@ int main(int argc, char** argv) {
     config.period = period;
     config.max_retries = 5000;
     config.outages = outages;
+    config.seed = static_cast<int64_t>(seed);
+    // Trace the market mechanism's run (single-writer: QA-NT only) — its
+    // bounce/reject spans show the outage window directly.
+    if (name == "QA-NT") config.recorder = telemetry.recorder();
     sim::Federation fed(model.get(), alloc.get(), config);
     sim::SimMetrics m = fed.Run(trace);
+    telemetry.Report(name, m);
     table.AddRow(name, m.MeanResponseMs(),
                  m.response_time_ms.Percentile(95), m.bounced, m.retries,
                  m.dropped);

@@ -46,10 +46,14 @@ int main(int argc, char** argv) {
   // One grid cell per mechanism, run concurrently; results come back in
   // submission order, so the table below is byte-identical at any
   // --threads value.
+  bench::Telemetry telemetry(args, "Fig. 4");
+  telemetry.ReportField("capacity_qps", capacity);
   std::vector<std::string> names = allocation::AllMechanismNames();
   std::vector<exec::RunSpec> specs;
   for (const std::string& name : names) {
     specs.push_back(bench::MakeSpec(*model, name, trace, period, seed));
+    // Trace the market mechanism's run (single-writer: QA-NT only).
+    if (name == "QA-NT") telemetry.Trace(specs.back());
   }
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
 
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < names.size(); ++i) {
     sim::SimMetrics m = std::move(cells[i].metrics);
     if (names[i] == "QA-NT") qa_nt_ms = m.MeanResponseMs();
+    telemetry.Report(names[i], m);
     results.emplace_back(names[i], std::move(m));
   }
 

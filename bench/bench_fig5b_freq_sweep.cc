@@ -47,12 +47,21 @@ int main(int argc, char** argv) {
     util::Rng wl_rng(seed + 1);
     traces.push_back(workload::GenerateSinusoidWorkload(workload, wl_rng));
   }
+  bench::Telemetry telemetry(args, "Fig. 5b");
+  telemetry.ReportField("capacity_qps", capacity);
   std::vector<exec::RunSpec> specs;
   for (const workload::Trace& trace : traces) {
     specs.push_back(bench::MakeSpec(*model, "QA-NT", trace, period, seed));
     specs.push_back(bench::MakeSpec(*model, "Greedy", trace, period, seed));
   }
+  // Trace the first QA-NT cell (single-writer recorder, one traced run).
+  if (!specs.empty()) telemetry.Trace(specs.front());
   std::vector<exec::RunResult> cells = args.MakeRunner().Run(specs);
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    std::string suffix = "@" + std::to_string(freqs[i]) + "Hz";
+    telemetry.Report("QA-NT" + suffix, cells[2 * i].metrics);
+    telemetry.Report("Greedy" + suffix, cells[2 * i + 1].metrics);
+  }
 
   util::TableWriter table({"Frequency (Hz)", "QA-NT mean (ms)",
                            "Greedy mean (ms)", "Greedy / QA-NT"});

@@ -40,10 +40,23 @@ int main(int argc, char** argv) {
   workload::Trace trace =
       workload::GenerateSinusoidWorkload(workload, wl_rng);
 
-  sim::SimMetrics qa_nt =
-      bench::RunMechanism(*model, "QA-NT", trace, period, seed);
+  bench::Telemetry telemetry(args, "Fig. 5c");
+  telemetry.ReportField("capacity_qps", capacity);
+  QA_OBS(telemetry.recorder()) {
+    telemetry.recorder()->Gauge("capacity_qps", capacity);
+  }
+
+  // The trace (when requested) follows the QA-NT run: its per-period
+  // price/supply snapshots are what tools/qa_trace turns into the
+  // convergence diagnostics.
+  exec::RunSpec qa_spec = bench::MakeSpec(*model, "QA-NT", trace, period,
+                                          seed);
+  telemetry.Trace(qa_spec);
+  sim::SimMetrics qa_nt = exec::RunSpecOnce(qa_spec).metrics;
   sim::SimMetrics greedy =
       bench::RunMechanism(*model, "Greedy", trace, period, seed);
+  telemetry.Report("QA-NT", qa_nt);
+  telemetry.Report("Greedy", greedy);
 
   util::VTime horizon = 15 * kSecond;
   std::vector<int> arrivals =

@@ -17,9 +17,12 @@ using util::kSecond;
 
 double RunMean(const query::CostModel& model, const std::string& name,
                const workload::Trace& trace, util::VDuration period,
-               uint64_t seed) {
-  return bench::RunMechanism(model, name, trace, period, seed)
-      .MeanResponseMs();
+               uint64_t seed, bench::Telemetry& telemetry,
+               const std::string& label) {
+  sim::SimMetrics metrics =
+      bench::RunMechanism(model, name, trace, period, seed);
+  telemetry.Report(label, metrics);
+  return metrics.MeanResponseMs();
 }
 
 }  // namespace
@@ -63,13 +66,16 @@ int main(int argc, char** argv) {
   util::Rng wl2(seed + 1);
   workload::Trace hetero_trace = make_trace(*hetero_model, wl2);
 
+  bench::Telemetry telemetry(args, "Homogeneous control");
   util::TableWriter table({"Mechanism", "Homogeneous mean (ms)",
                            "Heterogeneous mean (ms)"});
   double homo_best = 0.0;
   double homo_worst = 0.0;
   for (const std::string& name : allocation::AllMechanismNames()) {
-    double homo = RunMean(*homo_model, name, homo_trace, period, seed);
-    double hetero = RunMean(*hetero_model, name, hetero_trace, period, seed);
+    double homo = RunMean(*homo_model, name, homo_trace, period, seed,
+                          telemetry, name + "@homogeneous");
+    double hetero = RunMean(*hetero_model, name, hetero_trace, period, seed,
+                            telemetry, name + "@heterogeneous");
     table.AddRow(name, homo, hetero);
     if (homo_best == 0.0 || homo < homo_best) homo_best = homo;
     if (homo > homo_worst) homo_worst = homo;

@@ -280,6 +280,24 @@ int main(int argc, char** argv) {
             << "  results identical       : " << (identical ? "yes" : "NO")
             << "\n";
 
+  // Optional structured run report (--report=FILE): the serial grid's
+  // SimMetrics per cell. The timed loops above never see a recorder, so
+  // --report does not perturb the measurements.
+  {
+    bench::Telemetry telemetry(args, "Perf: runner + event queue");
+    telemetry.ReportField("events_per_sec_tagged", tagged_eps);
+    telemetry.ReportField("events_per_sec_callback", callback_eps);
+    std::vector<std::string> names = allocation::AllMechanismNames();
+    for (size_t i = 0; i < serial.size(); ++i) {
+      const std::string& name = names[i % names.size()];
+      telemetry.Report(
+          name + "@seed" +
+              std::to_string(args.seed + static_cast<uint64_t>(
+                                             i / names.size())),
+          serial[i].metrics);
+    }
+  }
+
   std::ofstream json("BENCH_runner.json");
   json << "{\n"
        << "  \"events_total\": " << total_events << ",\n"

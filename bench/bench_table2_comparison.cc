@@ -60,10 +60,15 @@ int main(int argc, char** argv) {
     double mean_response;
     int64_t messages;
   };
+  bench::Telemetry telemetry(args, "Table 2");
+  telemetry.ReportField("capacity_qps", capacity);
   std::vector<Row> rows;
   for (const std::string& name : allocation::AllMechanismNames()) {
-    sim::SimMetrics metrics =
-        bench::RunMechanism(*model, name, trace, period, seed);
+    exec::RunSpec spec = bench::MakeSpec(*model, name, trace, period, seed);
+    // Trace the market mechanism's run (single-writer: QA-NT only).
+    if (name == "QA-NT") telemetry.Trace(spec);
+    sim::SimMetrics metrics = exec::RunSpecOnce(spec).metrics;
+    telemetry.Report(name, metrics);
     allocation::AllocatorParams params;
     params.cost_model = model.get();
     auto alloc = allocation::CreateAllocator(name, params);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "obs/snapshot.h"
 #include "query/cost_model.h"
 #include "util/vtime.h"
 #include "workload/trace.h"
@@ -83,6 +84,23 @@ class Allocator {
   /// baselines ignore them).
   virtual void OnPeriodStart(util::VTime now) { (void)now; }
   virtual void OnPeriodEnd(util::VTime now) { (void)now; }
+
+  /// Introspection for the telemetry layer: what this mechanism can show
+  /// of its internal market state. QA-NT overrides this with the full
+  /// per-agent private price/supply vectors; the default (all baselines)
+  /// reports the mechanism name and cumulative probe/message spend.
+  /// Called off the allocation fast path (market-period cadence).
+  virtual obs::AllocatorSnapshot Snapshot() const {
+    obs::AllocatorSnapshot snapshot;
+    snapshot.mechanism = name();
+    snapshot.probe_messages = total_messages_;
+    return snapshot;
+  }
+
+ protected:
+  /// Implementations add every AllocationDecision::messages here so
+  /// Snapshot() can report cumulative message spend.
+  int64_t total_messages_ = 0;
 };
 
 }  // namespace qa::allocation

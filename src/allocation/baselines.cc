@@ -35,6 +35,7 @@ AllocationDecision RandomAllocator::Allocate(
   decision.node = nodes[static_cast<size_t>(
       rng_.UniformInt(0, static_cast<int64_t>(nodes.size()) - 1))];
   decision.messages = 1;  // send the query to the chosen node
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -60,6 +61,7 @@ AllocationDecision RoundRobinAllocator::Allocate(
   decision.node = nodes[next_index_[k] % nodes.size()];
   next_index_[k] = (next_index_[k] + 1) % nodes.size();
   decision.messages = 1;
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -98,6 +100,7 @@ AllocationDecision GreedyAllocator::Allocate(
   }
   // One probe round-trip per feasible node plus the final assignment.
   decision.messages = 2 * static_cast<int>(nodes.size()) + 1;
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -135,6 +138,7 @@ AllocationDecision BlindGreedyAllocator::Allocate(
   }
   // One estimate round-trip per feasible node plus the final assignment.
   decision.messages = 2 * static_cast<int>(nodes.size()) + 1;
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -172,6 +176,7 @@ AllocationDecision TwoRandomProbesAllocator::Allocate(
   if (nodes.size() == 1) {
     decision.node = nodes[0];
     decision.messages = 1;
+    total_messages_ += decision.messages;
     return decision;
   }
   int n = static_cast<int>(nodes.size());
@@ -183,6 +188,7 @@ AllocationDecision TwoRandomProbesAllocator::Allocate(
                       ? a
                       : b;
   decision.messages = 2 * 2 + 1;  // two probe round-trips + assignment
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -221,6 +227,7 @@ AllocationDecision BnqrdAllocator::Allocate(
   // Every node periodically reports its load to the coordinator; charge
   // one report per feasible node plus the assignment message.
   decision.messages = static_cast<int>(nodes.size()) + 1;
+  total_messages_ += decision.messages;
   return decision;
 }
 
@@ -263,6 +270,7 @@ AllocationDecision LeastImbalanceAllocator::Allocate(
     }
   }
   decision.messages = 2 * context.num_nodes() + 1;
+  total_messages_ += decision.messages;
   return decision;
 }
 

@@ -63,6 +63,7 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
   }
   // Request + offer/decline reply per asked node, plus the final accept.
   decision.messages = 2 * asked + 1;
+  total_messages_ += decision.messages;
   if (offers.empty()) return decision;  // resubmitted next period
 
   catalog::NodeId best = offers[0];
@@ -85,6 +86,33 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
   }
   decision.node = best;
   return decision;
+}
+
+obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
+  obs::AllocatorSnapshot snapshot;
+  snapshot.mechanism = name();
+  snapshot.probe_messages = total_messages_;
+  snapshot.agents.reserve(agents_.size());
+  for (const auto& agent : agents_) {
+    obs::AgentStateSnapshot state;
+    state.node = agent->node();
+    state.prices = agent->prices().values();
+    const auto& planned = agent->planned_supply().values();
+    const auto& remaining = agent->remaining_supply().values();
+    state.planned_supply.assign(planned.begin(), planned.end());
+    state.remaining_supply.assign(remaining.begin(), remaining.end());
+    const market::QaNtAgentStats& stats = agent->stats();
+    state.requests_seen = stats.requests_seen;
+    state.offers_made = stats.offers_made;
+    state.offers_accepted = stats.offers_accepted;
+    state.declines_no_supply = stats.declines_no_supply;
+    state.periods = stats.periods;
+    state.debt_us = agent->debt();
+    state.remaining_budget_us = agent->remaining_budget();
+    state.earnings = agent->earnings();
+    snapshot.agents.push_back(std::move(state));
+  }
+  return snapshot;
 }
 
 void QaNtAllocator::OnPeriodStart(util::VTime now) {

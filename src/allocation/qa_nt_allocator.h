@@ -40,6 +40,11 @@ class QaNtAllocator : public Allocator {
   AllocationDecision Allocate(const workload::Arrival& arrival,
                               const AllocationContext& context) override;
 
+  /// Full market introspection: every agent's private price vector, the
+  /// supply it planned at its last period rollover, the unsold leftover,
+  /// and its cumulative request/offer/decline counters.
+  obs::AllocatorSnapshot Snapshot() const override;
+
   /// Market refresh hook. The nodes are autonomous, so their periods are
   /// *staggered*: agent i's boundaries sit at phase (i/N)*T within the
   /// global period. Each call rolls over every agent whose boundary has

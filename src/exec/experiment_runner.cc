@@ -43,6 +43,8 @@ RunResult RunSpecOnce(const RunSpec& spec) {
   std::unique_ptr<allocation::Allocator> allocator = MakeAllocator(spec);
   sim::FederationConfig config = spec.config;
   config.period = spec.period;
+  // Provenance for traced runs: the trace meta line records the seed.
+  config.seed = static_cast<int64_t>(spec.seed);
   sim::Federation federation(spec.cost_model, allocator.get(), config);
   RunResult result;
   result.metrics = federation.Run(*spec.trace);

@@ -1,0 +1,175 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace qa::obs {
+
+namespace {
+
+int64_t PeriodOf(int64_t t_us, int64_t period_us) {
+  return period_us > 0 ? t_us / period_us : 0;
+}
+
+}  // namespace
+
+std::vector<PriceDispersion> PriceVarianceByPeriod(const ParsedTrace& trace) {
+  int64_t period_us = trace.meta.period_us;
+  // (period, class) -> node -> last price in that period. Snapshots are
+  // time-ordered in the file, so overwriting keeps the last sample.
+  //
+  // Only nodes with planned supply for the class are in that class's
+  // market this period: a node that plans zero units quotes no offer, and
+  // its price just decays toward the floor — including it would measure
+  // the floor/cap spread, not market disagreement. Traces without supply
+  // columns (planned == 0 everywhere, e.g. a non-market mechanism) fall
+  // back to every sampled node.
+  std::map<std::pair<int64_t, int>, std::map<int, double>> cells;
+  std::map<std::pair<int64_t, int>, std::map<int, double>> offering;
+  for (const PriceRecord& p : trace.prices) {
+    std::pair<int64_t, int> key{PeriodOf(p.t_us, period_us), p.class_id};
+    cells[key][p.node] = p.price;
+    if (p.planned > 0) offering[key][p.node] = p.price;
+  }
+  for (auto& [key, by_node] : cells) {
+    auto it = offering.find(key);
+    if (it != offering.end()) by_node = std::move(it->second);
+  }
+  std::vector<PriceDispersion> out;
+  out.reserve(cells.size());
+  for (const auto& [key, by_node] : cells) {
+    PriceDispersion d;
+    d.period = static_cast<int>(key.first);
+    d.class_id = key.second;
+    d.nodes = static_cast<int>(by_node.size());
+    double sum = 0.0;
+    for (const auto& [node, price] : by_node) sum += price;
+    d.mean = sum / static_cast<double>(d.nodes);
+    double log_sum = 0.0;
+    for (const auto& [node, price] : by_node) {
+      log_sum += std::log(std::max(price, 1e-300));
+    }
+    double log_mean = log_sum / static_cast<double>(d.nodes);
+    double ss = 0.0;
+    double log_ss = 0.0;
+    for (const auto& [node, price] : by_node) {
+      double delta = price - d.mean;
+      ss += delta * delta;
+      double log_delta = std::log(std::max(price, 1e-300)) - log_mean;
+      log_ss += log_delta * log_delta;
+    }
+    d.variance = ss / static_cast<double>(d.nodes);
+    d.log_variance = log_ss / static_cast<double>(d.nodes);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace) {
+  int64_t period_us = trace.meta.period_us;
+  int64_t last_period = 0;
+  for (const EventRecord& e : trace.events) {
+    last_period = std::max(last_period, PeriodOf(e.t_us, period_us));
+  }
+  std::vector<PeriodLoad> loads(static_cast<size_t>(last_period + 1));
+  for (size_t i = 0; i < loads.size(); ++i) {
+    loads[i].period = static_cast<int>(i);
+  }
+  for (const EventRecord& e : trace.events) {
+    PeriodLoad& load = loads[static_cast<size_t>(PeriodOf(e.t_us, period_us))];
+    switch (e.kind) {
+      case EventRecord::Kind::kArrival:
+        ++load.arrivals;
+        break;
+      case EventRecord::Kind::kAssign:
+        ++load.assigns;
+        load.messages += e.messages;
+        break;
+      case EventRecord::Kind::kReject:
+        ++load.rejects;
+        load.messages += e.messages;
+        break;
+      case EventRecord::Kind::kDrop:
+        ++load.drops;
+        break;
+      case EventRecord::Kind::kBounce:
+        ++load.bounces;
+        break;
+      case EventRecord::Kind::kComplete:
+        ++load.completes;
+        break;
+      case EventRecord::Kind::kDeliver:
+      case EventRecord::Kind::kTick:
+        break;
+    }
+  }
+  return loads;
+}
+
+EquilibriumResult TimeToEquilibrium(const std::vector<PeriodLoad>& loads,
+                                    const MetaRecord& meta, double band,
+                                    int window) {
+  EquilibriumResult result;
+  if (window < 1) window = 1;
+  if (loads.size() < static_cast<size_t>(window)) return result;
+  for (size_t start = 0; start + static_cast<size_t>(window) <= loads.size();
+       ++start) {
+    bool all_within = true;
+    for (int i = 0; i < window; ++i) {
+      if (loads[start + static_cast<size_t>(i)].ExcessRatio() > band) {
+        all_within = false;
+        break;
+      }
+    }
+    if (all_within) {
+      result.found = true;
+      result.period = loads[start].period;
+      result.time_ms = util::ToMillis(static_cast<util::VDuration>(
+          result.period * meta.period_us));
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<TrackingSeries> ComputeTracking(const ParsedTrace& trace,
+                                            util::VDuration bucket_us) {
+  if (bucket_us <= 0) bucket_us = 1;
+  int64_t horizon = 0;
+  int max_class = -1;
+  for (const EventRecord& e : trace.events) {
+    if (e.kind == EventRecord::Kind::kArrival ||
+        e.kind == EventRecord::Kind::kComplete) {
+      horizon = std::max(horizon, e.t_us);
+      max_class = std::max(max_class, e.class_id);
+    }
+  }
+  if (max_class < 0) return {};
+  size_t buckets = static_cast<size_t>(horizon / bucket_us) + 1;
+  std::vector<TrackingSeries> out(static_cast<size_t>(max_class + 1));
+  for (size_t k = 0; k < out.size(); ++k) {
+    out[k].class_id = static_cast<int>(k);
+    out[k].arrivals.assign(buckets, 0);
+    out[k].completions.assign(buckets, 0);
+  }
+  for (const EventRecord& e : trace.events) {
+    if (e.class_id < 0) continue;
+    size_t bucket = static_cast<size_t>(e.t_us / bucket_us);
+    if (e.kind == EventRecord::Kind::kArrival) {
+      ++out[static_cast<size_t>(e.class_id)].arrivals[bucket];
+    } else if (e.kind == EventRecord::Kind::kComplete) {
+      ++out[static_cast<size_t>(e.class_id)].completions[bucket];
+    }
+  }
+  for (TrackingSeries& series : out) {
+    for (size_t b = 0; b < series.arrivals.size(); ++b) {
+      series.total_error +=
+          std::abs(series.arrivals[b] - series.completions[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace qa::obs

@@ -1,0 +1,87 @@
+#ifndef QAMARKET_OBS_ANALYSIS_H_
+#define QAMARKET_OBS_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_reader.h"
+#include "util/vtime.h"
+
+namespace qa::obs {
+
+/// Dispersion of the nodes' private prices for one class in one market
+/// period: the paper's convergence claim (§3.3) is that QA-NT's
+/// decentralized price adjustments drive this variance down without an
+/// umpire, and back down again after each workload shift.
+struct PriceDispersion {
+  int period = 0;    // t_us / meta.period_us of the snapshot
+  int class_id = 0;
+  int nodes = 0;     // nodes sampled in this period
+  double mean = 0.0;
+  double variance = 0.0;  // population variance across nodes
+  /// Population variance of ln(price) across nodes. QA-NT's price moves
+  /// are multiplicative (a bump per decline, a proportional end-of-period
+  /// decay), so absolute variance mostly tracks the price *scale*; the
+  /// log-variance is invariant to all nodes re-scaling together and
+  /// measures only how much they disagree — the paper's convergence claim.
+  double log_variance = 0.0;
+};
+
+/// Per-class price variance across nodes, one row per (period, class) with
+/// at least one snapshot sample. Rows are ordered by (period, class); each
+/// node contributes its last sample within the period.
+std::vector<PriceDispersion> PriceVarianceByPeriod(const ParsedTrace& trace);
+
+/// Event-loop activity aggregated per market period.
+struct PeriodLoad {
+  int period = 0;
+  int64_t arrivals = 0;   // first-attempt arrivals
+  int64_t assigns = 0;
+  int64_t rejects = 0;    // declined by every server (retry scheduled)
+  int64_t drops = 0;
+  int64_t bounces = 0;
+  int64_t completes = 0;
+  int64_t messages = 0;   // allocation messages spent this period
+
+  /// Observable excess demand: the fraction of allocation attempts this
+  /// period that no server was willing to take.
+  double ExcessRatio() const {
+    int64_t attempts = assigns + rejects;
+    return attempts > 0
+               ? static_cast<double>(rejects) / static_cast<double>(attempts)
+               : 0.0;
+  }
+};
+
+/// Buckets the trace's events by market period (empty periods included up
+/// to the last event).
+std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace);
+
+/// Time-to-equilibrium: the first period from which the observable excess
+/// demand stays within `band` for `window` consecutive periods.
+struct EquilibriumResult {
+  bool found = false;
+  int period = -1;
+  double time_ms = 0.0;  // start of that period in virtual milliseconds
+};
+
+EquilibriumResult TimeToEquilibrium(const std::vector<PeriodLoad>& loads,
+                                    const MetaRecord& meta,
+                                    double band = 0.1, int window = 4);
+
+/// Fig. 5c-style tracking: per `bucket_us` window, arrivals versus
+/// completions of one class, and the cumulative |arrivals - completions|
+/// tracking error.
+struct TrackingSeries {
+  int class_id = 0;
+  std::vector<int64_t> arrivals;     // per bucket
+  std::vector<int64_t> completions;  // per bucket
+  int64_t total_error = 0;
+};
+
+std::vector<TrackingSeries> ComputeTracking(const ParsedTrace& trace,
+                                            util::VDuration bucket_us);
+
+}  // namespace qa::obs
+
+#endif  // QAMARKET_OBS_ANALYSIS_H_

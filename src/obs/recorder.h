@@ -1,0 +1,95 @@
+#ifndef QAMARKET_OBS_RECORDER_H_
+#define QAMARKET_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/snapshot.h"
+#include "obs/trace_schema.h"
+#include "util/status.h"
+#include "util/vtime.h"
+
+namespace qa::obs {
+
+/// Streams telemetry records as JSONL and accumulates named counters and
+/// gauges. One Recorder belongs to one simulation run at a time (single
+/// writer, no locking): probes sit on the simulator's hot path, so keeping
+/// the recorder thread-confined keeps the enabled path cheap and the
+/// disabled path a single pointer test.
+///
+/// Probe sites use the QA_OBS macro below so that the disabled path is one
+/// predictable branch — or no code at all when QA_OBS_DISABLED is defined
+/// at build time (the probes compile away entirely).
+class Recorder {
+ public:
+  /// A disabled recorder: every probe is dropped.
+  Recorder() = default;
+
+  /// Records into `sink` (not owned; must outlive the recorder).
+  explicit Recorder(std::ostream* sink) : sink_(sink) {}
+
+  /// Opens `path` for writing and records into it.
+  static util::StatusOr<std::unique_ptr<Recorder>> OpenFile(
+      const std::string& path);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool enabled() const { return sink_ != nullptr; }
+
+  // ---- Trace records (one JSONL line each) ----
+  void Record(const MetaRecord& record) { Write(record.ToJson()); }
+  void Record(const EventRecord& record) { Write(record.ToJson()); }
+  void Record(const PriceRecord& record) { Write(record.ToJson()); }
+  void Record(const AgentRecord& record) { Write(record.ToJson()); }
+  void Record(const UmpireRecord& record) { Write(record.ToJson()); }
+
+  /// Expands an allocator snapshot into price/agent/umpire records stamped
+  /// with virtual time `now`.
+  void RecordSnapshot(util::VTime now, const AllocatorSnapshot& snapshot);
+
+  // ---- Counters and gauges ----
+  /// Adds `delta` to the named counter (created at zero on first use).
+  void Count(std::string_view name, int64_t delta = 1);
+  /// Sets the named gauge to `value` (last write wins).
+  void Gauge(std::string_view name, double value);
+
+  int64_t counter(std::string_view name) const;
+  const std::vector<StatRecord>& stats() const { return stats_; }
+
+  /// Flushes counters and gauges as trailing records and syncs the sink.
+  /// Idempotent per set of stats; called by the owner once the run(s)
+  /// being traced are over.
+  void Finish();
+
+  ~Recorder() { Finish(); }
+
+ private:
+  void Write(const Json& json);
+  StatRecord* FindStat(std::string_view name, bool gauge);
+
+  std::ostream* sink_ = nullptr;
+  /// Owned sink storage when OpenFile was used.
+  std::unique_ptr<std::ofstream> file_;
+  std::vector<StatRecord> stats_;
+  bool finished_ = false;
+  std::string line_buffer_;
+};
+
+}  // namespace qa::obs
+
+/// Probe gate: `QA_OBS(recorder) recorder->...;` costs one null test when
+/// telemetry is off, and compiles to nothing under -DQA_OBS_DISABLED.
+#ifdef QA_OBS_DISABLED
+#define QA_OBS(recorder_ptr) if constexpr (false)
+#else
+#define QA_OBS(recorder_ptr) if ((recorder_ptr) != nullptr)
+#endif
+
+#endif  // QAMARKET_OBS_RECORDER_H_

@@ -1,0 +1,55 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+namespace qa::obs {
+
+Json RunReport::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("schema", kReportSchemaVersion);
+  json.Set("bench", bench_);
+  for (const auto& [key, value] : fields_) {
+    json.Set(key, value);
+  }
+  Json runs = Json::MakeArray();
+  for (const auto& [label, metrics] : runs_) {
+    Json run = Json::MakeObject();
+    run.Set("label", label);
+    run.Set("metrics", metrics);
+    runs.Append(std::move(run));
+  }
+  json.Set("runs", std::move(runs));
+  return json;
+}
+
+util::Status RunReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return util::Status::InvalidArgument("cannot open report file: " + path);
+  }
+  // One run entry per line: diffable and still a single JSON document.
+  Json document = ToJson();
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : document.object()) {
+    if (!first) out << ",";
+    first = false;
+    if (key == "runs") {
+      out << "\n \"runs\": [";
+      bool first_run = true;
+      for (const Json& run : value.array()) {
+        if (!first_run) out << ",";
+        first_run = false;
+        out << "\n  " << run.Dump();
+      }
+      out << "\n ]";
+    } else {
+      out << "\n " << Json(key).Dump() << ": " << value.Dump();
+    }
+  }
+  out << "\n}\n";
+  return out.good() ? util::Status::OK()
+                    : util::Status::Internal("short write: " + path);
+}
+
+}  // namespace qa::obs

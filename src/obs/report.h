@@ -1,0 +1,51 @@
+#ifndef QAMARKET_OBS_REPORT_H_
+#define QAMARKET_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace qa::obs {
+
+/// Version of the JSON run-report format (see src/obs/SCHEMA.md).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Collects one labeled metrics object per run of an experiment binary and
+/// writes them as a single structured JSON document:
+///   {"schema":1,"bench":"Fig. 4","seed":42,
+///    "runs":[{"label":"QA-NT","metrics":{...}}, ...]}
+/// The metrics objects come from sim::MetricsToJson (the full SimMetrics
+/// plus percentile and per-class breakdowns).
+class RunReport {
+ public:
+  explicit RunReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Top-level extras (seed, capacity estimates, grid shape...).
+  void SetField(std::string key, Json value) {
+    fields_.emplace_back(std::move(key), std::move(value));
+  }
+
+  void Add(std::string label, Json metrics) {
+    runs_.emplace_back(std::move(label), std::move(metrics));
+  }
+
+  bool empty() const { return runs_.empty(); }
+  size_t size() const { return runs_.size(); }
+
+  Json ToJson() const;
+
+  /// Writes the report document (pretty enough: one run per line).
+  util::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<std::pair<std::string, Json>> runs_;
+};
+
+}  // namespace qa::obs
+
+#endif  // QAMARKET_OBS_REPORT_H_

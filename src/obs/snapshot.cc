@@ -1,0 +1,20 @@
+#include "obs/snapshot.h"
+
+#include "market/tatonnement.h"
+
+namespace qa::obs {
+
+AllocatorSnapshot SnapshotFromTatonnement(
+    const market::TatonnementResult& result) {
+  AllocatorSnapshot snap;
+  snap.mechanism = "Tatonnement";
+  snap.umpire_prices = result.prices.values();
+  snap.excess_demand.reserve(
+      static_cast<size_t>(result.excess_demand.num_classes()));
+  for (market::Quantity z : result.excess_demand.values()) {
+    snap.excess_demand.push_back(static_cast<double>(z));
+  }
+  return snap;
+}
+
+}  // namespace qa::obs

@@ -1,0 +1,204 @@
+#include "obs/trace_schema.h"
+
+namespace qa::obs {
+
+namespace {
+
+/// Default-valued fields are omitted on write; FromJson falls back to the
+/// same defaults, so omission is invisible to a round trip.
+void SetIfNot(Json& json, const char* key, int64_t value, int64_t skip) {
+  if (value != skip) json.Set(key, value);
+}
+
+void SetIfNot(Json& json, const char* key, double value, double skip) {
+  if (value != skip) json.Set(key, value);
+}
+
+}  // namespace
+
+Json MetaRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "meta");
+  json.Set("schema", schema);
+  json.Set("mechanism", mechanism);
+  json.Set("nodes", nodes);
+  json.Set("classes", classes);
+  json.Set("period_us", period_us);
+  json.Set("ticks_per_period", ticks_per_period);
+  json.Set("seed", static_cast<int64_t>(seed));
+  return json;
+}
+
+MetaRecord MetaRecord::FromJson(const Json& json) {
+  MetaRecord r;
+  r.schema = static_cast<int>(json.GetInt("schema", kTraceSchemaVersion));
+  r.mechanism = json.GetString("mechanism");
+  r.nodes = static_cast<int>(json.GetInt("nodes"));
+  r.classes = static_cast<int>(json.GetInt("classes"));
+  r.period_us = json.GetInt("period_us");
+  r.ticks_per_period = static_cast<int>(json.GetInt("ticks_per_period"));
+  r.seed = static_cast<uint64_t>(json.GetInt("seed"));
+  return r;
+}
+
+std::string_view EventKindName(EventRecord::Kind kind) {
+  switch (kind) {
+    case EventRecord::Kind::kArrival:
+      return "arrival";
+    case EventRecord::Kind::kAssign:
+      return "assign";
+    case EventRecord::Kind::kReject:
+      return "reject";
+    case EventRecord::Kind::kDrop:
+      return "drop";
+    case EventRecord::Kind::kBounce:
+      return "bounce";
+    case EventRecord::Kind::kDeliver:
+      return "deliver";
+    case EventRecord::Kind::kComplete:
+      return "complete";
+    case EventRecord::Kind::kTick:
+      return "tick";
+  }
+  return "?";
+}
+
+bool ParseEventKind(std::string_view name, EventRecord::Kind* kind) {
+  for (EventRecord::Kind k :
+       {EventRecord::Kind::kArrival, EventRecord::Kind::kAssign,
+        EventRecord::Kind::kReject, EventRecord::Kind::kDrop,
+        EventRecord::Kind::kBounce, EventRecord::Kind::kDeliver,
+        EventRecord::Kind::kComplete, EventRecord::Kind::kTick}) {
+    if (EventKindName(k) == name) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+Json EventRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "event");
+  json.Set("kind", std::string(EventKindName(kind)));
+  json.Set("t_us", t_us);
+  SetIfNot(json, "query", query, int64_t{-1});
+  SetIfNot(json, "class", int64_t{class_id}, int64_t{-1});
+  SetIfNot(json, "node", int64_t{node}, int64_t{-1});
+  SetIfNot(json, "origin", int64_t{origin}, int64_t{-1});
+  SetIfNot(json, "messages", int64_t{messages}, int64_t{0});
+  SetIfNot(json, "attempts", int64_t{attempts}, int64_t{0});
+  SetIfNot(json, "response_ms", response_ms, 0.0);
+  return json;
+}
+
+EventRecord EventRecord::FromJson(const Json& json) {
+  EventRecord r;
+  ParseEventKind(json.GetString("kind"), &r.kind);
+  r.t_us = json.GetInt("t_us");
+  r.query = json.GetInt("query", -1);
+  r.class_id = static_cast<int>(json.GetInt("class", -1));
+  r.node = static_cast<int>(json.GetInt("node", -1));
+  r.origin = static_cast<int>(json.GetInt("origin", -1));
+  r.messages = static_cast<int>(json.GetInt("messages", 0));
+  r.attempts = static_cast<int>(json.GetInt("attempts", 0));
+  r.response_ms = json.GetDouble("response_ms", 0.0);
+  return r;
+}
+
+Json PriceRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "price");
+  json.Set("t_us", t_us);
+  json.Set("node", node);
+  json.Set("class", class_id);
+  json.Set("price", price);
+  SetIfNot(json, "planned", planned, int64_t{0});
+  SetIfNot(json, "remaining", remaining, int64_t{0});
+  return json;
+}
+
+PriceRecord PriceRecord::FromJson(const Json& json) {
+  PriceRecord r;
+  r.t_us = json.GetInt("t_us");
+  r.node = static_cast<int>(json.GetInt("node", -1));
+  r.class_id = static_cast<int>(json.GetInt("class", -1));
+  r.price = json.GetDouble("price");
+  r.planned = json.GetInt("planned", 0);
+  r.remaining = json.GetInt("remaining", 0);
+  return r;
+}
+
+Json AgentRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "agent");
+  json.Set("t_us", t_us);
+  json.Set("node", node);
+  json.Set("requests", requests);
+  json.Set("offers", offers);
+  json.Set("accepted", accepted);
+  json.Set("declined", declined);
+  json.Set("periods", periods);
+  SetIfNot(json, "debt_us", debt_us, int64_t{0});
+  SetIfNot(json, "budget_us", budget_us, int64_t{0});
+  SetIfNot(json, "earnings", earnings, 0.0);
+  return json;
+}
+
+AgentRecord AgentRecord::FromJson(const Json& json) {
+  AgentRecord r;
+  r.t_us = json.GetInt("t_us");
+  r.node = static_cast<int>(json.GetInt("node", -1));
+  r.requests = json.GetInt("requests");
+  r.offers = json.GetInt("offers");
+  r.accepted = json.GetInt("accepted");
+  r.declined = json.GetInt("declined");
+  r.periods = json.GetInt("periods");
+  r.debt_us = json.GetInt("debt_us", 0);
+  r.budget_us = json.GetInt("budget_us", 0);
+  r.earnings = json.GetDouble("earnings", 0.0);
+  return r;
+}
+
+Json UmpireRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "umpire");
+  json.Set("iter", iter);
+  json.Set("class", class_id);
+  json.Set("price", price);
+  json.Set("excess", excess);
+  return json;
+}
+
+UmpireRecord UmpireRecord::FromJson(const Json& json) {
+  UmpireRecord r;
+  r.iter = static_cast<int>(json.GetInt("iter"));
+  r.class_id = static_cast<int>(json.GetInt("class", -1));
+  r.price = json.GetDouble("price");
+  r.excess = json.GetDouble("excess");
+  return r;
+}
+
+Json StatRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", gauge ? "gauge" : "counter");
+  json.Set("name", name);
+  // Counters are integral by construction; serialize them as JSON ints so
+  // the trace reads naturally ("value":390, not "value":3.9e+02).
+  if (gauge) {
+    json.Set("value", value);
+  } else {
+    json.Set("value", static_cast<int64_t>(value));
+  }
+  return json;
+}
+
+StatRecord StatRecord::FromJson(const Json& json) {
+  StatRecord r;
+  r.gauge = json.GetString("type") == "gauge";
+  r.name = json.GetString("name");
+  r.value = json.GetDouble("value");
+  return r;
+}
+
+}  // namespace qa::obs

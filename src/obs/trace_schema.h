@@ -1,0 +1,132 @@
+#ifndef QAMARKET_OBS_TRACE_SCHEMA_H_
+#define QAMARKET_OBS_TRACE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace qa::obs {
+
+/// Version of the JSONL trace format. Bump when a record gains, loses or
+/// renames a field; readers refuse traces from a newer schema. The format
+/// itself is documented in src/obs/SCHEMA.md.
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// The typed records of the trace. Every record serializes to one JSON
+/// object per line with a "type" discriminator; fields holding their
+/// default value are omitted on write and restored on read, so a
+/// write -> parse round trip reproduces the records exactly.
+
+/// One per trace (first line): what produced it.
+struct MetaRecord {
+  int schema = kTraceSchemaVersion;
+  std::string mechanism;
+  int nodes = 0;
+  int classes = 0;
+  int64_t period_us = 0;
+  /// Market ticks per period (snapshot cadence context).
+  int ticks_per_period = 0;
+  uint64_t seed = 0;
+
+  bool operator==(const MetaRecord&) const = default;
+  Json ToJson() const;
+  static MetaRecord FromJson(const Json& json);
+};
+
+/// A span of the federation's discrete-event loop.
+struct EventRecord {
+  enum class Kind {
+    kArrival,   // a query enters the system (first attempt only)
+    kAssign,    // the mechanism placed the query on a node
+    kReject,    // every server declined; the client will retry
+    kDrop,      // retry budget exhausted
+    kBounce,    // assignment hit an unreachable node (failure injection)
+    kDeliver,   // the query reached its server after the network delay
+    kComplete,  // execution finished
+    kTick,      // market tick (allocator period hooks ran)
+  };
+
+  Kind kind = Kind::kTick;
+  int64_t t_us = 0;
+  int64_t query = -1;
+  int class_id = -1;
+  int node = -1;
+  int origin = -1;
+  /// Messages the allocation attempt cost (assign/reject records).
+  int messages = 0;
+  /// Resubmission count of this query so far (assign/reject/drop records).
+  int attempts = 0;
+  /// Response time, complete records only.
+  double response_ms = 0.0;
+
+  bool operator==(const EventRecord&) const = default;
+  Json ToJson() const;
+  static EventRecord FromJson(const Json& json);
+};
+
+std::string_view EventKindName(EventRecord::Kind kind);
+/// Returns false when `name` is not a known kind.
+bool ParseEventKind(std::string_view name, EventRecord::Kind* kind);
+
+/// One (node, query class) sample of an allocator snapshot: the node's
+/// private price for the class plus its planned and still-unsold supply.
+struct PriceRecord {
+  int64_t t_us = 0;
+  int node = -1;
+  int class_id = -1;
+  double price = 0.0;
+  int64_t planned = 0;
+  int64_t remaining = 0;
+
+  bool operator==(const PriceRecord&) const = default;
+  Json ToJson() const;
+  static PriceRecord FromJson(const Json& json);
+};
+
+/// Per-agent cumulative counters at snapshot time (QA-NT).
+struct AgentRecord {
+  int64_t t_us = 0;
+  int node = -1;
+  int64_t requests = 0;
+  int64_t offers = 0;
+  int64_t accepted = 0;
+  int64_t declined = 0;
+  int64_t periods = 0;
+  int64_t debt_us = 0;
+  int64_t budget_us = 0;
+  double earnings = 0.0;
+
+  bool operator==(const AgentRecord&) const = default;
+  Json ToJson() const;
+  static AgentRecord FromJson(const Json& json);
+};
+
+/// One umpire price/excess-demand pair of the tâtonnement reference.
+struct UmpireRecord {
+  int iter = 0;
+  int class_id = -1;
+  double price = 0.0;
+  double excess = 0.0;
+
+  bool operator==(const UmpireRecord&) const = default;
+  Json ToJson() const;
+  static UmpireRecord FromJson(const Json& json);
+};
+
+/// A named counter or gauge, flushed when the recorder finishes.
+struct StatRecord {
+  std::string name;
+  double value = 0.0;
+  bool gauge = false;
+
+  bool operator==(const StatRecord&) const = default;
+  Json ToJson() const;
+  static StatRecord FromJson(const Json& json);
+};
+
+}  // namespace qa::obs
+
+#endif  // QAMARKET_OBS_TRACE_SCHEMA_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "market/market_sim.h"
+#include "util/logging.h"
 
 namespace qa::sim {
 
@@ -35,9 +36,33 @@ Federation::Federation(const query::CostModel* cost_model,
 
 SimMetrics Federation::Run(const workload::Trace& trace) {
   metrics_ = SimMetrics();
-  metrics_.completions_per_class.resize(
-      static_cast<size_t>(cost_model_->num_classes()));
+  size_t num_classes = static_cast<size_t>(cost_model_->num_classes());
+  metrics_.completions_per_class.resize(num_classes);
+  metrics_.dropped_per_class.resize(num_classes);
+  metrics_.retries_per_class.resize(num_classes);
   outstanding_ = static_cast<int64_t>(trace.size());
+  ticks_ = 0;
+
+  // While this run is active, log lines on this thread carry the current
+  // virtual time (interleaved parallel runs stay attributable).
+  util::ScopedVTimeClock log_clock(
+      [](const void* ctx) {
+        return static_cast<const EventQueue<SimEvent>*>(ctx)->now();
+      },
+      &events_);
+
+  QA_OBS(config_.recorder) {
+    obs::MetaRecord meta;
+    meta.schema = obs::kTraceSchemaVersion;
+    meta.mechanism = allocator_->name();
+    meta.nodes = num_nodes();
+    meta.classes = cost_model_->num_classes();
+    meta.period_us = config_.period;
+    meta.ticks_per_period = config_.market_tick_divisor;
+    meta.seed = config_.seed;
+    config_.recorder->Record(meta);
+    EmitSnapshot();  // the market's initial prices, at t=0
+  }
 
   // All arrivals live in the heap at once, plus one in-flight
   // deliver/complete event per node and the market tick: reserving here
@@ -89,6 +114,19 @@ bool Federation::NodeOnline(catalog::NodeId node) const {
 }
 
 void Federation::HandleQuery(SimEvent::Pending pending) {
+  QA_OBS(config_.recorder) {
+    if (pending.attempts == 0) {
+      obs::EventRecord event;
+      event.kind = obs::EventRecord::Kind::kArrival;
+      event.t_us = events_.now();
+      event.query = pending.id;
+      event.class_id = pending.arrival.class_id;
+      event.origin = pending.arrival.origin;
+      config_.recorder->Record(event);
+      config_.recorder->Count("arrivals");
+    }
+  }
+
   allocation::AllocationDecision decision =
       allocator_->Allocate(pending.arrival, *this);
   metrics_.messages += decision.messages;
@@ -99,6 +137,17 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   if (decision.node != allocation::kNoNode &&
       !NodeOnline(decision.node)) {
     ++metrics_.bounced;
+    QA_OBS(config_.recorder) {
+      obs::EventRecord event;
+      event.kind = obs::EventRecord::Kind::kBounce;
+      event.t_us = events_.now();
+      event.query = pending.id;
+      event.class_id = pending.arrival.class_id;
+      event.node = decision.node;
+      event.attempts = pending.attempts;
+      config_.recorder->Record(event);
+      config_.recorder->Count("bounces");
+    }
     decision.node = allocation::kNoNode;
   }
 
@@ -106,10 +155,35 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     ++pending.attempts;
     if (pending.attempts > config_.max_retries) {
       ++metrics_.dropped;
+      ++metrics_.dropped_per_class[static_cast<size_t>(
+          pending.arrival.class_id)];
       --outstanding_;
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kDrop;
+        event.t_us = events_.now();
+        event.query = pending.id;
+        event.class_id = pending.arrival.class_id;
+        event.attempts = pending.attempts;
+        config_.recorder->Record(event);
+        config_.recorder->Count("drops");
+      }
       return;
     }
     ++metrics_.retries;
+    ++metrics_.retries_per_class[static_cast<size_t>(
+        pending.arrival.class_id)];
+    QA_OBS(config_.recorder) {
+      obs::EventRecord event;
+      event.kind = obs::EventRecord::Kind::kReject;
+      event.t_us = events_.now();
+      event.query = pending.id;
+      event.class_id = pending.arrival.class_id;
+      event.messages = decision.messages;
+      event.attempts = pending.attempts;
+      config_.recorder->Record(event);
+      config_.recorder->Count("rejects");
+    }
     // The client resubmits the query at the next market tick (§3.3 says
     // "next time period" — with staggered autonomous periods, some node's
     // period boundary passes every tick). Long-waiting queries back off to
@@ -125,6 +199,18 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   }
 
   ++metrics_.assigned;
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kAssign;
+    event.t_us = events_.now();
+    event.query = pending.id;
+    event.class_id = pending.arrival.class_id;
+    event.node = decision.node;
+    event.messages = decision.messages;
+    event.attempts = pending.attempts;
+    config_.recorder->Record(event);
+    config_.recorder->Count("assigns");
+  }
   QueryTask task;
   task.query_id = pending.id;
   task.class_id = pending.arrival.class_id;
@@ -147,6 +233,16 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
 }
 
 void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kDeliver;
+    event.t_us = events_.now();
+    event.query = task.query_id;
+    event.class_id = task.class_id;
+    event.node = node_id;
+    config_.recorder->Record(event);
+    config_.recorder->Count("deliveries");
+  }
   if (nodes_[static_cast<size_t>(node_id)].Enqueue(task, events_.now())) {
     StartTask(node_id);
   }
@@ -164,6 +260,17 @@ void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
   bool more = node.CompleteCurrent(events_.now());
 
   double response_ms = util::ToMillis(events_.now() - task.arrival);
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kComplete;
+    event.t_us = events_.now();
+    event.query = task.query_id;
+    event.class_id = task.class_id;
+    event.node = node_id;
+    event.response_ms = response_ms;
+    config_.recorder->Record(event);
+    config_.recorder->Count("completions");
+  }
   metrics_.response_time_ms.Add(response_ms);
   metrics_.completions.Add(events_.now(),
                            static_cast<double>(task.class_id));
@@ -178,9 +285,28 @@ void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
 void Federation::MarketTick() {
   allocator_->OnPeriodEnd(events_.now());
   allocator_->OnPeriodStart(events_.now());
+  ++ticks_;
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kTick;
+    event.t_us = events_.now();
+    config_.recorder->Record(event);
+    config_.recorder->Count("ticks");
+    // Snapshot once per global period (every divisor-th tick), after the
+    // period hooks ran: post-rollover prices are what convergence analysis
+    // wants to see.
+    if (ticks_ % std::max(config_.market_tick_divisor, 1) == 0) {
+      EmitSnapshot();
+    }
+  }
   if (outstanding_ > 0) {
     events_.ScheduleAfter(TickInterval(), SimEvent::MakeMarketTick());
   }
+}
+
+void Federation::EmitSnapshot() {
+  config_.recorder->RecordSnapshot(events_.now(), allocator_->Snapshot());
+  config_.recorder->Count("snapshots");
 }
 
 util::VDuration Federation::TickInterval() const {

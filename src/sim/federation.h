@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "obs/recorder.h"
 #include "query/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -39,6 +40,13 @@ struct FederationConfig {
   int market_tick_divisor = 8;
   /// Scheduled node outages (failure injection).
   std::vector<Outage> outages;
+  /// Optional telemetry sink (not owned; must outlive the run). When set,
+  /// the federation streams event spans, per-period allocator snapshots and
+  /// run counters into it; when null every probe is a single branch.
+  obs::Recorder* recorder = nullptr;
+  /// Allocator RNG seed, recorded in the trace meta line for provenance
+  /// (the federation itself draws no random numbers).
+  int64_t seed = 0;
 };
 
 /// The tagged event payload of the federation's discrete-event loop.
@@ -147,6 +155,9 @@ class Federation : public allocation::AllocationContext {
   void StartTask(catalog::NodeId node_id);
   void CompleteTask(catalog::NodeId node_id, const QueryTask& task);
   void MarketTick();
+  /// Streams the allocator's Snapshot() into the recorder (traced runs
+  /// only; called once per global market period plus once at t=0).
+  void EmitSnapshot();
   util::VTime NextMarketTick() const;
   util::VDuration TickInterval() const;
   /// Cached cost_model_->Cost(k, node): one flat-array load instead of a
@@ -167,6 +178,8 @@ class Federation : public allocation::AllocationContext {
   /// periodic market event keeps rescheduling itself while this is > 0.
   int64_t outstanding_ = 0;
   query::QueryId next_query_id_ = 0;
+  /// Market ticks run so far (drives the snapshot cadence of traced runs).
+  int64_t ticks_ = 0;
   /// Best-case cost per class, precomputed for work-unit accounting.
   std::vector<double> best_cost_;
   /// Flattened (class x node) execution-cost matrix, precomputed once so

@@ -23,6 +23,10 @@ struct SimMetrics {
   int64_t dropped = 0;
   /// Total re-submissions (QA-NT's "ask again next period").
   int64_t retries = 0;
+  /// Drops broken down by query class (index = class id).
+  std::vector<int64_t> dropped_per_class;
+  /// Re-submissions broken down by query class (index = class id).
+  std::vector<int64_t> retries_per_class;
   /// Assignments that bounced off an unreachable node (failure injection).
   int64_t bounced = 0;
   /// Total network messages spent on allocation decisions.
@@ -35,8 +39,8 @@ struct SimMetrics {
   util::VDuration total_busy_time = 0;
   /// Virtual time when the last event ran.
   util::VTime end_time = 0;
-  /// Time at which the whole system last had an idle node... per-node last
-  /// idle times, for the overload-duration analysis of Fig. 1.
+  /// Per-node time at which each node was last idle (index = node id),
+  /// for the overload-duration analysis of Fig. 1.
   std::vector<util::VTime> node_last_idle;
   /// Per-node completed-query counts.
   std::vector<int64_t> node_completed;

@@ -1,0 +1,39 @@
+#include "sim/metrics_json.h"
+
+namespace qa::sim {
+
+obs::Json MetricsToJson(const SimMetrics& metrics) {
+  obs::Json json = obs::Json::MakeObject();
+  json.Set("completed", metrics.completed);
+  json.Set("assigned", metrics.assigned);
+  json.Set("dropped", metrics.dropped);
+  json.Set("retries", metrics.retries);
+  json.Set("bounced", metrics.bounced);
+  json.Set("messages", metrics.messages);
+  json.Set("end_time_us", metrics.end_time);
+  json.Set("total_busy_us", metrics.total_busy_time);
+  json.Set("mean_ms", metrics.MeanResponseMs());
+  json.Set("p50_ms", metrics.response_time_ms.Percentile(50));
+  json.Set("p95_ms", metrics.response_time_ms.Percentile(95));
+  json.Set("p99_ms", metrics.response_time_ms.Percentile(99));
+  json.Set("min_ms", metrics.response_time_ms.min());
+  json.Set("max_ms", metrics.response_time_ms.max());
+  json.Set("throughput_qps", metrics.ThroughputQps());
+
+  obs::Json dropped = obs::Json::MakeArray();
+  for (int64_t d : metrics.dropped_per_class) dropped.Append(d);
+  json.Set("dropped_per_class", std::move(dropped));
+
+  obs::Json retries = obs::Json::MakeArray();
+  for (int64_t r : metrics.retries_per_class) retries.Append(r);
+  json.Set("retries_per_class", std::move(retries));
+
+  obs::Json completed = obs::Json::MakeArray();
+  for (const auto& series : metrics.completions_per_class) {
+    completed.Append(static_cast<int64_t>(series.size()));
+  }
+  json.Set("completed_per_class", std::move(completed));
+  return json;
+}
+
+}  // namespace qa::sim

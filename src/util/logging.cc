@@ -1,14 +1,29 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace qa::util {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+LogLevel InitialLevel() {
+  LogLevel level = LogLevel::kWarning;
+  if (const char* env = std::getenv("QA_LOG_LEVEL")) {
+    ParseLogLevel(env, &level);  // unparsable values keep the default
+  }
+  return level;
+}
+
+std::atomic<LogLevel>& Level() {
+  // Lazily read QA_LOG_LEVEL on first access so the level is honored no
+  // matter which translation unit logs first (no static-init ordering).
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,17 +39,61 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Per-thread virtual-clock provider installed by ScopedVTimeClock.
+thread_local ScopedVTimeClock::NowFn g_now_fn = nullptr;
+thread_local const void* g_now_ctx = nullptr;
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
 
-LogLevel GetLogLevel() { return g_level.load(); }
+LogLevel GetLogLevel() { return Level().load(); }
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ScopedVTimeClock::ScopedVTimeClock(NowFn now, const void* ctx)
+    : previous_now_(g_now_fn), previous_ctx_(g_now_ctx) {
+  g_now_fn = now;
+  g_now_ctx = ctx;
+}
+
+ScopedVTimeClock::~ScopedVTimeClock() {
+  g_now_fn = previous_now_;
+  g_now_ctx = previous_ctx_;
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < Level().load()) return;
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_now_fn != nullptr) {
+    int64_t now_us = g_now_fn(g_now_ctx);
+    std::fprintf(stderr, "[%s] [t=%lld.%03lldms] %s\n", LevelName(level),
+                 static_cast<long long>(now_us / 1000),
+                 static_cast<long long>(now_us % 1000), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+  std::fflush(stderr);
 }
 
 }  // namespace qa::util

@@ -1,8 +1,10 @@
 #ifndef QAMARKET_UTIL_LOGGING_H_
 #define QAMARKET_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace qa::util {
 
@@ -10,10 +12,40 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the global minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
+/// The current minimum level. On first use the level is initialized from
+/// the QA_LOG_LEVEL environment variable ("debug", "info", "warning",
+/// "error" or 0-3, case-insensitive); unset or unparsable means kWarning.
 LogLevel GetLogLevel();
+
+/// Parses a QA_LOG_LEVEL-style spelling into a level. Accepts the names
+/// above (plus "warn") in any case and the numeric values 0-3. Returns
+/// false (leaving `out` untouched) on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
 
 /// Emits a single log line to stderr (thread-safe at the line level).
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Installs a virtual-clock provider for the current thread: while one is
+/// in scope, this thread's log lines are prefixed with the current virtual
+/// time ("[t=412.250ms]"), so interleaved per-run logs from the parallel
+/// experiment runner can be correlated with trace records. Scopes nest;
+/// destruction restores the previous provider. The provider must stay
+/// valid for the lifetime of the scope.
+class ScopedVTimeClock {
+ public:
+  /// `now(ctx)` returns the current virtual time in microseconds.
+  using NowFn = int64_t (*)(const void* ctx);
+
+  ScopedVTimeClock(NowFn now, const void* ctx);
+  ~ScopedVTimeClock();
+
+  ScopedVTimeClock(const ScopedVTimeClock&) = delete;
+  ScopedVTimeClock& operator=(const ScopedVTimeClock&) = delete;
+
+ private:
+  NowFn previous_now_;
+  const void* previous_ctx_;
+};
 
 namespace internal {
 

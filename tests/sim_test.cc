@@ -271,6 +271,76 @@ TEST_F(FederationTest, QaNtRoutesAroundOutageWithoutBounces) {
   EXPECT_EQ(m.completed, 20);
 }
 
+// Hand-computed outage accounting. Scenario (Fig. 1 model, 2 nodes, both
+// feasible for q1): ten q1 queries from node 0, one per second at
+// t = 0..9 s; node 0 is unreachable during [2 s, 5 s).
+//
+// QA-NT asks every feasible *online* node (request + offer/decline reply
+// each, plus the final accept: 2*asked+1 messages). Load is far below
+// capacity (one 400-450 ms query per second against a 500 ms period), so
+// every query is admitted on its first attempt and nothing bounces — the
+// market simply does not ask the dead node:
+//   7 queries outside the outage:  asked=2 -> 5 messages each = 35
+//   3 queries during it (t=2,3,4): asked=1 -> 3 messages each =  9
+//                                                        total = 44
+TEST_F(FederationTest, QaNtOutageMessageAccountingByHand) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  params.period = 500 * kMillisecond;
+  auto alloc = allocation::CreateAllocator("QA-NT", params);
+  FederationConfig config;
+  config.period = 500 * kMillisecond;
+  config.outages.push_back({0, 2 * kSecond, 5 * kSecond});
+  Federation fed(model.get(), alloc.get(), config);
+
+  SimMetrics m = fed.Run(MakeTrace(10, 1 * kSecond, 0));
+  EXPECT_EQ(m.completed, 10);
+  EXPECT_EQ(m.messages, 44);
+  EXPECT_EQ(m.bounced, 0);
+  EXPECT_EQ(m.retries, 0);
+  EXPECT_EQ(m.dropped, 0);
+  ASSERT_EQ(m.retries_per_class.size(), 2u);
+  EXPECT_EQ(m.retries_per_class[0], 0);
+  EXPECT_EQ(m.retries_per_class[1], 0);
+}
+
+// Same scenario through RoundRobin, which is blind to liveness and pays
+// one message per allocation call. The per-class pointer alternates
+// n0,n1,n0,... across *calls* (retries advance it too):
+//   call  1: q0 t=0s  -> n0  ok
+//   call  2: q1 t=1s  -> n1  ok
+//   call  3: q2 t=2s  -> n0  BOUNCE (outage)   -> retry next tick
+//   call  4: q2 retry -> n1  ok
+//   call  5: q3 t=3s  -> n0  BOUNCE            -> retry
+//   call  6: q3 retry -> n1  ok
+//   call  7: q4 t=4s  -> n0  BOUNCE            -> retry
+//   call  8: q4 retry -> n1  ok
+//   call  9: q5 t=5s  -> n0  ok (outage ends at 5 s, half-open)
+//   calls 10-13: q6..q9 alternate n1,n0,n1,n0, all ok
+// 13 calls = 13 messages; 3 bounces, each followed by one retry.
+TEST_F(FederationTest, RoundRobinOutageMessageAccountingByHand) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("RoundRobin", params);
+  FederationConfig config;
+  config.outages.push_back({0, 2 * kSecond, 5 * kSecond});
+  Federation fed(model.get(), alloc.get(), config);
+
+  SimMetrics m = fed.Run(MakeTrace(10, 1 * kSecond, 0));
+  EXPECT_EQ(m.completed, 10);
+  EXPECT_EQ(m.messages, 13);
+  EXPECT_EQ(m.bounced, 3);
+  EXPECT_EQ(m.retries, 3);
+  EXPECT_EQ(m.dropped, 0);
+  ASSERT_EQ(m.retries_per_class.size(), 2u);
+  EXPECT_EQ(m.retries_per_class[0], 3);
+  EXPECT_EQ(m.retries_per_class[1], 0);
+  ASSERT_EQ(m.dropped_per_class.size(), 2u);
+  EXPECT_EQ(m.dropped_per_class[0], 0);
+}
+
 // -------------------------------------------------------------- Scenario
 
 TEST(ScenarioTest, TwoClassCostModelShape) {

@@ -1,0 +1,290 @@
+// qa_trace: convergence diagnostics for a JSONL market trace.
+//
+// Reads a trace produced by any bench's --trace=FILE flag (schema v1, see
+// src/obs/SCHEMA.md) and reports how the market behaved over time:
+//
+//   * per-class price variance across nodes, period by period — the paper's
+//     §3.3 convergence claim made measurable;
+//   * time-to-equilibrium: the first period from which the observable
+//     excess demand (reject ratio) stays inside a band;
+//   * message overhead and event-loop activity per period;
+//   * Fig. 5c-style tracking error (arrivals vs completions per bucket).
+//
+// Usage:
+//   qa_trace TRACE.jsonl [--band=0.1] [--window=4] [--bucket-ms=2000]
+//            [--periods=N] [--csv]
+//
+// All analysis goes through the same parser the tests use
+// (obs::ParsedTrace), so anything this tool prints is covered by the
+// round-trip tests in tests/obs_test.cc.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/trace_reader.h"
+#include "util/table_writer.h"
+#include "util/vtime.h"
+
+namespace qa {
+namespace {
+
+struct Options {
+  std::string trace_path;
+  double band = 0.1;        // equilibrium band on the reject ratio
+  int window = 4;           // consecutive in-band periods required
+  int64_t bucket_ms = 2000; // tracking-error bucket width
+  int max_periods = 0;      // 0 = print all period rows
+  bool csv = false;
+};
+
+void Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " TRACE.jsonl [--band=B] [--window=W] [--bucket-ms=MS]"
+               " [--periods=N] [--csv]\n";
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--band=", 0) == 0) {
+      opts->band = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      opts->window = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--bucket-ms=", 0) == 0) {
+      opts->bucket_ms = std::atoll(arg.c_str() + 12);
+    } else if (arg.rfind("--periods=", 0) == 0) {
+      opts->max_periods = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--csv") {
+      opts->csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    } else if (opts->trace_path.empty()) {
+      opts->trace_path = arg;
+    } else {
+      std::cerr << "extra positional argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return !opts->trace_path.empty();
+}
+
+void Emit(const util::TableWriter& table, bool csv) {
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+int Run(const Options& opts) {
+  using obs::ParsedTrace;
+  util::StatusOr<ParsedTrace> loaded = ParsedTrace::Load(opts.trace_path);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status() << "\n";
+    return 1;
+  }
+  const ParsedTrace& trace = loaded.value();
+
+  // ---- Header: what this trace is.
+  if (!trace.has_meta) {
+    std::cerr << "warning: trace has no meta record; period bucketing "
+                 "assumes 500ms periods\n";
+  }
+  const obs::MetaRecord& meta = trace.meta;
+  std::cout << "trace: " << opts.trace_path << "\n"
+            << "mechanism: " << meta.mechanism << "  nodes: " << meta.nodes
+            << "  classes: " << meta.classes
+            << "  period: " << meta.period_us / util::kMillisecond << "ms"
+            << "  seed: " << meta.seed << "\n"
+            << "records: " << trace.NumRecords() << " ("
+            << trace.events.size() << " events, " << trace.prices.size()
+            << " prices, " << trace.agents.size() << " agents, "
+            << trace.umpire.size() << " umpire, " << trace.stats.size()
+            << " stats)\n\n";
+
+  // ---- Per-period activity and message overhead.
+  std::vector<obs::PeriodLoad> loads = obs::LoadByPeriod(trace);
+  std::vector<obs::PriceDispersion> dispersion =
+      obs::PriceVarianceByPeriod(trace);
+
+  // Price variance rows keyed by (period, class) for the merged table.
+  std::map<std::pair<int, int>, const obs::PriceDispersion*> by_cell;
+  int num_classes = std::max(meta.classes, 1);
+  for (const obs::PriceDispersion& d : dispersion) {
+    by_cell[{d.period, d.class_id}] = &d;
+    num_classes = std::max(num_classes, d.class_id + 1);
+  }
+
+  std::vector<std::string> header = {"Period", "Arrivals", "Assigns",
+                                     "Rejects", "Drops",   "Messages",
+                                     "Excess"};
+  // Log-variance is the scale-free dispersion (see PriceDispersion in
+  // obs/analysis.h): 0 = all nodes quote the same price.
+  for (int c = 0; c < num_classes; ++c) {
+    header.push_back("LogPriceVar(c" + std::to_string(c) + ")");
+  }
+  util::TableWriter period_table(std::move(header));
+  int printed = 0;
+  for (const obs::PeriodLoad& load : loads) {
+    if (opts.max_periods > 0 && printed >= opts.max_periods) break;
+    ++printed;
+    period_table.BeginRow();
+    period_table.AddCell(load.period);
+    period_table.AddCell(load.arrivals);
+    period_table.AddCell(load.assigns);
+    period_table.AddCell(load.rejects);
+    period_table.AddCell(load.drops);
+    period_table.AddCell(load.messages);
+    period_table.AddCell(Fmt(load.ExcessRatio()));
+    for (int c = 0; c < num_classes; ++c) {
+      auto it = by_cell.find({load.period, c});
+      period_table.AddCell(it != by_cell.end()
+                               ? Fmt(it->second->log_variance)
+                               : std::string("-"));
+    }
+  }
+  Emit(period_table, opts.csv);
+  if (opts.max_periods > 0 &&
+      loads.size() > static_cast<size_t>(opts.max_periods)) {
+    std::cout << "(" << loads.size() - opts.max_periods
+              << " more periods; pass --periods=0 for all)\n\n";
+  }
+
+  // ---- Time-to-equilibrium.
+  obs::EquilibriumResult eq =
+      obs::TimeToEquilibrium(loads, meta, opts.band, opts.window);
+  if (eq.found) {
+    std::cout << "time-to-equilibrium: period " << eq.period << " (t="
+              << Fmt(eq.time_ms) << "ms): excess demand stayed within "
+              << Fmt(opts.band) << " for " << opts.window
+              << " consecutive periods\n";
+  } else {
+    std::cout << "time-to-equilibrium: not reached (excess demand never "
+                 "stayed within "
+              << Fmt(opts.band) << " for " << opts.window
+              << " consecutive periods)\n";
+  }
+  // Recovery: the same question asked after the *last* out-of-band period
+  // — how long after the final workload shift the market needed to settle.
+  size_t last_hot = loads.size();
+  for (size_t i = 0; i < loads.size(); ++i) {
+    if (loads[i].ExcessRatio() > opts.band) last_hot = i;
+  }
+  if (last_hot != loads.size()) {
+    std::vector<obs::PeriodLoad> tail(loads.begin() + last_hot + 1,
+                                      loads.end());
+    obs::EquilibriumResult recovery =
+        obs::TimeToEquilibrium(tail, meta, opts.band, opts.window);
+    if (recovery.found) {
+      std::cout << "recovery after last shift: period " << recovery.period
+                << " (t=" << Fmt(recovery.time_ms) << "ms), "
+                << recovery.period - static_cast<int>(last_hot) - 1
+                << " period(s) after the last out-of-band period\n";
+    } else {
+      std::cout << "recovery after last shift: not reached within the "
+                   "trace\n";
+    }
+  }
+
+  // ---- Message overhead summary.
+  int64_t total_messages = 0, total_assigns = 0, total_rejects = 0;
+  for (const obs::PeriodLoad& load : loads) {
+    total_messages += load.messages;
+    total_assigns += load.assigns;
+    total_rejects += load.rejects;
+  }
+  int64_t attempts = total_assigns + total_rejects;
+  std::cout << "message overhead: " << total_messages << " messages over "
+            << loads.size() << " periods";
+  if (!loads.empty()) {
+    std::cout << " (" << Fmt(static_cast<double>(total_messages) /
+                             static_cast<double>(loads.size()))
+              << "/period";
+    if (attempts > 0) {
+      std::cout << ", " << Fmt(static_cast<double>(total_messages) /
+                               static_cast<double>(attempts))
+                << "/allocation attempt";
+    }
+    std::cout << ")";
+  }
+  std::cout << "\n";
+
+  // ---- Convergence: peak dispersion (the worst disagreement, normally
+  // right after a workload shift) versus where the market ended up.
+  for (int c = 0; c < num_classes; ++c) {
+    const obs::PriceDispersion* peak = nullptr;
+    const obs::PriceDispersion* last = nullptr;
+    for (const obs::PriceDispersion& d : dispersion) {
+      if (d.class_id != c) continue;
+      if (peak == nullptr || d.log_variance > peak->log_variance) peak = &d;
+      last = &d;
+    }
+    if (peak == nullptr || last == nullptr || peak == last) continue;
+    std::cout << "log-price variance (class " << c << "): peak "
+              << Fmt(peak->log_variance) << " @period " << peak->period
+              << " -> " << Fmt(last->log_variance) << " @period "
+              << last->period
+              << (last->log_variance <= 0.5 * peak->log_variance
+                      ? " (re-converged)"
+                      : " (still dispersed)")
+              << "\n";
+  }
+
+  // ---- Umpire iterations (tatonnement traces only).
+  if (!trace.umpire.empty()) {
+    std::cout << "umpire: " << trace.umpire.size()
+              << " price-adjustment records";
+    const obs::UmpireRecord& last = trace.umpire.back();
+    std::cout << "; final iter " << last.iter << " class " << last.class_id
+              << " price " << Fmt(last.price) << " excess "
+              << Fmt(last.excess) << "\n";
+  }
+
+  // ---- Fig. 5c-style tracking error.
+  std::vector<obs::TrackingSeries> tracking = obs::ComputeTracking(
+      trace, opts.bucket_ms * util::kMillisecond);
+  if (!tracking.empty()) {
+    std::cout << "\ntracking (bucket " << opts.bucket_ms << "ms):\n";
+    util::TableWriter track_table(
+        {"Class", "Buckets", "Arrivals", "Completions", "TrackingError"});
+    for (const obs::TrackingSeries& series : tracking) {
+      int64_t arrivals = 0, completions = 0;
+      for (int64_t a : series.arrivals) arrivals += a;
+      for (int64_t d : series.completions) completions += d;
+      track_table.AddRow(series.class_id,
+                         static_cast<int64_t>(series.arrivals.size()),
+                         arrivals, completions, series.total_error);
+    }
+    Emit(track_table, opts.csv);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qa
+
+int main(int argc, char** argv) {
+  qa::Options opts;
+  if (!qa::ParseArgs(argc, argv, &opts)) {
+    qa::Usage(argv[0]);
+    return 2;
+  }
+  return qa::Run(opts);
+}
