@@ -43,7 +43,7 @@ class AllocationContext {
   /// probe get no reply from an offline node and must route around it;
   /// blind mechanisms (Random/RoundRobin) do not consult this and their
   /// assignments to dead nodes bounce at the network layer instead.
-  virtual bool NodeOnline(catalog::NodeId node) const { return true; }
+  virtual bool NodeOnline(catalog::NodeId /*node*/) const { return true; }
 };
 
 /// The outcome of one allocation attempt.
@@ -84,6 +84,16 @@ class Allocator {
   /// baselines ignore them).
   virtual void OnPeriodStart(util::VTime now) { (void)now; }
   virtual void OnPeriodEnd(util::VTime now) { (void)now; }
+
+  /// Failure-recovery hook: `node` crashed with loss of volatile state and
+  /// has just come back up. Mechanisms that keep per-node learned state
+  /// (QA-NT's private price vectors) reset that node to its configured
+  /// defaults and re-learn it through ordinary market interaction;
+  /// stateless baselines ignore the call and stay oblivious.
+  virtual void OnNodeRestart(catalog::NodeId node, util::VTime now) {
+    (void)node;
+    (void)now;
+  }
 
   /// Introspection for the telemetry layer: what this mechanism can show
   /// of its internal market state. QA-NT overrides this with the full

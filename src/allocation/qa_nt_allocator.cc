@@ -10,27 +10,36 @@ QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
                              util::VDuration period,
                              market::QaNtConfig config,
                              OfferSelection selection)
-    : cost_model_(cost_model), period_(period), selection_(selection) {
+    : cost_model_(cost_model),
+      period_(period),
+      config_(config),
+      selection_(selection) {
   assert(cost_model_ != nullptr);
   int num_nodes = cost_model_->num_nodes();
-  int num_classes = cost_model_->num_classes();
   for (catalog::NodeId i = 0; i < num_nodes; ++i) {
-    std::vector<util::VDuration> unit_costs(static_cast<size_t>(num_classes));
-    for (int k = 0; k < num_classes; ++k) {
-      util::VDuration c = cost_model_->Cost(k, i);
-      unit_costs[static_cast<size_t>(k)] =
-          c == query::kInfeasibleCost
-              ? market::CapacitySupplySet::kCannotEvaluate
-              : c;
-    }
-    agents_.push_back(std::make_unique<market::QaNtAgent>(
-        i, std::move(unit_costs), period, config));
-    agents_.back()->BeginPeriod();
+    agents_.push_back(MakeAgent(i));
     // Autonomous nodes run unsynchronized periods: spread the first
     // boundary of agent i across [T/N, T].
     next_refresh_.push_back(period_ * (i + 1) /
                             std::max(num_nodes, 1));
   }
+}
+
+std::unique_ptr<market::QaNtAgent> QaNtAllocator::MakeAgent(
+    catalog::NodeId node) const {
+  int num_classes = cost_model_->num_classes();
+  std::vector<util::VDuration> unit_costs(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    util::VDuration c = cost_model_->Cost(k, node);
+    unit_costs[static_cast<size_t>(k)] =
+        c == query::kInfeasibleCost
+            ? market::CapacitySupplySet::kCannotEvaluate
+            : c;
+  }
+  auto agent = std::make_unique<market::QaNtAgent>(
+      node, std::move(unit_costs), period_, config_);
+  agent->BeginPeriod();
+  return agent;
 }
 
 MechanismProperties QaNtAllocator::properties() const {
@@ -128,6 +137,20 @@ void QaNtAllocator::OnPeriodStart(util::VTime now) {
 void QaNtAllocator::OnPeriodEnd(util::VTime now) {
   // Rollovers are driven entirely by OnPeriodStart (staggered per agent).
   (void)now;
+}
+
+void QaNtAllocator::OnNodeRestart(catalog::NodeId node, util::VTime now) {
+  size_t i = static_cast<size_t>(node);
+  assert(i < agents_.size());
+  agents_[i] = MakeAgent(node);
+  // Keep the agent's staggered phase: its next boundary is the first one
+  // of its original schedule that lies strictly after the restart.
+  util::VTime phase = period_ * (node + 1) / std::max(num_nodes(), 1);
+  util::VTime next = phase;
+  if (now >= phase) {
+    next = phase + ((now - phase) / period_ + 1) * period_;
+  }
+  next_refresh_[i] = next;
 }
 
 }  // namespace qa::allocation

@@ -55,6 +55,13 @@ class QaNtAllocator : public Allocator {
   void OnPeriodStart(util::VTime now) override;
   void OnPeriodEnd(util::VTime now) override;
 
+  /// Crash-with-state-loss recovery: the node's agent is rebuilt from the
+  /// cost model and the configured QaNtConfig defaults — its learned price
+  /// vector, debt and earnings are gone, exactly as if the process had
+  /// restarted from its configuration file. The agent's staggered period
+  /// phase is preserved so the restart does not re-synchronize the market.
+  void OnNodeRestart(catalog::NodeId node, util::VTime now) override;
+
   int num_nodes() const { return static_cast<int>(agents_.size()); }
   const market::QaNtAgent& agent(catalog::NodeId node) const {
     return *agents_[static_cast<size_t>(node)];
@@ -64,8 +71,13 @@ class QaNtAllocator : public Allocator {
   }
 
  private:
+  /// Builds a fresh default-state agent for `node` (construction and
+  /// crash/restart recovery share this).
+  std::unique_ptr<market::QaNtAgent> MakeAgent(catalog::NodeId node) const;
+
   const query::CostModel* cost_model_;
   util::VDuration period_;
+  market::QaNtConfig config_;
   OfferSelection selection_;
   std::vector<std::unique_ptr<market::QaNtAgent>> agents_;
   /// Next boundary time of each agent's own (staggered) period.

@@ -97,11 +97,17 @@ std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace) {
       case EventRecord::Kind::kBounce:
         ++load.bounces;
         break;
+      case EventRecord::Kind::kLost:
+        ++load.losses;
+        break;
       case EventRecord::Kind::kComplete:
         ++load.completes;
         break;
       case EventRecord::Kind::kDeliver:
       case EventRecord::Kind::kTick:
+      case EventRecord::Kind::kCrash:
+      case EventRecord::Kind::kRestart:
+      case EventRecord::Kind::kDegrade:
         break;
     }
   }
@@ -168,6 +174,49 @@ std::vector<TrackingSeries> ComputeTracking(const ParsedTrace& trace,
       series.total_error +=
           std::abs(series.arrivals[b] - series.completions[b]);
     }
+  }
+  return out;
+}
+
+std::vector<FaultRecovery> FaultRecoveryReport(const ParsedTrace& trace) {
+  int64_t period_us = trace.meta.period_us;
+  // Scalar dispersion per period: the worst class's log-price variance.
+  std::map<int, double> max_var;
+  for (const PriceDispersion& d : PriceVarianceByPeriod(trace)) {
+    auto [it, inserted] = max_var.emplace(d.period, d.log_variance);
+    if (!inserted) it->second = std::max(it->second, d.log_variance);
+  }
+
+  std::vector<FaultRecovery> out;
+  for (const EventRecord& e : trace.events) {
+    if (e.kind != EventRecord::Kind::kCrash &&
+        e.kind != EventRecord::Kind::kRestart &&
+        e.kind != EventRecord::Kind::kDegrade) {
+      continue;
+    }
+    FaultRecovery r;
+    r.kind = e.kind;
+    r.node = e.node;
+    r.t_us = e.t_us;
+    r.factor = e.factor;
+    r.fault_period = static_cast<int>(PeriodOf(e.t_us, period_us));
+    for (const auto& [period, var] : max_var) {
+      if (period < r.fault_period) r.pre_fault_variance = var;
+    }
+    // A fully converged pre-fault market has variance ~0; allow a small
+    // absolute floor so "back to pre-fault level" is reachable at all.
+    double threshold = std::max(r.pre_fault_variance + 1e-9, 1e-6);
+    for (const auto& [period, var] : max_var) {
+      if (period <= r.fault_period) continue;
+      r.peak_variance = std::max(r.peak_variance, var);
+      if (!r.reconverged && var <= threshold) {
+        r.reconverged = true;
+        r.recovery_period = period;
+        r.recovery_ms = util::ToMillis(static_cast<util::VDuration>(
+            period * period_us - e.t_us));
+      }
+    }
+    out.push_back(r);
   }
   return out;
 }

@@ -40,6 +40,7 @@ struct PeriodLoad {
   int64_t rejects = 0;    // declined by every server (retry scheduled)
   int64_t drops = 0;
   int64_t bounces = 0;
+  int64_t losses = 0;     // queries/messages lost in flight (faults)
   int64_t completes = 0;
   int64_t messages = 0;   // allocation messages spent this period
 
@@ -81,6 +82,31 @@ struct TrackingSeries {
 
 std::vector<TrackingSeries> ComputeTracking(const ParsedTrace& trace,
                                             util::VDuration bucket_us);
+
+/// Recovery behaviour around one injected fault transition (a crash,
+/// restart or degrade event in the trace): did the market's price
+/// dispersion return below its pre-fault level, and how long did that
+/// take? This reuses the log-price-variance convergence analysis — the
+/// dispersion is collapsed to its max over classes, the scalar "how much
+/// do the nodes disagree" signal.
+struct FaultRecovery {
+  EventRecord::Kind kind = EventRecord::Kind::kCrash;
+  int node = -1;
+  int64_t t_us = 0;       // when the fault transition fired
+  double factor = 0.0;    // degrade transitions only
+  int fault_period = 0;
+  /// Max-over-classes log-price variance in the last sampled period
+  /// strictly before the fault (0 when nothing was sampled yet).
+  double pre_fault_variance = 0.0;
+  /// Worst dispersion observed after the fault.
+  double peak_variance = 0.0;
+  bool reconverged = false;
+  int recovery_period = -1;  // first post-fault period back at/below pre level
+  double recovery_ms = 0.0;  // recovery_period start minus fault time
+};
+
+/// One row per crash/restart/degrade event in the trace, in trace order.
+std::vector<FaultRecovery> FaultRecoveryReport(const ParsedTrace& trace);
 
 }  // namespace qa::obs
 

@@ -59,6 +59,14 @@ std::string_view EventKindName(EventRecord::Kind kind) {
       return "complete";
     case EventRecord::Kind::kTick:
       return "tick";
+    case EventRecord::Kind::kCrash:
+      return "crash";
+    case EventRecord::Kind::kRestart:
+      return "restart";
+    case EventRecord::Kind::kDegrade:
+      return "degrade";
+    case EventRecord::Kind::kLost:
+      return "lost";
   }
   return "?";
 }
@@ -68,7 +76,9 @@ bool ParseEventKind(std::string_view name, EventRecord::Kind* kind) {
        {EventRecord::Kind::kArrival, EventRecord::Kind::kAssign,
         EventRecord::Kind::kReject, EventRecord::Kind::kDrop,
         EventRecord::Kind::kBounce, EventRecord::Kind::kDeliver,
-        EventRecord::Kind::kComplete, EventRecord::Kind::kTick}) {
+        EventRecord::Kind::kComplete, EventRecord::Kind::kTick,
+        EventRecord::Kind::kCrash, EventRecord::Kind::kRestart,
+        EventRecord::Kind::kDegrade, EventRecord::Kind::kLost}) {
     if (EventKindName(k) == name) {
       *kind = k;
       return true;
@@ -89,6 +99,7 @@ Json EventRecord::ToJson() const {
   SetIfNot(json, "messages", int64_t{messages}, int64_t{0});
   SetIfNot(json, "attempts", int64_t{attempts}, int64_t{0});
   SetIfNot(json, "response_ms", response_ms, 0.0);
+  SetIfNot(json, "factor", factor, 0.0);
   return json;
 }
 
@@ -103,6 +114,7 @@ EventRecord EventRecord::FromJson(const Json& json) {
   r.messages = static_cast<int>(json.GetInt("messages", 0));
   r.attempts = static_cast<int>(json.GetInt("attempts", 0));
   r.response_ms = json.GetDouble("response_ms", 0.0);
+  r.factor = json.GetDouble("factor", 0.0);
   return r;
 }
 

@@ -13,7 +13,10 @@ namespace qa::obs {
 /// Version of the JSONL trace format. Bump when a record gains, loses or
 /// renames a field; readers refuse traces from a newer schema. The format
 /// itself is documented in src/obs/SCHEMA.md.
-inline constexpr int kTraceSchemaVersion = 1;
+///
+/// v2: event records gained the fault-injection kinds `crash`, `restart`,
+/// `degrade`, `lost` and the `factor` field (degrade records).
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// The typed records of the trace. Every record serializes to one JSON
 /// object per line with a "type" discriminator; fields holding their
@@ -47,6 +50,10 @@ struct EventRecord {
     kDeliver,   // the query reached its server after the network delay
     kComplete,  // execution finished
     kTick,      // market tick (allocator period hooks ran)
+    kCrash,     // node went down with state loss (fault injection)
+    kRestart,   // crashed node came back; its agent re-learns from defaults
+    kDegrade,   // node speed changed to `factor` (1.0 = back to full speed)
+    kLost,      // a query/message was lost in flight (crash or lossy link)
   };
 
   Kind kind = Kind::kTick;
@@ -61,6 +68,8 @@ struct EventRecord {
   int attempts = 0;
   /// Response time, complete records only.
   double response_ms = 0.0;
+  /// Execution speed multiplier, degrade records only (0 < factor <= 1).
+  double factor = 0.0;
 
   bool operator==(const EventRecord&) const = default;
   Json ToJson() const;

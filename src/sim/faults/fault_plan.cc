@@ -1,0 +1,88 @@
+#include "sim/faults/fault_plan.h"
+
+#include <string>
+
+namespace qa::sim::faults {
+
+namespace {
+
+util::Status BadNode(const char* what, size_t index, catalog::NodeId node,
+                     int num_nodes) {
+  return util::Status::InvalidArgument(
+      std::string(what) + "[" + std::to_string(index) + "]: node " +
+      std::to_string(node) + " outside [0, " + std::to_string(num_nodes) +
+      ")");
+}
+
+util::Status BadWindow(const char* what, size_t index, util::VTime from,
+                       util::VTime until) {
+  return util::Status::InvalidArgument(
+      std::string(what) + "[" + std::to_string(index) + "]: window [" +
+      std::to_string(from) + ", " + std::to_string(until) +
+      ") is empty or inverted");
+}
+
+}  // namespace
+
+util::Status FaultPlan::Validate(int num_nodes) const {
+  for (size_t i = 0; i < crashes.size(); ++i) {
+    const CrashFault& f = crashes[i];
+    if (f.node < 0 || f.node >= num_nodes) {
+      return BadNode("crashes", i, f.node, num_nodes);
+    }
+    if (f.at < 0 || f.restart_at <= f.at) {
+      return BadWindow("crashes", i, f.at, f.restart_at);
+    }
+  }
+  for (size_t i = 0; i < degrades.size(); ++i) {
+    const DegradeFault& f = degrades[i];
+    if (f.node < 0 || f.node >= num_nodes) {
+      return BadNode("degrades", i, f.node, num_nodes);
+    }
+    if (f.from < 0 || f.until <= f.from) {
+      return BadWindow("degrades", i, f.from, f.until);
+    }
+    if (!(f.factor > 0.0) || f.factor > 1.0) {
+      return util::Status::InvalidArgument(
+          "degrades[" + std::to_string(i) + "]: factor " +
+          std::to_string(f.factor) + " outside (0, 1]");
+    }
+  }
+  for (size_t i = 0; i < links.size(); ++i) {
+    const LinkFault& f = links[i];
+    if (f.node != LinkFault::kAllNodes &&
+        (f.node < 0 || f.node >= num_nodes)) {
+      return BadNode("links", i, f.node, num_nodes);
+    }
+    if (f.from < 0 || f.until <= f.from) {
+      return BadWindow("links", i, f.from, f.until);
+    }
+    if (f.drop_probability < 0.0 || f.drop_probability >= 1.0) {
+      return util::Status::InvalidArgument(
+          "links[" + std::to_string(i) + "]: drop_probability " +
+          std::to_string(f.drop_probability) + " outside [0, 1)");
+    }
+    if (f.extra_latency < 0) {
+      return util::Status::InvalidArgument(
+          "links[" + std::to_string(i) + "]: negative extra_latency");
+    }
+  }
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionFault& f = partitions[i];
+    if (f.nodes.empty()) {
+      return util::Status::InvalidArgument(
+          "partitions[" + std::to_string(i) + "]: empty node set");
+    }
+    for (catalog::NodeId node : f.nodes) {
+      if (node < 0 || node >= num_nodes) {
+        return BadNode("partitions", i, node, num_nodes);
+      }
+    }
+    if (f.from < 0 || f.until <= f.from) {
+      return BadWindow("partitions", i, f.from, f.until);
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace qa::sim::faults

@@ -1,0 +1,92 @@
+#ifndef QAMARKET_SIM_FAULTS_FAULT_PLAN_H_
+#define QAMARKET_SIM_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "util/status.h"
+#include "util/vtime.h"
+
+namespace qa::sim::faults {
+
+/// Crash with state loss: the node goes down at `at` and is unreachable
+/// until `restart_at`. Unlike a scheduled Outage (state intact), every
+/// query queued or running on the node at crash time is lost — clients
+/// detect the silence at the next market tick and resubmit — and the
+/// allocation mechanism is told about the restart (Allocator::
+/// OnNodeRestart) so per-node learned state (QA-NT's private price vector)
+/// resets to defaults and must be re-learned.
+struct CrashFault {
+  catalog::NodeId node = -1;
+  util::VTime at = 0;
+  util::VTime restart_at = 0;
+};
+
+/// Degraded capacity: during [from, until) the node executes at `factor`
+/// of its normal speed (factor in (0, 1]; 0.5 = half speed). The node
+/// stays reachable and keeps offering at its advertised costs, so a
+/// market mechanism's learned prices become *stale* rather than absent —
+/// the complementary failure mode to a crash.
+struct DegradeFault {
+  catalog::NodeId node = -1;
+  util::VTime from = 0;
+  util::VTime until = 0;
+  double factor = 0.5;
+};
+
+/// Lossy/delayed link: during [from, until), each message hop toward
+/// `node` (broadcast/offer probes and query shipment) is dropped with
+/// `drop_probability` and delayed by `extra_latency`. A dropped
+/// request/offer hop looks like a timeout to the mediator and is treated
+/// as a decline; a dropped shipment hop loses the query in flight and the
+/// client resubmits at the next market tick. `node == kAllNodes` applies
+/// the fault to every link.
+struct LinkFault {
+  static constexpr catalog::NodeId kAllNodes = -1;
+
+  catalog::NodeId node = kAllNodes;
+  util::VTime from = 0;
+  util::VTime until = 0;
+  double drop_probability = 0.0;
+  util::VDuration extra_latency = 0;
+};
+
+/// Network partition: during [from, until) the listed node set is mutually
+/// unreachable from the rest of the federation (and from the mediators,
+/// which live on the majority side). State stays intact: queries already
+/// queued on a partitioned node keep executing and their results are
+/// delivered once the partition heals.
+struct PartitionFault {
+  std::vector<catalog::NodeId> nodes;
+  util::VTime from = 0;
+  util::VTime until = 0;
+};
+
+/// A declarative, seeded fault schedule for one federation run. Empty by
+/// default (no faults). All randomness (message-loss draws) comes from a
+/// private RNG seeded with `seed`, so the same plan over the same workload
+/// produces a byte-identical run at any thread count.
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<DegradeFault> degrades;
+  std::vector<LinkFault> links;
+  std::vector<PartitionFault> partitions;
+  /// Seed of the injector's message-loss RNG. 0 derives the seed from the
+  /// federation's own seed (FederationConfig::seed).
+  uint64_t seed = 0;
+
+  bool empty() const {
+    return crashes.empty() && degrades.empty() && links.empty() &&
+           partitions.empty();
+  }
+
+  /// Rejects malformed plans: nodes outside [0, num_nodes), inverted or
+  /// empty windows, degrade factors outside (0, 1], drop probabilities
+  /// outside [0, 1), negative extra latency, empty partition sets.
+  util::Status Validate(int num_nodes) const;
+};
+
+}  // namespace qa::sim::faults
+
+#endif  // QAMARKET_SIM_FAULTS_FAULT_PLAN_H_

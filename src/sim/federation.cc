@@ -3,21 +3,95 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "market/market_sim.h"
 #include "util/logging.h"
 
 namespace qa::sim {
 
+namespace {
+
+/// The fault schedule a run actually executes: the configured FaultPlan
+/// plus one single-node partition per legacy Outage (same [from, until)
+/// unreachable-but-state-intact semantics).
+faults::FaultPlan EffectivePlan(const FederationConfig& config) {
+  faults::FaultPlan plan = config.faults;
+  for (const Outage& outage : config.outages) {
+    faults::PartitionFault partition;
+    partition.nodes = {outage.node};
+    partition.from = outage.from;
+    partition.until = outage.until;
+    plan.partitions.push_back(std::move(partition));
+  }
+  return plan;
+}
+
+}  // namespace
+
+util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
+  if (config.period <= 0) {
+    return util::Status::InvalidArgument(
+        "period must be positive, got " + std::to_string(config.period));
+  }
+  if (config.market_tick_divisor < 1) {
+    return util::Status::InvalidArgument(
+        "market_tick_divisor must be >= 1, got " +
+        std::to_string(config.market_tick_divisor));
+  }
+  if (config.message_latency < 0) {
+    return util::Status::InvalidArgument(
+        "message_latency must be non-negative, got " +
+        std::to_string(config.message_latency));
+  }
+  if (config.max_retries < 0) {
+    return util::Status::InvalidArgument(
+        "max_retries must be non-negative, got " +
+        std::to_string(config.max_retries));
+  }
+  if (config.max_backoff_periods < 1) {
+    return util::Status::InvalidArgument(
+        "max_backoff_periods must be >= 1, got " +
+        std::to_string(config.max_backoff_periods));
+  }
+  if (config.query_deadline < 0) {
+    return util::Status::InvalidArgument(
+        "query_deadline must be non-negative, got " +
+        std::to_string(config.query_deadline));
+  }
+  for (size_t i = 0; i < config.outages.size(); ++i) {
+    const Outage& outage = config.outages[i];
+    if (outage.node < 0 || outage.node >= num_nodes) {
+      return util::Status::InvalidArgument(
+          "outages[" + std::to_string(i) + "]: node " +
+          std::to_string(outage.node) + " outside [0, " +
+          std::to_string(num_nodes) + ")");
+    }
+    if (outage.from < 0 || outage.until <= outage.from) {
+      return util::Status::InvalidArgument(
+          "outages[" + std::to_string(i) + "]: window [" +
+          std::to_string(outage.from) + ", " +
+          std::to_string(outage.until) + ") is empty or negative");
+    }
+  }
+  return config.faults.Validate(num_nodes);
+}
+
 Federation::Federation(const query::CostModel* cost_model,
                        allocation::Allocator* allocator,
                        FederationConfig config)
-    : cost_model_(cost_model), allocator_(allocator), config_(config) {
+    : cost_model_(cost_model),
+      allocator_(allocator),
+      config_(config),
+      injector_(EffectivePlan(config), static_cast<uint64_t>(config.seed)) {
   assert(cost_model_ != nullptr);
   assert(allocator_ != nullptr);
   for (catalog::NodeId i = 0; i < cost_model_->num_nodes(); ++i) {
     nodes_.emplace_back(i);
   }
+  link_down_.assign(nodes_.size(), 0);
   best_cost_.resize(static_cast<size_t>(cost_model_->num_classes()), 0.0);
   for (int k = 0; k < cost_model_->num_classes(); ++k) {
     util::VDuration best = cost_model_->BestCost(k);
@@ -35,6 +109,16 @@ Federation::Federation(const query::CostModel* cost_model,
 }
 
 SimMetrics Federation::Run(const workload::Trace& trace) {
+  // A malformed config (zero period, inverted fault window...) would not
+  // crash — it would silently simulate nonsense. Fail fast instead, like
+  // the experiment runner does for an unknown mechanism name.
+  util::Status valid = ValidateConfig(config_, num_nodes());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "FATAL: invalid FederationConfig: %s\n",
+                 valid.ToString().c_str());
+    std::abort();
+  }
+
   metrics_ = SimMetrics();
   size_t num_classes = static_cast<size_t>(cost_model_->num_classes());
   metrics_.completions_per_class.resize(num_classes);
@@ -65,13 +149,18 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
   }
 
   // All arrivals live in the heap at once, plus one in-flight
-  // deliver/complete event per node and the market tick: reserving here
-  // makes steady-state scheduling allocation-free.
-  events_.Reserve(trace.size() + nodes_.size() + 1);
+  // deliver/complete event per node, the market tick, and the fault
+  // plan's transitions: reserving here makes steady-state scheduling
+  // allocation-free.
+  events_.Reserve(trace.size() + nodes_.size() + 1 +
+                  injector_.transitions().size());
   for (const workload::Arrival& arrival : trace.arrivals()) {
     events_.Schedule(
         arrival.time,
         SimEvent::MakeArrival({arrival, next_query_id_++, /*attempts=*/0}));
+  }
+  for (const auto& [when, transition] : injector_.transitions()) {
+    events_.Schedule(when, SimEvent::MakeFault(transition));
   }
   events_.Schedule(TickInterval(), SimEvent::MakeMarketTick());
 
@@ -100,15 +189,19 @@ void Federation::Dispatch(const SimEvent& event) {
     case SimEvent::Kind::kMarketTick:
       MarketTick();
       break;
+    case SimEvent::Kind::kFault:
+      HandleFault(event.transition);
+      break;
   }
 }
 
 bool Federation::NodeOnline(catalog::NodeId node) const {
-  for (const Outage& outage : config_.outages) {
-    if (outage.node == node && events_.now() >= outage.from &&
-        events_.now() < outage.until) {
-      return false;
-    }
+  if (injector_.Unreachable(node, events_.now())) return false;
+  // During an allocation attempt under an active link fault, a node whose
+  // request/offer hops were dropped looks exactly like an offline one: the
+  // mediator's request times out and counts as a decline.
+  if (link_mask_active_ && link_down_[static_cast<size_t>(node)] != 0) {
+    return false;
   }
   return true;
 }
@@ -125,6 +218,31 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       config_.recorder->Record(event);
       config_.recorder->Count("arrivals");
     }
+  }
+
+  // The client abandons a query whose sojourn has reached its response
+  // deadline instead of renegotiating it: a placement that cannot possibly
+  // answer in time is not worth another market round. Fresh arrivals
+  // (attempts == 0) are never expired — their sojourn is zero.
+  if (config_.query_deadline > 0 && pending.attempts > 0 &&
+      events_.now() - pending.arrival.time >= config_.query_deadline) {
+    DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
+              /*expired=*/true);
+    return;
+  }
+
+  // Under an active link fault, draw the fate of this attempt's message
+  // hops once per node before the mechanism runs: a node whose hops are
+  // dropped is indistinguishable from an offline one (the request times
+  // out — a decline). One draw per node per attempt, in node order, keeps
+  // the RNG stream a function of the plan and the event order only.
+  bool link_faults = injector_.AnyLinkFaultActive(events_.now());
+  if (link_faults) {
+    for (catalog::NodeId j = 0; j < num_nodes(); ++j) {
+      link_down_[static_cast<size_t>(j)] =
+          injector_.DropMessage(j, events_.now()) ? 1 : 0;
+    }
+    link_mask_active_ = true;
   }
 
   allocation::AllocationDecision decision =
@@ -150,24 +268,16 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     }
     decision.node = allocation::kNoNode;
   }
+  // The per-attempt link mask only scopes the negotiation above; the
+  // shipment hop below draws its own fate.
+  link_mask_active_ = false;
 
   if (decision.node == allocation::kNoNode) {
+    ++tick_rejects_;
     ++pending.attempts;
     if (pending.attempts > config_.max_retries) {
-      ++metrics_.dropped;
-      ++metrics_.dropped_per_class[static_cast<size_t>(
-          pending.arrival.class_id)];
-      --outstanding_;
-      QA_OBS(config_.recorder) {
-        obs::EventRecord event;
-        event.kind = obs::EventRecord::Kind::kDrop;
-        event.t_us = events_.now();
-        event.query = pending.id;
-        event.class_id = pending.arrival.class_id;
-        event.attempts = pending.attempts;
-        config_.recorder->Record(event);
-        config_.recorder->Count("drops");
-      }
+      DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
+                /*expired=*/false);
       return;
     }
     ++metrics_.retries;
@@ -193,11 +303,22 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     // the retry runs.
     int wait_ticks = std::min(pending.attempts,
                               std::max(config_.market_tick_divisor, 1));
+    // Market-protocol hardening: when whole market rounds go by with every
+    // attempt declined (a dead market — mass crash, partition, or hard
+    // overload), the mediators escalate exponentially instead of hammering
+    // the market in lockstep, capped at max_backoff_periods whole periods.
+    if (consecutive_decline_rounds_ > 2) {
+      int shift = std::min(consecutive_decline_rounds_ - 2, 3);
+      int cap = config_.max_backoff_periods *
+                std::max(config_.market_tick_divisor, 1);
+      wait_ticks = std::min(wait_ticks << shift, cap);
+    }
     events_.Schedule(NextMarketTick() + (wait_ticks - 1) * TickInterval(),
                      SimEvent::MakeArrival(pending));
     return;
   }
 
+  ++tick_assigns_;
   ++metrics_.assigned;
   QA_OBS(config_.recorder) {
     obs::EventRecord event;
@@ -223,27 +344,105 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
                                    pending.arrival.cost_jitter),
       1);
   task.work_units = best_cost_[static_cast<size_t>(task.class_id)];
+  task.attempts = pending.attempts;
+  task.cost_jitter = pending.arrival.cost_jitter;
+
+  // The shipment hop draws its own fate under an active link fault: a
+  // dropped shipment loses the (already accepted) query in flight; the
+  // client notices the silence and resubmits at the next market tick.
+  if (link_faults && injector_.DropMessage(decision.node, events_.now())) {
+    LoseTask(task, decision.node);
+    return;
+  }
 
   // Probes run in parallel: one round trip for the negotiation (when any)
   // plus the hop that ships the query to the chosen node.
   util::VDuration delay =
       decision.messages >= 2 ? 3 * config_.message_latency
                              : config_.message_latency;
+  if (link_faults) {
+    delay += injector_.ExtraLatency(decision.node, events_.now());
+  }
   events_.ScheduleAfter(delay, SimEvent::MakeDeliver(decision.node, task));
 }
 
-void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
+void Federation::DropQuery(query::QueryId id, query::QueryClassId class_id,
+                           int attempts, bool expired) {
+  ++metrics_.dropped;
+  ++metrics_.dropped_per_class[static_cast<size_t>(class_id)];
+  if (expired) ++metrics_.expired;
+  --outstanding_;
   QA_OBS(config_.recorder) {
     obs::EventRecord event;
-    event.kind = obs::EventRecord::Kind::kDeliver;
+    event.kind = obs::EventRecord::Kind::kDrop;
+    event.t_us = events_.now();
+    event.query = id;
+    event.class_id = class_id;
+    event.attempts = attempts;
+    config_.recorder->Record(event);
+    config_.recorder->Count(expired ? "expired" : "drops");
+  }
+}
+
+void Federation::LoseTask(const QueryTask& task, catalog::NodeId node_id) {
+  ++metrics_.lost;
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kLost;
     event.t_us = events_.now();
     event.query = task.query_id;
     event.class_id = task.class_id;
     event.node = node_id;
+    event.attempts = task.attempts;
+    config_.recorder->Record(event);
+    config_.recorder->Count("losses");
+  }
+  // Reconstruct the client's pending query (original arrival time — the
+  // loss inflates its response time, which is the point) and resubmit it
+  // at the next market tick, one retry poorer. The tick event for that
+  // time is already in the heap, so the market refreshes first.
+  SimEvent::Pending pending;
+  pending.arrival.time = task.arrival;
+  pending.arrival.class_id = task.class_id;
+  pending.arrival.origin = task.origin;
+  pending.arrival.cost_jitter = task.cost_jitter;
+  pending.id = task.query_id;
+  pending.attempts = task.attempts + 1;
+  events_.Schedule(NextMarketTick(), SimEvent::MakeArrival(pending));
+}
+
+void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
+  // The node crashed while the query was on the wire: the shipment reaches
+  // a dead machine and is lost (the negotiation happened before the
+  // crash). The client resubmits at the next market tick.
+  if (injector_.Crashed(node_id, events_.now())) {
+    LoseTask(task, node_id);
+    return;
+  }
+  QueryTask delivered = task;
+  // Degraded capacity: the node executes at a fraction of its advertised
+  // speed, so the execution time fixed at allocation stretches. The
+  // mechanism is not told — its learned costs/prices are now stale, which
+  // is exactly the failure mode under study.
+  double speed = injector_.SpeedFactor(node_id, events_.now());
+  if (speed < 1.0) {
+    delivered.exec_time = std::max<util::VDuration>(
+        static_cast<util::VDuration>(
+            static_cast<double>(delivered.exec_time) / speed),
+        1);
+  }
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kDeliver;
+    event.t_us = events_.now();
+    event.query = delivered.query_id;
+    event.class_id = delivered.class_id;
+    event.node = node_id;
     config_.recorder->Record(event);
     config_.recorder->Count("deliveries");
   }
-  if (nodes_[static_cast<size_t>(node_id)].Enqueue(task, events_.now())) {
+  if (nodes_[static_cast<size_t>(node_id)].Enqueue(delivered,
+                                                   events_.now())) {
     StartTask(node_id);
   }
 }
@@ -251,13 +450,31 @@ void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
 void Federation::StartTask(catalog::NodeId node_id) {
   SimNode& node = nodes_[static_cast<size_t>(node_id)];
   QueryTask task = node.BeginNext(events_.now());
+  // Stamp the node's incarnation so this completion event can be
+  // recognized as stale if a crash wipes the task before it fires.
+  task.epoch = node.epoch();
   events_.ScheduleAfter(task.exec_time,
                         SimEvent::MakeComplete(node_id, task));
 }
 
 void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
   SimNode& node = nodes_[static_cast<size_t>(node_id)];
+  // A crash bumped the node's epoch after this completion was scheduled:
+  // the task it announces was wiped (and resubmitted by its client), so
+  // the event is a ghost of the previous incarnation. Ignore it.
+  if (task.epoch != node.epoch()) return;
   bool more = node.CompleteCurrent(events_.now());
+
+  // The result arrived after the client's deadline: nobody is waiting for
+  // it. The node's work is already spent (wasted capacity — the real cost
+  // of serving a client that gave up); the query counts as expired.
+  if (config_.query_deadline > 0 &&
+      events_.now() - task.arrival > config_.query_deadline) {
+    DropQuery(task.query_id, task.class_id, task.attempts,
+              /*expired=*/true);
+    if (more) StartTask(node_id);
+    return;
+  }
 
   double response_ms = util::ToMillis(events_.now() - task.arrival);
   QA_OBS(config_.recorder) {
@@ -282,10 +499,69 @@ void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
   if (more) StartTask(node_id);
 }
 
+void Federation::HandleFault(
+    const faults::FaultInjector::Transition& transition) {
+  using Kind = faults::FaultInjector::Transition::Kind;
+  switch (transition.kind) {
+    case Kind::kCrash: {
+      SimNode& node = nodes_[static_cast<size_t>(transition.node)];
+      std::vector<QueryTask> wiped = node.Crash(events_.now());
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kCrash;
+        event.t_us = events_.now();
+        event.node = transition.node;
+        config_.recorder->Record(event);
+        config_.recorder->Count("crashes");
+      }
+      // Everything queued or running there is gone with the volatile
+      // state; the clients detect the silence and resubmit.
+      for (const QueryTask& task : wiped) LoseTask(task, transition.node);
+      break;
+    }
+    case Kind::kRestart:
+      // The node is back with empty queues and default configuration; a
+      // mechanism with learned per-node state (QA-NT's price vector)
+      // resets it and re-learns through ordinary market interaction.
+      allocator_->OnNodeRestart(transition.node, events_.now());
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kRestart;
+        event.t_us = events_.now();
+        event.node = transition.node;
+        config_.recorder->Record(event);
+        config_.recorder->Count("restarts");
+      }
+      break;
+    case Kind::kDegradeStart:
+    case Kind::kDegradeEnd:
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kDegrade;
+        event.t_us = events_.now();
+        event.node = transition.node;
+        event.factor = transition.factor;
+        config_.recorder->Record(event);
+        config_.recorder->Count("degrades");
+      }
+      break;
+  }
+}
+
 void Federation::MarketTick() {
   allocator_->OnPeriodEnd(events_.now());
   allocator_->OnPeriodStart(events_.now());
   ++ticks_;
+  // Backoff streak bookkeeping: a round where every allocation attempt
+  // was declined bumps the streak, any successful assignment resets it,
+  // and a quiet round (no attempts) leaves it alone.
+  if (tick_rejects_ > 0 && tick_assigns_ == 0) {
+    ++consecutive_decline_rounds_;
+  } else if (tick_assigns_ > 0) {
+    consecutive_decline_rounds_ = 0;
+  }
+  tick_assigns_ = 0;
+  tick_rejects_ = 0;
   QA_OBS(config_.recorder) {
     obs::EventRecord event;
     event.kind = obs::EventRecord::Kind::kTick;

@@ -1,6 +1,7 @@
 #ifndef QAMARKET_SIM_FEDERATION_H_
 #define QAMARKET_SIM_FEDERATION_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -8,16 +9,28 @@
 #include "obs/recorder.h"
 #include "query/cost_model.h"
 #include "sim/event_queue.h"
+#include "sim/faults/fault_injector.h"
+#include "sim/faults/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/node.h"
+#include "util/status.h"
 #include "workload/trace.h"
 
 namespace qa::sim {
 
-/// A scheduled node outage: the node is unreachable during [from, until).
-/// Queries already queued there keep executing (network partition
-/// semantics); new assignments bounce or are routed around, depending on
-/// what the mechanism can observe.
+/// A scheduled node outage: the node is unreachable during [from, until)
+/// but keeps its state (network-partition semantics) — queries already
+/// queued there keep executing. How new work is kept off the node depends
+/// on what the mechanism can observe, via AllocationContext::NodeOnline:
+/// mechanisms that negotiate or probe (QA-NT, Greedy, BNQRD, TwoProbes)
+/// get no reply from the unreachable node — the request times out, which
+/// counts as a decline — and route around it without penalty; blind
+/// mechanisms (Random, RoundRobin) never consult NodeOnline, so their
+/// assignments to the node bounce at the network layer and the query is
+/// resubmitted like any other failed placement.
+///
+/// This is the legacy compatibility spelling of a single-node
+/// faults::PartitionFault; prefer FederationConfig::faults for new code.
 struct Outage {
   catalog::NodeId node = -1;
   util::VTime from = 0;
@@ -38,16 +51,41 @@ struct FederationConfig {
   /// QA-NT refresh supply continuously and rejected queries retry without
   /// waiting a whole global period.
   int market_tick_divisor = 8;
-  /// Scheduled node outages (failure injection).
+  /// Scheduled node outages (failure injection). Legacy shim: each entry
+  /// becomes a single-node faults::PartitionFault in the effective plan.
   std::vector<Outage> outages;
+  /// Declarative fault schedule (crashes with state loss, degraded
+  /// capacity, lossy/delayed links, partitions). Merged with `outages`.
+  faults::FaultPlan faults;
+  /// Mediator retry backoff cap: after sustained all-decline market rounds
+  /// the per-query retry interval escalates exponentially, but never past
+  /// this many whole market periods.
+  int max_backoff_periods = 4;
+  /// Client response deadline (0 = none, the default). When set, a query
+  /// whose sojourn (now - arrival) reaches the deadline is abandoned by
+  /// its client: pending resubmissions stop, and a result completing after
+  /// the deadline is discarded unread (the node's work is wasted — the
+  /// realistic cost of serving a client that already gave up). Expired
+  /// queries count as dropped (plus SimMetrics::expired), so conservation
+  /// still holds: arrivals == completed + dropped.
+  util::VDuration query_deadline = 0;
   /// Optional telemetry sink (not owned; must outlive the run). When set,
   /// the federation streams event spans, per-period allocator snapshots and
   /// run counters into it; when null every probe is a single branch.
   obs::Recorder* recorder = nullptr;
-  /// Allocator RNG seed, recorded in the trace meta line for provenance
-  /// (the federation itself draws no random numbers).
+  /// Allocator RNG seed, recorded in the trace meta line for provenance.
+  /// Also the default seed of the fault injector's message-loss RNG (see
+  /// faults::FaultPlan::seed).
   int64_t seed = 0;
 };
+
+/// Rejects misconfigured runs before they produce silent nonsense:
+/// non-positive period, market_tick_divisor < 1, negative message latency
+/// or retry budget, max_backoff_periods < 1, malformed outage windows, and
+/// anything FaultPlan::Validate rejects. Federation::Run calls this at
+/// entry and aborts on error; callers building configs from external input
+/// should call it themselves and surface the Status.
+util::Status ValidateConfig(const FederationConfig& config, int num_nodes);
 
 /// The tagged event payload of the federation's discrete-event loop.
 ///
@@ -66,6 +104,8 @@ struct SimEvent {
     kComplete,
     /// Periodic market driver (allocator period hooks, retry clock).
     kMarketTick,
+    /// A fault-plan transition fires (crash / restart / degrade edge).
+    kFault,
   };
 
   /// Arrival payload: the pending query a mediator must (re)place.
@@ -79,8 +119,9 @@ struct SimEvent {
   /// Target server of kDeliver/kComplete.
   catalog::NodeId node;
   union {
-    Pending pending;  // kArrival
-    QueryTask task;   // kDeliver / kComplete
+    Pending pending;                             // kArrival
+    QueryTask task;                              // kDeliver / kComplete
+    faults::FaultInjector::Transition transition;  // kFault
   };
 
   static SimEvent MakeArrival(const Pending& pending) {
@@ -93,16 +134,21 @@ struct SimEvent {
     return SimEvent(Kind::kComplete, node, task);
   }
   static SimEvent MakeMarketTick() { return SimEvent(); }
+  static SimEvent MakeFault(const faults::FaultInjector::Transition& t) {
+    return SimEvent(t);
+  }
 
  private:
   // The active union member is chosen in a mem-initializer so its lifetime
-  // starts in a well-defined way; both variants are trivially copyable, so
+  // starts in a well-defined way; all variants are trivially copyable, so
   // the implicit copy/assign/destroy of the union are trivial.
   SimEvent() : kind(Kind::kMarketTick), node(-1), task() {}
   explicit SimEvent(const Pending& p)
       : kind(Kind::kArrival), node(-1), pending(p) {}
   SimEvent(Kind k, catalog::NodeId n, const QueryTask& t)
       : kind(k), node(n), task(t) {}
+  explicit SimEvent(const faults::FaultInjector::Transition& t)
+      : kind(Kind::kFault), node(t.node), transition(t) {}
 };
 
 /// The discrete-event simulator of a federation of autonomous RDBMSs:
@@ -155,6 +201,17 @@ class Federation : public allocation::AllocationContext {
   void StartTask(catalog::NodeId node_id);
   void CompleteTask(catalog::NodeId node_id, const QueryTask& task);
   void MarketTick();
+  /// Acts on a fault-plan transition: a crash flushes the node (lost tasks
+  /// are accounted and resubmitted), a restart tells the allocator to
+  /// rebuild the node's learned state, degrade edges are traced.
+  void HandleFault(const faults::FaultInjector::Transition& transition);
+  /// Accounts `task` as lost in flight (crash flush or dropped shipment)
+  /// and schedules the client's resubmission at the next market tick.
+  void LoseTask(const QueryTask& task, catalog::NodeId node_id);
+  /// Accounts one query as abandoned — retry budget exhausted, or
+  /// `expired` (client deadline passed) — and emits the drop record.
+  void DropQuery(query::QueryId id, query::QueryClassId class_id,
+                 int attempts, bool expired);
   /// Streams the allocator's Snapshot() into the recorder (traced runs
   /// only; called once per global market period plus once at t=0).
   void EmitSnapshot();
@@ -171,9 +228,25 @@ class Federation : public allocation::AllocationContext {
   const query::CostModel* cost_model_;
   allocation::Allocator* allocator_;
   FederationConfig config_;
+  /// Compiled fault schedule: config_.faults plus config_.outages (each
+  /// outage becomes a single-node partition).
+  faults::FaultInjector injector_;
   EventQueue<SimEvent> events_;
   std::vector<SimNode> nodes_;
   SimMetrics metrics_;
+  /// Per-allocation-attempt link mask: while the current arrival is being
+  /// negotiated, link_down_[j] != 0 means this attempt's message hops to
+  /// node j were dropped — the mediator sees a timeout, i.e. a decline
+  /// (NodeOnline returns false). Valid only while link_mask_active_.
+  std::vector<uint8_t> link_down_;
+  bool link_mask_active_ = false;
+  /// Per-tick allocation outcome counters driving the mediator's
+  /// escalating retry backoff: a market round where every attempt was
+  /// declined (rejects > 0, assigns == 0) bumps the streak, any assign
+  /// resets it.
+  int64_t tick_assigns_ = 0;
+  int64_t tick_rejects_ = 0;
+  int consecutive_decline_rounds_ = 0;
   /// Queries in flight (arrived, not yet completed or dropped); the
   /// periodic market event keeps rescheduling itself while this is > 0.
   int64_t outstanding_ = 0;

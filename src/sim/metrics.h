@@ -19,8 +19,12 @@ struct SimMetrics {
   stats::TimeSeries completions;
   /// Completion events per class (index = class id).
   std::vector<stats::TimeSeries> completions_per_class;
-  /// Queries that exhausted their retry budget.
+  /// Queries abandoned: retry budget exhausted, or the client's response
+  /// deadline passed (`expired` counts the latter subset).
   int64_t dropped = 0;
+  /// Queries abandoned because FederationConfig::query_deadline passed
+  /// before a usable answer arrived (subset of `dropped`).
+  int64_t expired = 0;
   /// Total re-submissions (QA-NT's "ask again next period").
   int64_t retries = 0;
   /// Drops broken down by query class (index = class id).
@@ -29,6 +33,10 @@ struct SimMetrics {
   std::vector<int64_t> retries_per_class;
   /// Assignments that bounced off an unreachable node (failure injection).
   int64_t bounced = 0;
+  /// Queries lost in flight or wiped by a node crash (failure injection);
+  /// every lost query is resubmitted, so conservation still holds:
+  /// arrivals == completed + dropped.
+  int64_t lost = 0;
   /// Total network messages spent on allocation decisions.
   int64_t messages = 0;
   /// Queries assigned to some node.

@@ -7,8 +7,10 @@ obs::Json MetricsToJson(const SimMetrics& metrics) {
   json.Set("completed", metrics.completed);
   json.Set("assigned", metrics.assigned);
   json.Set("dropped", metrics.dropped);
+  json.Set("expired", metrics.expired);
   json.Set("retries", metrics.retries);
   json.Set("bounced", metrics.bounced);
+  json.Set("lost", metrics.lost);
   json.Set("messages", metrics.messages);
   json.Set("end_time_us", metrics.end_time);
   json.Set("total_busy_us", metrics.total_busy_time);

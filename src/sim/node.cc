@@ -36,6 +36,24 @@ bool SimNode::CompleteCurrent(util::VTime now) {
   return !queue_.empty();
 }
 
+std::vector<QueryTask> SimNode::Crash(util::VTime now) {
+  std::vector<QueryTask> lost;
+  lost.reserve(queue_.size() + (running_ ? 1 : 0));
+  if (running_) {
+    // BeginNext charged the full exec_time to busy_time_ up front; give
+    // back the part that will now never run.
+    if (busy_until_ > now) busy_time_ -= busy_until_ - now;
+    lost.push_back(current_);
+    running_ = false;
+  }
+  for (const QueryTask& task : queue_) lost.push_back(task);
+  queue_.clear();
+  queued_work_ = 0.0;
+  last_idle_at_ = now;
+  ++epoch_;
+  return lost;
+}
+
 util::VDuration SimNode::Backlog(util::VTime now) const {
   util::VDuration backlog = 0;
   if (running_ && busy_until_ > now) backlog += busy_until_ - now;

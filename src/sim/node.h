@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "query/query.h"
@@ -21,6 +22,16 @@ struct QueryTask {
   util::VDuration exec_time = 0;
   /// Node-independent work units (best-case cost), for BNQRD bookkeeping.
   double work_units = 0.0;
+  /// Allocation attempts spent so far; carried on the task so a query lost
+  /// to a fault can be resubmitted with its retry budget intact.
+  int attempts = 0;
+  /// The per-query execution-time jitter drawn at first allocation, kept so
+  /// a resubmitted query re-prices deterministically.
+  double cost_jitter = 1.0;
+  /// The node incarnation this task was started under. A crash bumps the
+  /// node's epoch, so completions of tasks wiped by the crash can be
+  /// recognized as stale and ignored.
+  int64_t epoch = 0;
 };
 
 /// One autonomous RDBMS in the federation: a serial executor draining a
@@ -64,6 +75,16 @@ class SimNode {
   /// overload-duration measurements of Fig. 1.
   util::VTime last_idle_at() const { return last_idle_at_; }
 
+  /// Current incarnation of the node's volatile state; bumped by Crash().
+  int64_t epoch() const { return epoch_; }
+
+  /// Crash with loss of volatile state: the run queue and the running task
+  /// are wiped and returned (so the simulator can account them as lost and
+  /// resubmit them), the busy-time ledger is corrected for the un-run
+  /// remainder of the current task, and the node's epoch is bumped so
+  /// in-flight completion events of wiped tasks become stale.
+  std::vector<QueryTask> Crash(util::VTime now);
+
  private:
   catalog::NodeId id_;
   std::deque<QueryTask> queue_;
@@ -75,6 +96,7 @@ class SimNode {
   util::VDuration busy_time_ = 0;
   int64_t completed_ = 0;
   util::VTime last_idle_at_ = 0;
+  int64_t epoch_ = 0;
 };
 
 }  // namespace qa::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -187,13 +188,64 @@ TEST(TraceSchemaTest, EveryEventKindRoundTripsByName) {
        {EventRecord::Kind::kArrival, EventRecord::Kind::kAssign,
         EventRecord::Kind::kReject, EventRecord::Kind::kDrop,
         EventRecord::Kind::kBounce, EventRecord::Kind::kDeliver,
-        EventRecord::Kind::kComplete, EventRecord::Kind::kTick}) {
+        EventRecord::Kind::kComplete, EventRecord::Kind::kTick,
+        EventRecord::Kind::kCrash, EventRecord::Kind::kRestart,
+        EventRecord::Kind::kDegrade, EventRecord::Kind::kLost}) {
     EventRecord::Kind parsed = EventRecord::Kind::kTick;
     ASSERT_TRUE(ParseEventKind(EventKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);
   }
   EventRecord::Kind unused;
   EXPECT_FALSE(ParseEventKind("warp", &unused));
+}
+
+TEST(TraceSchemaTest, FaultEventsRoundTripWithFactor) {
+  EventRecord crash;
+  crash.kind = EventRecord::Kind::kCrash;
+  crash.t_us = 2000;
+  crash.node = 3;
+
+  EventRecord degrade;
+  degrade.kind = EventRecord::Kind::kDegrade;
+  degrade.t_us = 2500;
+  degrade.node = 1;
+  degrade.factor = 0.5;
+
+  EventRecord lost;
+  lost.kind = EventRecord::Kind::kLost;
+  lost.t_us = 2600;
+  lost.query = 9;
+  lost.class_id = 1;
+  lost.node = 3;
+  lost.attempts = 2;
+
+  EventRecord restart;
+  restart.kind = EventRecord::Kind::kRestart;
+  restart.t_us = 4000;
+  restart.node = 3;
+
+  std::ostringstream sink;
+  {
+    Recorder recorder(&sink);
+    MetaRecord meta;
+    meta.mechanism = "QA-NT";
+    recorder.Record(meta);
+    recorder.Record(crash);
+    recorder.Record(degrade);
+    recorder.Record(lost);
+    recorder.Record(restart);
+  }
+  std::istringstream in(sink.str());
+  util::StatusOr<ParsedTrace> parsed = ParsedTrace::Parse(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->events.size(), 4u);
+  EXPECT_EQ(parsed->events[0], crash);
+  EXPECT_EQ(parsed->events[1], degrade);
+  EXPECT_EQ(parsed->events[2], lost);
+  EXPECT_EQ(parsed->events[3], restart);
+  // The degrade factor survives the trip; non-degrade records omit it.
+  EXPECT_DOUBLE_EQ(parsed->events[1].factor, 0.5);
+  EXPECT_NE(sink.str().find("\"factor\":0.5"), std::string::npos);
 }
 
 // ----------------------------------------------------------- TraceReader
@@ -390,6 +442,53 @@ TEST(AnalysisTest, TrackingCountsArrivalsVsCompletionsPerBucket) {
   EXPECT_EQ(tracking[0].arrivals, (std::vector<int64_t>{2, 0}));
   EXPECT_EQ(tracking[0].completions, (std::vector<int64_t>{1, 1}));
   EXPECT_EQ(tracking[0].total_error, 2);
+}
+
+TEST(AnalysisTest, FaultRecoveryReportDetectsReconvergence) {
+  ParsedTrace trace = TraceWithMeta(1000);
+  using K = EventRecord::Kind;
+  // Period 0 (pre-fault): mild disagreement between the two nodes.
+  trace.prices.push_back(MakePrice(0, 0, 0, 2.0, 1));
+  trace.prices.push_back(MakePrice(0, 1, 0, 8.0, 1));
+  // Crash in period 1, restart in period 2.
+  EventRecord crash;
+  crash.kind = K::kCrash;
+  crash.t_us = 1500;
+  crash.node = 0;
+  trace.events.push_back(crash);
+  EventRecord restart;
+  restart.kind = K::kRestart;
+  restart.t_us = 2500;
+  restart.node = 0;
+  trace.events.push_back(restart);
+  // Period 2: the restarted node re-enters at default prices — dispersion
+  // spikes. Period 3: re-learned, dispersion back below the pre-fault
+  // level.
+  trace.prices.push_back(MakePrice(2000, 0, 0, 1.0, 1));
+  trace.prices.push_back(MakePrice(2000, 1, 0, 20.0, 1));
+  trace.prices.push_back(MakePrice(3000, 0, 0, 4.0, 1));
+  trace.prices.push_back(MakePrice(3000, 1, 0, 4.0, 1));
+
+  std::vector<FaultRecovery> rows = FaultRecoveryReport(trace);
+  ASSERT_EQ(rows.size(), 2u);
+
+  const FaultRecovery& after_crash = rows[0];
+  EXPECT_EQ(after_crash.kind, K::kCrash);
+  EXPECT_EQ(after_crash.node, 0);
+  EXPECT_EQ(after_crash.fault_period, 1);
+  // ln-variance of {2, 8} = (ln 2)^2 (population, two points).
+  double ln2 = std::log(2.0);
+  EXPECT_NEAR(after_crash.pre_fault_variance, ln2 * ln2, 1e-12);
+  EXPECT_GT(after_crash.peak_variance, after_crash.pre_fault_variance);
+  ASSERT_TRUE(after_crash.reconverged);
+  EXPECT_EQ(after_crash.recovery_period, 3);
+  EXPECT_DOUBLE_EQ(after_crash.recovery_ms, util::ToMillis(3 * 1000 - 1500));
+
+  const FaultRecovery& after_restart = rows[1];
+  EXPECT_EQ(after_restart.kind, K::kRestart);
+  EXPECT_EQ(after_restart.fault_period, 2);
+  ASSERT_TRUE(after_restart.reconverged);
+  EXPECT_EQ(after_restart.recovery_period, 3);
 }
 
 // ------------------------------------------------------------- RunReport

@@ -8,11 +8,14 @@
 //   * time-to-equilibrium: the first period from which the observable
 //     excess demand (reject ratio) stays inside a band;
 //   * message overhead and event-loop activity per period;
-//   * Fig. 5c-style tracking error (arrivals vs completions per bucket).
+//   * Fig. 5c-style tracking error (arrivals vs completions per bucket);
+//   * with --faults: a per-fault recovery table (crash/restart/degrade
+//     transitions, price dispersion before/after, reconvergence time) plus
+//     the observed fault damage (bounces, lost shipments, drops).
 //
 // Usage:
 //   qa_trace TRACE.jsonl [--band=0.1] [--window=4] [--bucket-ms=2000]
-//            [--periods=N] [--csv]
+//            [--periods=N] [--csv] [--faults]
 //
 // All analysis goes through the same parser the tests use
 // (obs::ParsedTrace), so anything this tool prints is covered by the
@@ -42,12 +45,13 @@ struct Options {
   int64_t bucket_ms = 2000; // tracking-error bucket width
   int max_periods = 0;      // 0 = print all period rows
   bool csv = false;
+  bool faults = false;      // fault-recovery summary
 };
 
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " TRACE.jsonl [--band=B] [--window=W] [--bucket-ms=MS]"
-               " [--periods=N] [--csv]\n";
+               " [--periods=N] [--csv] [--faults]\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -63,6 +67,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->max_periods = std::atoi(arg.c_str() + 10);
     } else if (arg == "--csv") {
       opts->csv = true;
+    } else if (arg == "--faults") {
+      opts->faults = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -245,6 +251,48 @@ int Run(const Options& opts) {
                       ? " (re-converged)"
                       : " (still dispersed)")
               << "\n";
+  }
+
+  // ---- Fault-recovery summary (--faults; schema v2 fault records).
+  if (opts.faults) {
+    std::vector<obs::FaultRecovery> recovery = obs::FaultRecoveryReport(trace);
+    std::cout << "\nfaults: " << recovery.size()
+              << " crash/restart/degrade transition(s) in the trace\n";
+    if (!recovery.empty()) {
+      util::TableWriter fault_table({"Kind", "Node", "t (ms)", "Factor",
+                                     "PreVar", "PeakVar", "Reconverged",
+                                     "Recovery (ms)"});
+      int reconverged = 0;
+      for (const obs::FaultRecovery& row : recovery) {
+        if (row.reconverged) ++reconverged;
+        fault_table.BeginRow();
+        fault_table.AddCell(std::string(obs::EventKindName(row.kind)));
+        fault_table.AddCell(row.node);
+        fault_table.AddCell(row.t_us / util::kMillisecond);
+        fault_table.AddCell(row.factor != 0.0 ? Fmt(row.factor)
+                                              : std::string("-"));
+        fault_table.AddCell(Fmt(row.pre_fault_variance));
+        fault_table.AddCell(Fmt(row.peak_variance));
+        fault_table.AddCell(row.reconverged ? "yes" : "no");
+        fault_table.AddCell(row.reconverged ? Fmt(row.recovery_ms)
+                                            : std::string("-"));
+      }
+      Emit(fault_table, opts.csv);
+      std::cout << reconverged << "/" << recovery.size()
+                << " transition(s) with log-price variance back at or below "
+                   "the pre-fault level\n";
+    }
+    // Observed fault damage, summed over the whole trace: how often the
+    // mechanism bounced work off unreachable nodes and how many shipments
+    // the faulty network ate.
+    int64_t bounces = 0, losses = 0, drops = 0;
+    for (const obs::PeriodLoad& load : loads) {
+      bounces += load.bounces;
+      losses += load.losses;
+      drops += load.drops;
+    }
+    std::cout << "fault damage: " << bounces << " bounce(s), " << losses
+              << " lost shipment(s), " << drops << " abandoned queries\n";
   }
 
   // ---- Umpire iterations (tatonnement traces only).
