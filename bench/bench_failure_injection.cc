@@ -115,7 +115,7 @@ obs::Json RecoveryToJson(const obs::FaultRecovery& row) {
   json.Set("kind", std::string(obs::EventKindName(row.kind)));
   json.Set("node", row.node);
   json.Set("t_ms", static_cast<double>(row.t_us) / kMillisecond);
-  if (row.factor != 0.0) json.Set("factor", row.factor);
+  if (row.has_factor()) json.Set("factor", row.factor);
   json.Set("pre_fault_variance", row.pre_fault_variance);
   json.Set("peak_variance", row.peak_variance);
   json.Set("reconverged", row.reconverged);

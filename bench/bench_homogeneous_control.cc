@@ -5,7 +5,9 @@
 // comparison compresses; the heterogeneous column (the Fig. 4 setup) is
 // printed alongside for contrast.
 
+#include <algorithm>
 #include <iostream>
+#include <limits>
 
 #include "bench/bench_common.h"
 
@@ -69,7 +71,7 @@ int main(int argc, char** argv) {
   bench::Telemetry telemetry(args, "Homogeneous control");
   util::TableWriter table({"Mechanism", "Homogeneous mean (ms)",
                            "Heterogeneous mean (ms)"});
-  double homo_best = 0.0;
+  double homo_best = std::numeric_limits<double>::infinity();
   double homo_worst = 0.0;
   for (const std::string& name : allocation::AllMechanismNames()) {
     double homo = RunMean(*homo_model, name, homo_trace, period, seed,
@@ -77,8 +79,8 @@ int main(int argc, char** argv) {
     double hetero = RunMean(*hetero_model, name, hetero_trace, period, seed,
                             telemetry, name + "@heterogeneous");
     table.AddRow(name, homo, hetero);
-    if (homo_best == 0.0 || homo < homo_best) homo_best = homo;
-    if (homo > homo_worst) homo_worst = homo;
+    homo_best = std::min(homo_best, homo);
+    homo_worst = std::max(homo_worst, homo);
   }
   table.Print(std::cout);
   std::cout << "\nHomogeneous worst/best spread: "

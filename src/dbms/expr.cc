@@ -121,6 +121,8 @@ bool Expr::EvalBool(const Row& row) const {
   Value v = Eval(row);
   if (v.is_null()) return false;
   if (v.type() == ValueType::kInt) return v.AsInt() != 0;
+  // SQL truthiness is exact: only a stored 0.0 is false, not "near zero".
+  // qa-lint: allow(QA-NUM-001)
   if (v.type() == ValueType::kDouble) return v.AsDouble() != 0.0;
   return true;
 }
@@ -133,10 +135,10 @@ double Expr::EstimatedSelectivity() const {
     case Kind::kCompare:
       return compare_op_ == CompareOp::kEq ? 0.1 : 0.3;
     case Kind::kLogical: {
-      double l = left_->EstimatedSelectivity();
-      double r = right_->EstimatedSelectivity();
-      if (logical_op_ == LogicalOp::kAnd) return l * r;
-      return std::min(1.0, l + r);
+      double left_sel = left_->EstimatedSelectivity();
+      double right_sel = right_->EstimatedSelectivity();
+      if (logical_op_ == LogicalOp::kAnd) return left_sel * right_sel;
+      return std::min(1.0, left_sel + right_sel);
     }
   }
   return 1.0;

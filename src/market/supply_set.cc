@@ -58,6 +58,9 @@ QuantityVector CapacitySupplySet::MaximizeValueWithBudget(
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     double da = prices[a] / static_cast<double>(unit_cost(a));
     double db = prices[b] / static_cast<double>(unit_cost(b));
+    // Exact compare on purpose: an epsilon tie-break would violate strict
+    // weak ordering and make the knapsack order non-deterministic.
+    // qa-lint: allow(QA-NUM-001)
     if (da != db) return da > db;
     return a < b;
   });

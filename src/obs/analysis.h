@@ -95,6 +95,12 @@ struct FaultRecovery {
   int64_t t_us = 0;       // when the fault transition fired
   double factor = 0.0;    // degrade transitions only
   int fault_period = 0;
+
+  /// True when this row carries a degrade factor. 0.0 is the "unset"
+  /// default stamped at construction, never a real multiplier, so the
+  /// exact compare is the sentinel test, not arithmetic.
+  // qa-lint: allow(QA-NUM-001)
+  bool has_factor() const { return factor != 0.0; }
   /// Max-over-classes log-price variance in the last sampled period
   /// strictly before the fault (0 when nothing was sampled yet).
   double pre_fault_variance = 0.0;

@@ -347,6 +347,10 @@ void Json::DumpTo(std::string& out) const {
     char buf[32];
     // Integral doubles print as "390.0", not "3.9e+02": just as exact,
     // far more readable, and still a double (not an int) when reparsed.
+    // Exact integrality test on purpose: "is this double exactly an
+    // integer" decides the printed form, and any epsilon would change
+    // what reparsing yields.
+    // qa-lint: allow(QA-NUM-001)
     if (d == std::floor(d) && std::abs(d) < 1e15) {
       std::snprintf(buf, sizeof(buf), "%.1f", d);
       out += buf;
@@ -356,10 +360,14 @@ void Json::DumpTo(std::string& out) const {
     // double.
     std::snprintf(buf, sizeof(buf), "%.17g", d);
     double reparsed = std::strtod(buf, nullptr);
+    // Round-trip checks must be bitwise: the shortest representation is
+    // only acceptable if strtod returns the *identical* double.
+    // qa-lint: allow(QA-NUM-001)
     if (reparsed == d) {
       for (int precision = 1; precision < 17; ++precision) {
         char shorter[32];
         std::snprintf(shorter, sizeof(shorter), "%.*g", precision, d);
+        // qa-lint: allow(QA-NUM-001)
         if (std::strtod(shorter, nullptr) == d) {
           out += shorter;
           return;

@@ -10,8 +10,12 @@ void SetIfNot(Json& json, const char* key, int64_t value, int64_t skip) {
   if (value != skip) json.Set(key, value);
 }
 
-void SetIfNot(Json& json, const char* key, double value, double skip) {
-  if (value != skip) json.Set(key, value);
+void SetIfNot(Json& json, const char* key, double value_d, double skip_d) {
+  // Exact sentinel compare on purpose: `skip_d` is the untouched field
+  // default that FromJson restores, never a computed value, and omitting
+  // on "near default" would break the byte-stable write->parse->write.
+  // qa-lint: allow(QA-NUM-001)
+  if (value_d != skip_d) json.Set(key, value_d);
 }
 
 }  // namespace

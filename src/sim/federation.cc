@@ -581,8 +581,12 @@ void Federation::MarketTick() {
 }
 
 void Federation::EmitSnapshot() {
-  config_.recorder->RecordSnapshot(events_.now(), allocator_->Snapshot());
-  config_.recorder->Count("snapshots");
+  // Both call sites sit inside QA_OBS gates already, but gate here too so
+  // the allocator Snapshot() walk compiles away under -DQA_OBS_DISABLED.
+  QA_OBS(config_.recorder) {
+    config_.recorder->RecordSnapshot(events_.now(), allocator_->Snapshot());
+    config_.recorder->Count("snapshots");
+  }
 }
 
 util::VDuration Federation::TickInterval() const {

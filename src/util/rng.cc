@@ -36,6 +36,9 @@ double Rng::Normal(double mean, double stddev) {
 
 const Rng::ZipfTable& Rng::GetZipfTable(int64_t n, double alpha) {
   for (const ZipfTable& t : zipf_cache_) {
+    // Cache-key identity: alpha is caller-provided and stored verbatim, so
+    // only the bitwise-same exponent may reuse a table.
+    // qa-lint: allow(QA-NUM-001)
     if (t.n == n && t.alpha == alpha) return t;
   }
   ZipfTable table;

@@ -327,7 +327,9 @@ TEST(MarkovAllocatorTest, RoutingProbabilitiesValid) {
       EXPECT_GE(p, 0.0);
       EXPECT_LE(p, 1.0);
       // No probability mass on infeasible nodes.
-      if (!model->CanEvaluate(k, j)) EXPECT_EQ(p, 0.0);
+      if (!model->CanEvaluate(k, j)) {
+        EXPECT_EQ(p, 0.0);
+      }
       sum += p;
     }
     EXPECT_NEAR(sum, 1.0, 1e-9);

@@ -193,7 +193,9 @@ std::vector<Row> ReferenceEvaluate(const Database& db,
             result.push_back(Value(sum));
             break;
           case Aggregate::Fn::kAvg:
-            result.push_back(count > 0 ? Value(sum / count) : Value::Null());
+            result.push_back(count > 0
+                                 ? Value(sum / static_cast<double>(count))
+                                 : Value::Null());
             break;
           case Aggregate::Fn::kMin:
             result.push_back(min_v);

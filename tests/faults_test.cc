@@ -535,7 +535,7 @@ TEST(ChaosSoakTest, ConservationAndThreadInvariance) {
   for (int i = 0; i < 120; ++i) {
     workload::Arrival a;
     a.time = i * 150 * kMillisecond;
-    a.class_id = arrivals_rng.UniformInt(0, 1);
+    a.class_id = static_cast<int>(arrivals_rng.UniformInt(0, 1));
     a.origin = 0;
     a.cost_jitter = 1.0;
     trace.Add(a);

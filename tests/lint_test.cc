@@ -1,0 +1,390 @@
+// Locks the qa_lint rule engine: one fixture per shipped rule violating
+// it exactly once (asserting rule ID and position), the allow()
+// suppression contract, scope exemptions, and a self-check that the real
+// tree is clean — the in-process twin of CI's `qa_lint src bench tools
+// tests`.
+
+#include "qa_lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qa::lint {
+namespace {
+
+/// Convenience: lint `content` as if it lived at `path`.
+std::vector<Finding> Lint(std::string_view path, std::string_view content,
+                          const Options& options = {}) {
+  return LintFile(path, content, options);
+}
+
+/// True if any finding carries `rule`.
+bool Has(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintCatalogTest, EveryRuleHasIdSummaryRationale) {
+  ASSERT_FALSE(AllRules().empty());
+  for (const Rule& rule : AllRules()) {
+    EXPECT_TRUE(std::string(rule.id).rfind("QA-", 0) == 0) << rule.id;
+    EXPECT_NE(std::string(rule.summary), "");
+    EXPECT_NE(std::string(rule.rationale), "");
+    EXPECT_STREQ(RuleRationale(rule.id), rule.rationale);
+  }
+  EXPECT_EQ(RuleRationale("QA-NOPE-999"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// QA-DET-001
+// ---------------------------------------------------------------------------
+
+TEST(QaDet001Test, FlagsRandCallWithPosition) {
+  std::vector<Finding> findings = Lint("src/sim/fixture.cc",
+                                       "int Draw() {\n"
+                                       "  return rand();\n"
+                                       "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-001");
+  EXPECT_EQ(findings[0].file, "src/sim/fixture.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].column, 10);
+}
+
+TEST(QaDet001Test, FlagsStdTimeButNotMemberTime) {
+  EXPECT_TRUE(Has(Lint("src/sim/f.cc", "long T() { return std::time(0); }\n"),
+                  "QA-DET-001"));
+  // Member access and declarations are someone else's `time`.
+  EXPECT_TRUE(
+      Lint("src/sim/f.cc", "long T(Clock c) { return c.time(); }\n").empty());
+  EXPECT_TRUE(
+      Lint("src/sim/f.cc", "void T() { util::VTime time(0); }\n").empty());
+}
+
+TEST(QaDet001Test, IgnoresStringsCommentsAndMacroBodies) {
+  EXPECT_TRUE(Lint("src/sim/f.cc",
+                   "// rand() in a comment\n"
+                   "const char* kDoc = \"call rand() for chaos\";\n"
+                   "#define CHAOS() rand()\n")
+                  .empty());
+}
+
+TEST(QaDet001Test, AllowDirectiveSuppresses) {
+  EXPECT_TRUE(Lint("src/sim/f.cc",
+                   "int Draw() {\n"
+                   "  return rand();  // qa-lint: allow(QA-DET-001)\n"
+                   "}\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/sim/f.cc",
+                   "int Draw() {\n"
+                   "  // qa-lint: allow(QA-DET-001)\n"
+                   "  return rand();\n"
+                   "}\n")
+                  .empty());
+  // The wrong ID does not suppress.
+  EXPECT_TRUE(Has(Lint("src/sim/f.cc",
+                       "int Draw() {\n"
+                       "  return rand();  // qa-lint: allow(QA-NUM-001)\n"
+                       "}\n"),
+                  "QA-DET-001"));
+}
+
+// ---------------------------------------------------------------------------
+// QA-DET-002
+// ---------------------------------------------------------------------------
+
+TEST(QaDet002Test, FlagsEngineOutsideRngAndPositions) {
+  std::vector<Finding> findings =
+      Lint("src/workload/fixture.cc",
+           "#include <random>\n"
+           "double Jitter() {\n"
+           "  std::mt19937 gen;\n"
+           "  return 0.5;\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-002");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(QaDet002Test, RngItselfIsExempt) {
+  EXPECT_TRUE(
+      Lint("src/util/rng.cc", "std::mt19937_64 engine_;\n").empty());
+  EXPECT_TRUE(Has(Lint("src/util/other.cc", "std::mt19937_64 engine_;\n"),
+                  "QA-DET-002"));
+}
+
+TEST(QaDet002Test, FlagsRandomDevice) {
+  EXPECT_TRUE(Has(
+      Lint("bench/fixture.cc", "unsigned S() { return std::random_device{}(); }\n"),
+      "QA-DET-002"));
+}
+
+// ---------------------------------------------------------------------------
+// QA-DET-003
+// ---------------------------------------------------------------------------
+
+TEST(QaDet003Test, FlagsRangeForOverUnorderedMap) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc",
+           "#include <unordered_map>\n"
+           "std::unordered_map<int, double> loads_;\n"
+           "double Sum() {\n"
+           "  double total = 0;\n"
+           "  for (const auto& [node, load] : loads_) total += load;\n"
+           "  return total;\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-003");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(QaDet003Test, FlagsIteratorWalk) {
+  EXPECT_TRUE(Has(Lint("src/market/fixture.cc",
+                       "std::unordered_set<int> seen_;\n"
+                       "auto First() { return seen_.begin(); }\n"),
+                  "QA-DET-003"));
+}
+
+TEST(QaDet003Test, LookupOnlyAndOtherDirsAreFine) {
+  // Point lookups don't depend on iteration order.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "std::unordered_map<int, double> loads_;\n"
+                   "double At(int k) { return loads_.at(k); }\n")
+                  .empty());
+  // dbms is not a sim path; its unordered iteration is not this rule's
+  // business.
+  EXPECT_TRUE(Lint("src/dbms/fixture.cc",
+                   "std::unordered_map<int, int> groups_;\n"
+                   "int N() { int n = 0; for (auto& g : groups_) ++n; "
+                   "return n; }\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-NUM-001
+// ---------------------------------------------------------------------------
+
+TEST(QaNum001Test, FlagsLiteralCompare) {
+  std::vector<Finding> findings =
+      Lint("src/market/fixture.cc",
+           "bool Converged(double excess) {\n"
+           "  return excess == 0.0;\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-NUM-001");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(QaNum001Test, FlagsDeclaredDoubleIdentifiers) {
+  EXPECT_TRUE(Has(Lint("src/market/fixture.cc",
+                       "bool Same(double a, double b) { return a == b; }\n"),
+                  "QA-NUM-001"));
+}
+
+TEST(QaNum001Test, IntCompareAndExemptScopesAreFine) {
+  EXPECT_TRUE(
+      Lint("src/market/f.cc", "bool Z(int n) { return n == 0; }\n").empty());
+  std::string fixture = "bool Same(double a, double b) { return a == b; }\n";
+  EXPECT_TRUE(Lint("src/util/mathutil.cc", fixture).empty());
+  EXPECT_TRUE(Lint("tests/some_test.cc", fixture).empty());
+}
+
+TEST(QaNum001Test, OperatorEqualsDeclarationIsNotACompare) {
+  EXPECT_TRUE(Lint("src/market/fixture.h",
+                   "struct V {\n"
+                   "  double operator[](int k) const;\n"
+                   "  friend bool operator==(const V& a, const V& b) = "
+                   "default;\n"
+                   "};\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-NUM-002
+// ---------------------------------------------------------------------------
+
+TEST(QaNum002Test, FlagsFloatInMarketCode) {
+  std::vector<Finding> findings = Lint(
+      "src/market/fixture.cc", "float lambda = 0.5f;  // price step\n");
+  // The declaration; the 0.5f literal is not a compare so only one
+  // finding.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-NUM-002");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].column, 1);
+}
+
+TEST(QaNum002Test, DoubleAndOtherDirsAreFine) {
+  EXPECT_TRUE(Lint("src/market/f.cc", "double lambda = 0.5;\n").empty());
+  EXPECT_TRUE(Lint("src/obs/f.cc", "float ok_here = 1.0f;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-OBS-001
+// ---------------------------------------------------------------------------
+
+constexpr char kKindSwitch[] =
+    "std::string_view EventKindName(EventRecord::Kind kind) {\n"
+    "  switch (kind) {\n"
+    "    case EventRecord::Kind::kArrival:\n"
+    "      return \"arrival\";\n"
+    "    case EventRecord::Kind::kEclipse:\n"
+    "      return \"eclipse\";\n"
+    "  }\n"
+    "  return \"?\";\n"
+    "}\n";
+
+TEST(QaObs001Test, FlagsUndocumentedKind) {
+  Options options;
+  options.schema_doc = "kinds: `arrival` is documented, eclipse is not.";
+  std::vector<Finding> findings =
+      Lint("src/obs/trace_schema.cc", kKindSwitch, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-OBS-001");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("eclipse"), std::string::npos);
+}
+
+TEST(QaObs001Test, DocumentedKindsAreClean) {
+  Options options;
+  options.schema_doc = "| `arrival` | `eclipse` |";
+  EXPECT_TRUE(
+      Lint("src/obs/trace_schema.cc", kKindSwitch, options).empty());
+}
+
+TEST(QaObs001Test, OnlyTraceSchemaCcIsChecked) {
+  Options options;
+  options.schema_doc = "nothing documented";
+  EXPECT_TRUE(Lint("src/obs/other.cc", kKindSwitch, options).empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-OBS-002
+// ---------------------------------------------------------------------------
+
+TEST(QaObs002Test, FlagsBareProbe) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc",
+           "void Tick() {\n"
+           "  recorder_->Count(\"ticks\");\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-OBS-002");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(QaObs002Test, GatedProbesAreClean) {
+  // Block gate.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "void Tick() {\n"
+                   "  QA_OBS(recorder_) {\n"
+                   "    recorder_->Count(\"ticks\");\n"
+                   "    recorder_->Gauge(\"load\", 0.5);\n"
+                   "  }\n"
+                   "}\n")
+                  .empty());
+  // Single-statement gate.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "void Tick() {\n"
+                   "  QA_OBS(recorder_) recorder_->Count(\"ticks\");\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(QaObs002Test, GateDoesNotLeakPastItsBlock) {
+  EXPECT_TRUE(Has(Lint("src/sim/fixture.cc",
+                       "void Tick() {\n"
+                       "  QA_OBS(recorder_) {\n"
+                       "    recorder_->Count(\"in\");\n"
+                       "  }\n"
+                       "  recorder_->Count(\"out\");\n"
+                       "}\n"),
+                  "QA-OBS-002"));
+}
+
+TEST(QaObs002Test, NonRecorderObjectsAreNotProbes) {
+  EXPECT_TRUE(
+      Lint("src/sim/fixture.cc", "void F() { history_->Record(e); }\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-HOT-001
+// ---------------------------------------------------------------------------
+
+TEST(QaHot001Test, FlagsStdFunctionInQueueConsumer) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc",
+           "#include \"sim/event_queue.h\"\n"
+           "#include <functional>\n"
+           "std::function<void()> on_fire_;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-HOT-001");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(QaHot001Test, NonConsumersMayUseStdFunction) {
+  EXPECT_TRUE(Lint("src/exec/fixture.cc",
+                   "#include <functional>\n"
+                   "std::function<void()> task_;\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+TEST(LintFormatTest, TextCarriesPositionRuleAndRationale) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc", "int Draw() { return rand(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  std::string text = FormatText(findings);
+  EXPECT_NE(text.find("src/sim/fixture.cc:1:21: QA-DET-001"),
+            std::string::npos);
+  EXPECT_NE(text.find("why: "), std::string::npos);
+}
+
+TEST(LintFormatTest, JsonIsMachineReadable) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc", "int Draw() { return rand(); }\n");
+  std::string json = FormatJson(findings);
+  EXPECT_NE(json.find("\"rule\":\"QA-DET-001\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_EQ(FormatJson({}), "[]\n");
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: the real tree is clean (the in-process twin of the CI
+// invocation `qa_lint src bench tools tests`).
+// ---------------------------------------------------------------------------
+
+TEST(LintSelfCheckTest, RealTreeHasZeroFindings) {
+  const std::string root = QA_LINT_SOURCE_DIR;
+  std::vector<std::string> errors;
+  std::vector<Finding> findings = LintPaths(
+      {root + "/src", root + "/bench", root + "/tools", root + "/tests"},
+      Options{}, &errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+/// Every shipped rule ID is exercised by at least one fixture above;
+/// keep this list in sync when adding a rule (the test fails if the
+/// catalog grows without coverage).
+TEST(LintSelfCheckTest, CatalogMatchesCoveredRules) {
+  std::vector<std::string> covered = {
+      "QA-DET-001", "QA-DET-002", "QA-DET-003", "QA-NUM-001",
+      "QA-NUM-002", "QA-OBS-001", "QA-OBS-002", "QA-HOT-001"};
+  ASSERT_EQ(AllRules().size(), covered.size());
+  for (const Rule& rule : AllRules()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), rule.id),
+              covered.end())
+        << "rule " << rule.id << " has no fixture coverage in lint_test.cc";
+  }
+}
+
+}  // namespace
+}  // namespace qa::lint

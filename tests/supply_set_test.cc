@@ -149,7 +149,9 @@ TEST_P(GreedyVsExactTest, GreedyWithinToleranceOfExact) {
   EXPECT_LE(greedy, exact + 1e-9);
   // Density greedy for unbounded knapsack is at least 1/2 of optimal.
   EXPECT_GE(greedy, 0.5 * exact - 1e-9);
-  if (k == 1) EXPECT_DOUBLE_EQ(greedy, exact);
+  if (k == 1) {
+    EXPECT_DOUBLE_EQ(greedy, exact);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyVsExactTest,

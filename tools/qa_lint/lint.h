@@ -1,0 +1,67 @@
+#ifndef QAMARKET_TOOLS_QA_LINT_LINT_H_
+#define QAMARKET_TOOLS_QA_LINT_LINT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qa::lint {
+
+/// One violation of a project invariant.
+struct Finding {
+  std::string file;     ///< Path as given to the linter.
+  int line = 0;         ///< 1-based line of the offending token.
+  int column = 0;       ///< 1-based column of the offending token.
+  std::string rule;     ///< Rule ID, e.g. "QA-DET-001".
+  std::string message;  ///< What was found, specific to the site.
+};
+
+/// A named, suppressible invariant. The catalog is the contract between
+/// the linter, LINT.md, and tests/lint_test.cc: every entry here must be
+/// documented and covered by a fixture.
+struct Rule {
+  const char* id;         ///< Stable ID printed with findings.
+  const char* summary;    ///< Short name, e.g. "banned RNG call".
+  const char* rationale;  ///< One-line why, printed with each finding.
+};
+
+/// Every rule the linter ships, in ID order.
+const std::vector<Rule>& AllRules();
+
+/// Returns the rationale for `rule_id`, or nullptr if unknown.
+const char* RuleRationale(std::string_view rule_id);
+
+struct Options {
+  /// Contents of src/obs/SCHEMA.md for the QA-OBS-001 cross-check.
+  /// LintPaths fills this in automatically (it reads the SCHEMA.md that
+  /// sits next to trace_schema.cc); LintFile callers that want the rule
+  /// must supply it. Unset => QA-OBS-001 is skipped.
+  std::optional<std::string> schema_doc;
+
+  /// When non-empty, only these rule IDs fire.
+  std::vector<std::string> only_rules;
+};
+
+/// Lints one translation unit. `path` should be repo-relative with
+/// forward slashes ("src/sim/federation.cc") so path-scoped rules
+/// resolve; `content` is the full file text.
+std::vector<Finding> LintFile(std::string_view path, std::string_view content,
+                              const Options& options = {});
+
+/// Walks every C++ source (.cc/.cpp/.cxx/.h/.hpp) under each path (a file
+/// or a directory; "build*" and hidden directories are skipped), lints
+/// each, and returns the findings sorted by file/line/column. I/O
+/// problems are appended to `errors` (if non-null) instead of throwing.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const Options& options = {},
+                               std::vector<std::string>* errors = nullptr);
+
+/// Renders findings for humans (one line per finding plus an indented
+/// rationale line) or as a machine-readable JSON array.
+std::string FormatText(const std::vector<Finding>& findings);
+std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace qa::lint
+
+#endif  // QAMARKET_TOOLS_QA_LINT_LINT_H_

@@ -1,0 +1,74 @@
+// qa_lint — project invariant linter (see LINT.md for the rule catalog).
+//
+// Usage: qa_lint [--json] [--rule=QA-XXX-NNN]... [--list-rules] PATH...
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qa_lint/lint.h"
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: qa_lint [--json] [--rule=ID]... [--list-rules] PATH...\n"
+         "Scans C++ sources under each PATH for violations of the project\n"
+         "invariants catalogued in LINT.md. Suppress a single finding with\n"
+         "  // qa-lint: allow(QA-XXX-NNN)\n"
+         "on the offending line or the line above it.\n"
+         "  --json        machine-readable findings on stdout\n"
+         "  --rule=ID     only run the named rule (repeatable)\n"
+         "  --list-rules  print the rule catalog and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  qa::lint::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const qa::lint::Rule& rule : qa::lint::AllRules()) {
+        std::cout << rule.id << "  " << rule.summary << "\n    "
+                  << rule.rationale << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      options.only_rules.push_back(arg.substr(std::strlen("--rule=")));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "qa_lint: unknown flag '" << arg << "'\n";
+      return Usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage(std::cerr, 2);
+
+  std::vector<std::string> errors;
+  std::vector<qa::lint::Finding> findings =
+      qa::lint::LintPaths(paths, options, &errors);
+  for (const std::string& error : errors) {
+    std::cerr << "qa_lint: " << error << "\n";
+  }
+  if (json) {
+    std::cout << qa::lint::FormatJson(findings);
+  } else {
+    std::cout << qa::lint::FormatText(findings);
+    if (!findings.empty()) {
+      std::cout << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+  }
+  if (!errors.empty()) return 2;
+  return findings.empty() ? 0 : 1;
+}

@@ -269,8 +269,8 @@ int Run(const Options& opts) {
         fault_table.AddCell(std::string(obs::EventKindName(row.kind)));
         fault_table.AddCell(row.node);
         fault_table.AddCell(row.t_us / util::kMillisecond);
-        fault_table.AddCell(row.factor != 0.0 ? Fmt(row.factor)
-                                              : std::string("-"));
+        fault_table.AddCell(row.has_factor() ? Fmt(row.factor)
+                                             : std::string("-"));
         fault_table.AddCell(Fmt(row.pre_fault_variance));
         fault_table.AddCell(Fmt(row.peak_variance));
         fault_table.AddCell(row.reconverged ? "yes" : "no");
