@@ -53,6 +53,9 @@ struct AllocationDecision {
   catalog::NodeId node = kNoNode;
   /// Network messages this attempt cost (request/probe/offer/reply...).
   int messages = 0;
+  /// Nodes the mediator solicited offers from for this attempt (the
+  /// effective fanout; 0 for mechanisms that do not negotiate).
+  int solicited = 0;
 };
 
 /// Static properties of a mechanism (columns of Table 2).

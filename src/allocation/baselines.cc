@@ -8,9 +8,17 @@ namespace qa::allocation {
 
 namespace {
 
-std::vector<catalog::NodeId> FeasibleNodes(const AllocationContext& context,
-                                           query::QueryClassId k) {
-  return context.cost_model().FeasibleNodes(k);
+/// Returns the cached id-ordered feasible-node list of class `k`, building
+/// the per-class index on the allocator's first arrival. Replaces the old
+/// per-arrival CostModel::FeasibleNodes call, which allocated a fresh
+/// vector and scanned CanEvaluate over all N nodes on every query.
+const std::vector<catalog::NodeId>& FeasibleNodes(
+    CandidateIndex* candidates, const AllocationContext& context,
+    query::QueryClassId k) {
+  if (candidates->num_classes() == 0) {
+    *candidates = CandidateIndex(context.cost_model());
+  }
+  return candidates->ById(k);
 }
 
 }  // namespace
@@ -29,8 +37,8 @@ MechanismProperties RandomAllocator::properties() const {
 AllocationDecision RandomAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
   decision.node = nodes[static_cast<size_t>(
       rng_.UniformInt(0, static_cast<int64_t>(nodes.size()) - 1))];
@@ -53,8 +61,8 @@ MechanismProperties RoundRobinAllocator::properties() const {
 AllocationDecision RoundRobinAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
   size_t k = static_cast<size_t>(arrival.class_id);
   if (next_index_.size() <= k) next_index_.resize(k + 1, 0);
@@ -79,8 +87,8 @@ MechanismProperties GreedyAllocator::properties() const {
 AllocationDecision GreedyAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
 
   double best_completion = std::numeric_limits<double>::infinity();
@@ -118,8 +126,8 @@ MechanismProperties BlindGreedyAllocator::properties() const {
 AllocationDecision BlindGreedyAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
 
   double best_time = std::numeric_limits<double>::infinity();
@@ -169,8 +177,8 @@ void TwoRandomProbesAllocator::MaybeRefresh(
 AllocationDecision TwoRandomProbesAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
   MaybeRefresh(context);
   if (nodes.size() == 1) {
@@ -206,8 +214,8 @@ MechanismProperties BnqrdAllocator::properties() const {
 AllocationDecision BnqrdAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
 
   // Spread node-independent resource usage evenly: the chosen node is the
@@ -245,8 +253,8 @@ MechanismProperties LeastImbalanceAllocator::properties() const {
 AllocationDecision LeastImbalanceAllocator::Allocate(
     const workload::Arrival& arrival, const AllocationContext& context) {
   AllocationDecision decision;
-  std::vector<catalog::NodeId> nodes =
-      FeasibleNodes(context, arrival.class_id);
+  const std::vector<catalog::NodeId>& nodes =
+      FeasibleNodes(&candidates_, context, arrival.class_id);
   if (nodes.empty()) return decision;
 
   double best_imbalance = std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/solicitation.h"
 #include "util/rng.h"
 
 namespace qa::allocation {
@@ -22,6 +23,7 @@ class RandomAllocator : public Allocator {
 
  private:
   util::Rng rng_;
+  CandidateIndex candidates_;
 };
 
 /// Client-level round-robin over the feasible nodes of each class.
@@ -37,6 +39,7 @@ class RoundRobinAllocator : public Allocator {
  private:
   /// Next feasible-list index, per query class.
   std::vector<size_t> next_index_;
+  CandidateIndex candidates_;
 };
 
 /// Greedy (§4): "immediately assign queries to server nodes that can
@@ -58,6 +61,7 @@ class GreedyAllocator : public Allocator {
  private:
   util::Rng rng_;
   double randomization_;
+  CandidateIndex candidates_;
 };
 
 /// Queue-blind greedy: assigns by estimated *execution* time only, the way
@@ -78,6 +82,7 @@ class BlindGreedyAllocator : public Allocator {
  private:
   util::Rng rng_;
   double randomization_;
+  CandidateIndex candidates_;
 };
 
 /// Mitzenmacher's two-random-probes policy [10] ("How useful is old
@@ -106,6 +111,7 @@ class TwoRandomProbesAllocator : public Allocator {
   util::VDuration staleness_;
   std::vector<util::VDuration> load_board_;
   util::VTime snapshot_time_ = -1;
+  CandidateIndex candidates_;
 };
 
 /// BNQRD [1,2]: a central coordinator keeps an unbalance factor per node
@@ -121,6 +127,9 @@ class BnqrdAllocator : public Allocator {
   MechanismProperties properties() const override;
   AllocationDecision Allocate(const workload::Arrival& arrival,
                               const AllocationContext& context) override;
+
+ private:
+  CandidateIndex candidates_;
 };
 
 /// The naive greedy load-balancer of the paper's introduction (Fig. 1):
@@ -134,6 +143,9 @@ class LeastImbalanceAllocator : public Allocator {
   MechanismProperties properties() const override;
   AllocationDecision Allocate(const workload::Arrival& arrival,
                               const AllocationContext& context) override;
+
+ private:
+  CandidateIndex candidates_;
 };
 
 }  // namespace qa::allocation

@@ -8,8 +8,10 @@ namespace qa::allocation {
 std::unique_ptr<Allocator> CreateAllocator(const std::string& name,
                                            const AllocatorParams& params) {
   if (name == "QA-NT") {
-    return std::make_unique<QaNtAllocator>(params.cost_model, params.period,
-                                           params.qa_nt);
+    return std::make_unique<QaNtAllocator>(
+        params.cost_model, params.period, params.qa_nt,
+        QaNtAllocator::OfferSelection::kCheapest, params.solicitation,
+        params.seed);
   }
   if (name == "Greedy") {
     return std::make_unique<GreedyAllocator>(params.seed);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/solicitation.h"
 #include "market/qa_nt.h"
 
 namespace qa::allocation {
@@ -16,6 +17,9 @@ struct AllocatorParams {
   /// Market time period T (QA-NT only).
   util::VDuration period = 500 * util::kMillisecond;
   market::QaNtConfig qa_nt;
+  /// Offer-solicitation fanout policy (QA-NT only; baselines have their
+  /// own fixed probe counts).
+  SolicitationConfig solicitation;
   uint64_t seed = 1;
   /// GreedyBlind randomization fraction: execution-time estimates are
   /// perturbed by +/- this fraction so load spreads over near-fastest

@@ -2,26 +2,30 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 namespace qa::allocation {
 
 QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
                              util::VDuration period,
                              market::QaNtConfig config,
-                             OfferSelection selection)
+                             OfferSelection selection,
+                             SolicitationConfig solicitation, uint64_t seed)
     : cost_model_(cost_model),
       period_(period),
       config_(config),
-      selection_(selection) {
+      selection_(selection),
+      solicitation_(solicitation),
+      seed_(seed),
+      candidates_(*cost_model) {
   assert(cost_model_ != nullptr);
   int num_nodes = cost_model_->num_nodes();
+  agents_.resize(static_cast<size_t>(num_nodes));
+  next_refresh_.reserve(static_cast<size_t>(num_nodes));
   for (catalog::NodeId i = 0; i < num_nodes; ++i) {
-    agents_.push_back(MakeAgent(i));
     // Autonomous nodes run unsynchronized periods: spread the first
-    // boundary of agent i across [T/N, T].
-    next_refresh_.push_back(period_ * (i + 1) /
-                            std::max(num_nodes, 1));
+    // boundary of agent i across [T/N, T]. The schedule exists for every
+    // node from t=0 even though the agent itself is built lazily.
+    next_refresh_.push_back(period_ * (i + 1) / std::max(num_nodes, 1));
   }
 }
 
@@ -42,6 +46,25 @@ std::unique_ptr<market::QaNtAgent> QaNtAllocator::MakeAgent(
   return agent;
 }
 
+market::QaNtAgent& QaNtAllocator::EnsureAgent(catalog::NodeId node) {
+  size_t i = static_cast<size_t>(node);
+  assert(i < agents_.size());
+  if (agents_[i] == nullptr) {
+    agents_[i] = MakeAgent(node);
+    // Replay the rollovers the agent would have performed had it existed
+    // since t=0. Only boundaries up to the last market *tick* are rolled
+    // (not up to the current arrival time): an eagerly built agent also
+    // rolls exclusively at tick times, and matching that exactly is what
+    // keeps lazy instantiation byte-identical to the eager protocol.
+    while (next_refresh_[i] <= last_rollover_now_) {
+      agents_[i]->EndPeriod();
+      agents_[i]->BeginPeriod();
+      next_refresh_[i] += period_;
+    }
+  }
+  return *agents_[i];
+}
+
 MechanismProperties QaNtAllocator::properties() const {
   MechanismProperties p;
   p.distributed = true;
@@ -59,24 +82,27 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
   AllocationDecision decision;
   int k = arrival.class_id;
 
-  std::vector<catalog::NodeId> offers;
+  decision.solicited = SolicitNodes(
+      solicitation_, candidates_, k,
+      util::SplitMix64(util::MixSeed(seed_, arrival_seq_++)), &solicited_);
+
+  offers_.clear();
   int asked = 0;
-  for (catalog::NodeId j = 0; j < num_nodes(); ++j) {
-    if (!cost_model_->CanEvaluate(k, j)) continue;
+  for (catalog::NodeId j : solicited_) {
     // An offline node's agent is simply unreachable: the request times out
     // and no offer (or price move) happens. Autonomy makes failure
     // handling free — the market routes around dead nodes by itself.
     if (!context.NodeOnline(j)) continue;
     ++asked;
-    if (agents_[static_cast<size_t>(j)]->OnRequest(k)) offers.push_back(j);
+    if (EnsureAgent(j).OnRequest(k)) offers_.push_back(j);
   }
   // Request + offer/decline reply per asked node, plus the final accept.
   decision.messages = 2 * asked + 1;
   total_messages_ += decision.messages;
-  if (offers.empty()) return decision;  // resubmitted next period
+  if (offers_.empty()) return decision;  // resubmitted next period
 
-  catalog::NodeId best = offers[0];
-  for (catalog::NodeId j : offers) {
+  catalog::NodeId best = offers_[0];
+  for (catalog::NodeId j : offers_) {
     if (selection_ == OfferSelection::kEquitable) {
       if (agents_[static_cast<size_t>(j)]->earnings() <
           agents_[static_cast<size_t>(best)]->earnings()) {
@@ -86,7 +112,7 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
       best = j;
     }
   }
-  for (catalog::NodeId j : offers) {
+  for (catalog::NodeId j : offers_) {
     if (j == best) {
       agents_[static_cast<size_t>(j)]->OnOfferAccepted(k);
     } else {
@@ -101,8 +127,8 @@ obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
   obs::AllocatorSnapshot snapshot;
   snapshot.mechanism = name();
   snapshot.probe_messages = total_messages_;
-  snapshot.agents.reserve(agents_.size());
   for (const auto& agent : agents_) {
+    if (agent == nullptr) continue;  // never contacted: no market state yet
     obs::AgentStateSnapshot state;
     state.node = agent->node();
     state.prices = agent->prices().values();
@@ -125,7 +151,11 @@ obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
 }
 
 void QaNtAllocator::OnPeriodStart(util::VTime now) {
+  // Record the tick *before* rolling: EnsureAgent replays rollovers for
+  // lazily built agents up to exactly this time.
+  last_rollover_now_ = now;
   for (size_t i = 0; i < agents_.size(); ++i) {
+    if (agents_[i] == nullptr) continue;
     while (next_refresh_[i] <= now) {
       agents_[i]->EndPeriod();
       agents_[i]->BeginPeriod();
@@ -142,6 +172,9 @@ void QaNtAllocator::OnPeriodEnd(util::VTime now) {
 void QaNtAllocator::OnNodeRestart(catalog::NodeId node, util::VTime now) {
   size_t i = static_cast<size_t>(node);
   assert(i < agents_.size());
+  // A restart instantiates the agent even if it was never contacted — the
+  // rebuilt process is running from its configuration file either way, and
+  // this matches the eager protocol's post-restart state exactly.
   agents_[i] = MakeAgent(node);
   // Keep the agent's staggered phase: its next boundary is the first one
   // of its original schedule that lies strictly after the restart.

@@ -1,20 +1,24 @@
 #ifndef QAMARKET_ALLOCATION_QA_NT_ALLOCATOR_H_
 #define QAMARKET_ALLOCATION_QA_NT_ALLOCATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/solicitation.h"
 #include "market/qa_nt.h"
 
 namespace qa::allocation {
 
 /// The paper's mechanism, packaged behind the Allocator interface: one
-/// QaNtAgent per server node; an arriving query is broadcast to the nodes
-/// able to evaluate its class, each agent independently offers or declines
-/// per its private prices/supply, and the client accepts the offer with the
-/// lowest estimated execution time. If every agent declines, the query is
+/// QaNtAgent per server node; an arriving query is offered to the solicited
+/// subset of the nodes able to evaluate its class (all of them under the
+/// paper's broadcast protocol, a bounded random fanout under the sampled
+/// policies), each agent independently offers or declines per its private
+/// prices/supply, and the client accepts the offer with the lowest
+/// estimated execution time. If every agent declines, the query is
 /// resubmitted in the next time period (decision.node == kNoNode).
 class QaNtAllocator : public Allocator {
  public:
@@ -28,11 +32,16 @@ class QaNtAllocator : public Allocator {
     kEquitable,
   };
 
-  /// Builds one agent per node of `cost_model` with period budget
-  /// `period`. The cost model pointer must outlive the allocator.
+  /// Prepares one agent slot per node of `cost_model` with period budget
+  /// `period`. Agents are instantiated lazily on first contact, so a
+  /// 10,000-node federation where a sampled policy only ever touches a few
+  /// hundred nodes never pays for the rest. The cost model pointer must
+  /// outlive the allocator. `seed` feeds the per-arrival solicitation
+  /// sampling streams (unused under broadcast).
   QaNtAllocator(const query::CostModel* cost_model, util::VDuration period,
                 market::QaNtConfig config = {},
-                OfferSelection selection = OfferSelection::kCheapest);
+                OfferSelection selection = OfferSelection::kCheapest,
+                SolicitationConfig solicitation = {}, uint64_t seed = 0);
 
   std::string name() const override { return "QA-NT"; }
   MechanismProperties properties() const override;
@@ -40,18 +49,19 @@ class QaNtAllocator : public Allocator {
   AllocationDecision Allocate(const workload::Arrival& arrival,
                               const AllocationContext& context) override;
 
-  /// Full market introspection: every agent's private price vector, the
-  /// supply it planned at its last period rollover, the unsold leftover,
-  /// and its cumulative request/offer/decline counters.
+  /// Market introspection over every *instantiated* agent (O(contacted),
+  /// not O(N)): each agent's private price vector, the supply it planned
+  /// at its last period rollover, the unsold leftover, and its cumulative
+  /// request/offer/decline counters.
   obs::AllocatorSnapshot Snapshot() const override;
 
   /// Market refresh hook. The nodes are autonomous, so their periods are
   /// *staggered*: agent i's boundaries sit at phase (i/N)*T within the
-  /// global period. Each call rolls over every agent whose boundary has
-  /// passed (EndPeriod price decay + BeginPeriod re-solving eq. 4), which
-  /// makes fresh supply appear continuously instead of in one synchronized
-  /// burst. Call this at a granularity finer than T (the federation's
-  /// market tick); OnPeriodEnd is a no-op.
+  /// global period. Each call rolls over every instantiated agent whose
+  /// boundary has passed (EndPeriod price decay + BeginPeriod re-solving
+  /// eq. 4), which makes fresh supply appear continuously instead of in
+  /// one synchronized burst. Call this at a granularity finer than T (the
+  /// federation's market tick); OnPeriodEnd is a no-op.
   void OnPeriodStart(util::VTime now) override;
   void OnPeriodEnd(util::VTime now) override;
 
@@ -63,25 +73,48 @@ class QaNtAllocator : public Allocator {
   void OnNodeRestart(catalog::NodeId node, util::VTime now) override;
 
   int num_nodes() const { return static_cast<int>(agents_.size()); }
+  const SolicitationConfig& solicitation() const { return solicitation_; }
+  /// Accessing an agent instantiates it (caught up to the market tick) if
+  /// no solicitation has reached it yet.
   const market::QaNtAgent& agent(catalog::NodeId node) const {
-    return *agents_[static_cast<size_t>(node)];
+    return const_cast<QaNtAllocator*>(this)->EnsureAgent(node);
   }
   market::QaNtAgent& mutable_agent(catalog::NodeId node) {
-    return *agents_[static_cast<size_t>(node)];
+    return EnsureAgent(node);
   }
 
  private:
-  /// Builds a fresh default-state agent for `node` (construction and
+  /// Builds a fresh default-state agent for `node` (instantiation and
   /// crash/restart recovery share this).
   std::unique_ptr<market::QaNtAgent> MakeAgent(catalog::NodeId node) const;
+
+  /// Returns the agent of `node`, instantiating it on first contact and
+  /// replaying every period rollover up to the last market tick — which
+  /// leaves it byte-identical to an agent that had existed (idle) since
+  /// t=0, because an uncontacted agent's state is a pure function of its
+  /// rollover count.
+  market::QaNtAgent& EnsureAgent(catalog::NodeId node);
 
   const query::CostModel* cost_model_;
   util::VDuration period_;
   market::QaNtConfig config_;
   OfferSelection selection_;
+  SolicitationConfig solicitation_;
+  uint64_t seed_;
+  /// Arrivals allocated so far; arrival i's sampling stream is seeded with
+  /// MixSeed(seed_, i), a pure function of (seed, arrival index).
+  uint64_t arrival_seq_ = 0;
+  /// Time of the most recent market tick — how far EnsureAgent must roll a
+  /// newly instantiated agent forward.
+  util::VTime last_rollover_now_ = 0;
+  CandidateIndex candidates_;
+  /// One slot per node; null until the node is first contacted.
   std::vector<std::unique_ptr<market::QaNtAgent>> agents_;
   /// Next boundary time of each agent's own (staggered) period.
   std::vector<util::VTime> next_refresh_;
+  /// Scratch buffers reused across arrivals (no hot-path allocation).
+  std::vector<catalog::NodeId> solicited_;
+  std::vector<catalog::NodeId> offers_;
 };
 
 }  // namespace qa::allocation

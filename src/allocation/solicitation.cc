@@ -1,0 +1,113 @@
+#include "allocation/solicitation.h"
+
+#include <algorithm>
+#include <string>
+
+namespace qa::allocation {
+
+std::string_view SolicitationPolicyName(SolicitationPolicy policy) {
+  switch (policy) {
+    case SolicitationPolicy::kBroadcast:
+      return "broadcast";
+    case SolicitationPolicy::kUniformSample:
+      return "uniform-sample";
+    case SolicitationPolicy::kStratifiedSample:
+      return "stratified-sample";
+  }
+  return "broadcast";
+}
+
+bool ParseSolicitationPolicy(std::string_view name,
+                             SolicitationPolicy* policy) {
+  if (name == "broadcast") {
+    *policy = SolicitationPolicy::kBroadcast;
+    return true;
+  }
+  if (name == "uniform-sample" || name == "uniform") {
+    *policy = SolicitationPolicy::kUniformSample;
+    return true;
+  }
+  if (name == "stratified-sample" || name == "stratified") {
+    *policy = SolicitationPolicy::kStratifiedSample;
+    return true;
+  }
+  return false;
+}
+
+util::Status SolicitationConfig::Validate() const {
+  if (sampled() && fanout < 1) {
+    return util::Status::InvalidArgument(
+        "solicitation: " + std::string(SolicitationPolicyName(policy)) +
+        " requires fanout >= 1, got " + std::to_string(fanout));
+  }
+  return util::Status::OK();
+}
+
+CandidateIndex::CandidateIndex(const query::CostModel& cost_model) {
+  int num_classes = cost_model.num_classes();
+  int num_nodes = cost_model.num_nodes();
+  by_id_.resize(static_cast<size_t>(num_classes));
+  by_cost_.resize(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    std::vector<catalog::NodeId>& ids = by_id_[static_cast<size_t>(k)];
+    for (catalog::NodeId j = 0; j < num_nodes; ++j) {
+      if (cost_model.CanEvaluate(k, j)) ids.push_back(j);
+    }
+    std::vector<catalog::NodeId>& by_cost =
+        by_cost_[static_cast<size_t>(k)];
+    by_cost = ids;
+    std::stable_sort(by_cost.begin(), by_cost.end(),
+                     [&](catalog::NodeId a, catalog::NodeId b) {
+                       return cost_model.Cost(k, a) < cost_model.Cost(k, b);
+                     });
+  }
+}
+
+int SolicitNodes(const SolicitationConfig& config,
+                 const CandidateIndex& candidates, query::QueryClassId k,
+                 util::SplitMix64 stream,
+                 std::vector<catalog::NodeId>* out) {
+  out->clear();
+  const std::vector<catalog::NodeId>& by_id = candidates.ById(k);
+  size_t n = by_id.size();
+  // Tiny-federation clamp: a fanout covering every candidate is exactly a
+  // broadcast, including the absence of any random draw.
+  size_t d = config.sampled()
+                 ? std::min(static_cast<size_t>(config.fanout), n)
+                 : n;
+  if (d == n) {
+    out->assign(by_id.begin(), by_id.end());
+    return static_cast<int>(out->size());
+  }
+
+  if (config.policy == SolicitationPolicy::kUniformSample) {
+    // Floyd's O(d) sampling of d distinct indices out of [0, n). The
+    // membership test is a linear scan of the (small, <= d) sample — no
+    // unordered container, no allocation beyond the caller's buffer.
+    for (size_t j = n - d; j < n; ++j) {
+      catalog::NodeId pick =
+          by_id[static_cast<size_t>(stream.NextBounded(j + 1))];
+      if (std::find(out->begin(), out->end(), pick) != out->end()) {
+        pick = by_id[j];
+      }
+      out->push_back(pick);
+    }
+  } else {
+    // Stratified: one uniform pick from each of d contiguous strata of
+    // the cost-sorted candidate list. d <= n here, so every stratum is
+    // non-empty.
+    const std::vector<catalog::NodeId>& by_cost = candidates.ByCost(k);
+    for (size_t i = 0; i < d; ++i) {
+      size_t lo = i * n / d;
+      size_t hi = (i + 1) * n / d;
+      out->push_back(
+          by_cost[lo + static_cast<size_t>(stream.NextBounded(hi - lo))]);
+    }
+  }
+  // Solicit in id order, like the broadcast protocol: agent interactions
+  // and best-offer tie-breaks stay independent of the draw order.
+  std::sort(out->begin(), out->end());
+  return static_cast<int>(out->size());
+}
+
+}  // namespace qa::allocation

@@ -18,6 +18,7 @@ std::unique_ptr<allocation::Allocator> MakeAllocator(const RunSpec& spec) {
   params.cost_model = spec.cost_model;
   params.period = spec.period;
   params.seed = spec.seed;
+  params.solicitation = spec.config.solicitation;
   std::unique_ptr<allocation::Allocator> allocator =
       allocation::CreateAllocator(spec.mechanism, params);
   if (allocator == nullptr) {

@@ -30,6 +30,8 @@ Json MetaRecord::ToJson() const {
   json.Set("period_us", period_us);
   json.Set("ticks_per_period", ticks_per_period);
   json.Set("seed", static_cast<int64_t>(seed));
+  if (!solicitation.empty()) json.Set("solicitation", solicitation);
+  SetIfNot(json, "fanout", int64_t{fanout}, int64_t{0});
   return json;
 }
 
@@ -42,6 +44,8 @@ MetaRecord MetaRecord::FromJson(const Json& json) {
   r.period_us = json.GetInt("period_us");
   r.ticks_per_period = static_cast<int>(json.GetInt("ticks_per_period"));
   r.seed = static_cast<uint64_t>(json.GetInt("seed"));
+  r.solicitation = json.GetString("solicitation");
+  r.fanout = static_cast<int>(json.GetInt("fanout", 0));
   return r;
 }
 
@@ -101,6 +105,7 @@ Json EventRecord::ToJson() const {
   SetIfNot(json, "node", int64_t{node}, int64_t{-1});
   SetIfNot(json, "origin", int64_t{origin}, int64_t{-1});
   SetIfNot(json, "messages", int64_t{messages}, int64_t{0});
+  SetIfNot(json, "solicited", int64_t{solicited}, int64_t{0});
   SetIfNot(json, "attempts", int64_t{attempts}, int64_t{0});
   SetIfNot(json, "response_ms", response_ms, 0.0);
   SetIfNot(json, "factor", factor, 0.0);
@@ -116,6 +121,7 @@ EventRecord EventRecord::FromJson(const Json& json) {
   r.node = static_cast<int>(json.GetInt("node", -1));
   r.origin = static_cast<int>(json.GetInt("origin", -1));
   r.messages = static_cast<int>(json.GetInt("messages", 0));
+  r.solicited = static_cast<int>(json.GetInt("solicited", 0));
   r.attempts = static_cast<int>(json.GetInt("attempts", 0));
   r.response_ms = json.GetDouble("response_ms", 0.0);
   r.factor = json.GetDouble("factor", 0.0);

@@ -16,7 +16,10 @@ namespace qa::obs {
 ///
 /// v2: event records gained the fault-injection kinds `crash`, `restart`,
 /// `degrade`, `lost` and the `factor` field (degrade records).
-inline constexpr int kTraceSchemaVersion = 2;
+/// v3: meta records gained `solicitation` + `fanout` (the QA-NT
+/// offer-solicitation policy of the run); assign/reject event records
+/// gained `solicited` (nodes asked for offers on that attempt).
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// The typed records of the trace. Every record serializes to one JSON
 /// object per line with a "type" discriminator; fields holding their
@@ -33,6 +36,11 @@ struct MetaRecord {
   /// Market ticks per period (snapshot cadence context).
   int ticks_per_period = 0;
   uint64_t seed = 0;
+  /// Offer-solicitation policy name ("broadcast", "uniform-sample",
+  /// "stratified-sample"); empty (omitted) in pre-v3 traces.
+  std::string solicitation;
+  /// Solicitation fanout d (sampled policies only; 0 under broadcast).
+  int fanout = 0;
 
   bool operator==(const MetaRecord&) const = default;
   Json ToJson() const;
@@ -64,6 +72,9 @@ struct EventRecord {
   int origin = -1;
   /// Messages the allocation attempt cost (assign/reject records).
   int messages = 0;
+  /// Nodes solicited for offers on this attempt (assign/reject records of
+  /// negotiating mechanisms; 0 otherwise).
+  int solicited = 0;
   /// Resubmission count of this query so far (assign/reject/drop records).
   int attempts = 0;
   /// Response time, complete records only.

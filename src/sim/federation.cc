@@ -76,6 +76,8 @@ util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
           std::to_string(outage.until) + ") is empty or negative");
     }
   }
+  util::Status solicitation = config.solicitation.Validate();
+  if (!solicitation.ok()) return solicitation;
   return config.faults.Validate(num_nodes);
 }
 
@@ -144,6 +146,10 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
     meta.period_us = config_.period;
     meta.ticks_per_period = config_.market_tick_divisor;
     meta.seed = config_.seed;
+    meta.solicitation = std::string(
+        allocation::SolicitationPolicyName(config_.solicitation.policy));
+    meta.fanout =
+        config_.solicitation.sampled() ? config_.solicitation.fanout : 0;
     config_.recorder->Record(meta);
     EmitSnapshot();  // the market's initial prices, at t=0
   }
@@ -176,6 +182,7 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
 }
 
 void Federation::Dispatch(const SimEvent& event) {
+  ++metrics_.events_dispatched;
   switch (event.kind) {
     case SimEvent::Kind::kArrival:
       HandleQuery(event.pending);
@@ -248,6 +255,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   allocation::AllocationDecision decision =
       allocator_->Allocate(pending.arrival, *this);
   metrics_.messages += decision.messages;
+  metrics_.solicited += decision.solicited;
 
   // A mechanism that cannot observe liveness (Random/RoundRobin) may pick
   // an unreachable node: the query bounces at the network layer and is
@@ -290,6 +298,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       event.query = pending.id;
       event.class_id = pending.arrival.class_id;
       event.messages = decision.messages;
+      event.solicited = decision.solicited;
       event.attempts = pending.attempts;
       config_.recorder->Record(event);
       config_.recorder->Count("rejects");
@@ -328,6 +337,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     event.class_id = pending.arrival.class_id;
     event.node = decision.node;
     event.messages = decision.messages;
+    event.solicited = decision.solicited;
     event.attempts = pending.attempts;
     config_.recorder->Record(event);
     config_.recorder->Count("assigns");

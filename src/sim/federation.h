@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/solicitation.h"
 #include "obs/recorder.h"
 #include "query/cost_model.h"
 #include "sim/event_queue.h"
@@ -77,6 +78,11 @@ struct FederationConfig {
   /// Also the default seed of the fault injector's message-loss RNG (see
   /// faults::FaultPlan::seed).
   int64_t seed = 0;
+  /// QA-NT offer-solicitation fanout policy. Carried here so runs record
+  /// it in the trace meta line and ValidateConfig rejects bad fanouts; the
+  /// experiment runner forwards it into AllocatorParams. Mechanisms other
+  /// than QA-NT ignore it.
+  allocation::SolicitationConfig solicitation;
 };
 
 /// Rejects misconfigured runs before they produce silent nonsense:

@@ -39,6 +39,13 @@ struct SimMetrics {
   int64_t lost = 0;
   /// Total network messages spent on allocation decisions.
   int64_t messages = 0;
+  /// Total nodes solicited for offers across all allocation attempts (the
+  /// accumulated fanout; 0 for mechanisms that do not negotiate).
+  int64_t solicited = 0;
+  /// Simulator events dispatched over the run (arrivals, deliveries,
+  /// completions, market ticks, faults) — the denominator of the
+  /// events/sec wall-clock rate the scale bench reports.
+  int64_t events_dispatched = 0;
   /// Queries assigned to some node.
   int64_t assigned = 0;
   /// Queries completed.

@@ -12,6 +12,8 @@ obs::Json MetricsToJson(const SimMetrics& metrics) {
   json.Set("bounced", metrics.bounced);
   json.Set("lost", metrics.lost);
   json.Set("messages", metrics.messages);
+  json.Set("solicited", metrics.solicited);
+  json.Set("events_dispatched", metrics.events_dispatched);
   json.Set("end_time_us", metrics.end_time);
   json.Set("total_busy_us", metrics.total_busy_time);
   json.Set("mean_ms", metrics.MeanResponseMs());

@@ -66,6 +66,46 @@ class Rng {
   std::vector<ZipfTable> zipf_cache_;
 };
 
+/// Counter-based splittable stream for per-event randomness (SplitMix64).
+///
+/// Unlike Rng, whose engine state advances with every draw anywhere in the
+/// program, a SplitMix64 stream is a pure function of its seed: seeding one
+/// per simulation event (`SplitMix64(MixSeed(run_seed, event_index))`)
+/// yields draws that depend only on (run seed, event index) — never on how
+/// many draws other events made. This is what keeps sampled solicitation
+/// byte-identical at any thread count and under any event interleaving.
+/// The state is 8 bytes and construction is free, so making one per event
+/// on a hot path costs nothing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniform bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n) for n >= 1 (Lemire's multiply-shift; the
+  /// bias over 64 input bits is < 2^-32 for any n our federations reach).
+  uint64_t NextBounded(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Mixes a run-level seed with a per-event counter into an independent
+/// SplitMix64 seed (a splitmix finalizer over the xor, so that nearby
+/// counters produce uncorrelated streams).
+inline uint64_t MixSeed(uint64_t seed, uint64_t counter) {
+  return SplitMix64(seed ^ (counter * 0xd6e8feb86659fd93ULL)).Next();
+}
+
 }  // namespace qa::util
 
 #endif  // QAMARKET_UTIL_RNG_H_

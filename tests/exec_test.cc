@@ -2,14 +2,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "allocation/factory.h"
+#include "allocation/solicitation.h"
 #include "exec/experiment_runner.h"
 #include "exec/thread_pool.h"
+#include "obs/recorder.h"
 #include "sim/scenario.h"
 #include "workload/sinusoid.h"
 
@@ -134,6 +138,8 @@ void ExpectIdenticalMetrics(const sim::SimMetrics& a,
   EXPECT_EQ(a.retries, b.retries);
   EXPECT_EQ(a.bounced, b.bounced);
   EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.solicited, b.solicited);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   EXPECT_EQ(a.assigned, b.assigned);
   EXPECT_EQ(a.end_time, b.end_time);
   EXPECT_EQ(a.total_busy_time, b.total_busy_time);
@@ -199,6 +205,119 @@ TEST_F(RunnerTest, UnknownMechanismAbortsLoudly) {
   spec.mechanism = "QA-NTypo";
   spec.trace = &trace_;
   EXPECT_DEATH(RunSpecOnce(spec), "unknown allocation mechanism 'QA-NTypo'");
+}
+
+// ------------------------------------------------------- Solicitation
+
+/// Runs one QA-NT cell with the given solicitation policy, streaming its
+/// JSONL trace to a temp file, and returns (metrics, trace bytes).
+std::pair<sim::SimMetrics, std::string> RunTraced(
+    const query::CostModel& model, const workload::Trace& trace,
+    allocation::SolicitationConfig solicitation, uint64_t seed,
+    const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/solicitation_" + tag +
+                     ".jsonl";
+  sim::SimMetrics metrics;
+  {
+    util::StatusOr<std::unique_ptr<obs::Recorder>> recorder =
+        obs::Recorder::OpenFile(path);
+    EXPECT_TRUE(recorder.ok()) << recorder.status();
+    RunSpec spec;
+    spec.cost_model = &model;
+    spec.mechanism = "QA-NT";
+    spec.trace = &trace;
+    spec.period = 500 * kMillisecond;
+    spec.seed = seed;
+    spec.config.max_retries = 5000;
+    spec.config.solicitation = solicitation;
+    spec.config.recorder = recorder.value().get();
+    metrics = RunSpecOnce(spec).metrics;
+    recorder.value()->Finish();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return {std::move(metrics), std::move(bytes).str()};
+}
+
+TEST_F(RunnerTest, FanoutCoveringEveryNodeIsByteIdenticalToBroadcast) {
+  // uniform-sample(d >= num_nodes) clamps to the full candidate list and
+  // draws nothing, so a seeded run must reproduce broadcast exactly —
+  // metrics AND trace bytes (bar the meta line, which names the policy).
+  allocation::SolicitationConfig broadcast;
+  allocation::SolicitationConfig covering;
+  covering.policy = allocation::SolicitationPolicy::kUniformSample;
+  covering.fanout = 10;  // == num_nodes of the fixture federation
+  auto [broadcast_metrics, broadcast_trace] =
+      RunTraced(*model_, trace_, broadcast, kSeed, "broadcast");
+  auto [covering_metrics, covering_trace] =
+      RunTraced(*model_, trace_, covering, kSeed, "covering");
+  ExpectIdenticalMetrics(broadcast_metrics, covering_metrics, 0);
+  // Byte-compare everything after the first (meta) line.
+  auto body = [](const std::string& bytes) {
+    return bytes.substr(bytes.find('\n') + 1);
+  };
+  EXPECT_EQ(body(broadcast_trace), body(covering_trace));
+  EXPECT_NE(broadcast_trace, covering_trace)
+      << "meta line should name the differing solicitation policies";
+}
+
+TEST_F(RunnerTest, OversizedFanoutAlsoReproducesBroadcast) {
+  allocation::SolicitationConfig broadcast;
+  allocation::SolicitationConfig oversized;
+  oversized.policy = allocation::SolicitationPolicy::kUniformSample;
+  oversized.fanout = 10000;  // far beyond num_nodes: clamps to broadcast
+  auto [broadcast_metrics, broadcast_trace] =
+      RunTraced(*model_, trace_, broadcast, kSeed, "broadcast2");
+  auto [oversized_metrics, oversized_trace] =
+      RunTraced(*model_, trace_, oversized, kSeed, "oversized");
+  ExpectIdenticalMetrics(broadcast_metrics, oversized_metrics, 0);
+}
+
+TEST_F(RunnerTest, EverySolicitationPolicyIsThreadCountInvariant) {
+  // A grid of QA-NT cells across all three policies (sampled ones at a
+  // fanout small enough to actually sample) x two seeds must come back
+  // byte-identical at threads 1 vs 8: per-arrival SplitMix64 streams are
+  // pure functions of (seed, arrival index), never of scheduling.
+  std::vector<allocation::SolicitationConfig> configs(3);
+  configs[1].policy = allocation::SolicitationPolicy::kUniformSample;
+  configs[1].fanout = 3;
+  configs[2].policy = allocation::SolicitationPolicy::kStratifiedSample;
+  configs[2].fanout = 3;
+  std::vector<RunSpec> specs;
+  for (uint64_t seed : {kSeed, kSeed + 7}) {
+    for (const allocation::SolicitationConfig& config : configs) {
+      RunSpec spec;
+      spec.cost_model = model_.get();
+      spec.mechanism = "QA-NT";
+      spec.trace = &trace_;
+      spec.period = 500 * kMillisecond;
+      spec.seed = seed;
+      spec.config.max_retries = 5000;
+      spec.config.solicitation = config;
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<RunResult> serial = ExperimentRunner(1).Run(specs);
+  std::vector<RunResult> parallel = ExperimentRunner(8).Run(specs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ExpectIdenticalMetrics(serial[i].metrics, parallel[i].metrics, i);
+  }
+  // Sampling must actually have reduced the fanout in the sampled cells.
+  EXPECT_LT(serial[1].metrics.solicited, serial[0].metrics.solicited);
+  EXPECT_GT(serial[1].metrics.completed, 0);
+}
+
+TEST_F(RunnerTest, SampledTraceIsByteIdenticalAcrossRepeatRuns) {
+  allocation::SolicitationConfig sampled;
+  sampled.policy = allocation::SolicitationPolicy::kStratifiedSample;
+  sampled.fanout = 4;
+  auto [first_metrics, first_trace] =
+      RunTraced(*model_, trace_, sampled, kSeed, "repeat_a");
+  auto [second_metrics, second_trace] =
+      RunTraced(*model_, trace_, sampled, kSeed, "repeat_b");
+  ExpectIdenticalMetrics(first_metrics, second_metrics, 0);
+  EXPECT_EQ(first_trace, second_trace);
 }
 
 }  // namespace

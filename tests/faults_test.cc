@@ -136,6 +136,35 @@ TEST(ValidateConfigTest, RejectsMisconfiguredRuns) {
   EXPECT_FALSE(ValidateConfig(config, 2).ok());
 }
 
+TEST(ValidateConfigTest, RejectsMisconfiguredSolicitation) {
+  FederationConfig config;
+
+  // Broadcast ignores the fanout knob entirely, even when it is zero.
+  config.solicitation.policy = allocation::SolicitationPolicy::kBroadcast;
+  config.solicitation.fanout = 0;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // A sampled policy must ask at least one node per attempt.
+  config.solicitation.policy =
+      allocation::SolicitationPolicy::kUniformSample;
+  config.solicitation.fanout = 0;
+  util::Status zero = ValidateConfig(config, 2);
+  EXPECT_EQ(zero.code(), util::StatusCode::kInvalidArgument);
+  config.solicitation.fanout = -4;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.solicitation.policy =
+      allocation::SolicitationPolicy::kStratifiedSample;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+
+  // Oversized fanout is legal: the allocator clamps it to the candidate
+  // set, reproducing broadcast (covered byte-for-byte in exec_test).
+  config.solicitation.fanout = 10000;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+  config.solicitation.policy = allocation::SolicitationPolicy::kUniformSample;
+  config.solicitation.fanout = 1;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+}
+
 TEST(ValidateConfigDeathTest, RunAbortsOnInvalidConfig) {
   auto model = BuildFig1CostModel();
   allocation::AllocatorParams params;

@@ -1,0 +1,276 @@
+// Federation-level property fuzzing: ~30 seeded random scenarios (node
+// counts, mechanisms, workloads, fault plans, solicitation policies) each
+// run end to end, asserting the invariants that must hold for *any*
+// configuration:
+//   - conservation: arrivals == completed + dropped (nothing in flight
+//     after Run drains; lost/bounced queries are resubmitted, not leaked)
+//   - expired is a subset of dropped
+//   - every counter non-negative and internally consistent
+//   - snapshot/price sanity every period (prices positive, supply within
+//     plan, agent counters ordered)
+// The market layer has property tests (tests/property_test.cc); this is
+// the same discipline one level up, over the whole simulator.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "allocation/factory.h"
+#include "allocation/solicitation.h"
+#include "exec/experiment_runner.h"
+#include "obs/recorder.h"
+#include "obs/trace_reader.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "workload/sinusoid.h"
+
+namespace qa::sim {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+struct FuzzCase {
+  int num_nodes = 0;
+  std::string mechanism;
+  allocation::SolicitationConfig solicitation;
+  workload::SinusoidConfig workload;
+  FederationConfig config;
+  uint64_t seed = 0;
+};
+
+/// Derives one full random scenario from the case index. Everything comes
+/// from the seeded Rng, so failures replay exactly from the case number.
+FuzzCase MakeCase(int index) {
+  util::Rng rng(0x5eedf00d + static_cast<uint64_t>(index) * 7919);
+  FuzzCase c;
+  c.seed = static_cast<uint64_t>(rng.UniformInt(1, 1 << 20));
+  c.num_nodes = static_cast<int>(rng.UniformInt(2, 25));
+
+  // Mechanisms beyond the Fig. 4 grid (GreedyBlind, LeastImbalance) ride
+  // along so the blind and centralized paths get fuzzed too.
+  std::vector<std::string> mechanisms = allocation::AllMechanismNames();
+  mechanisms.push_back("GreedyBlind");
+  mechanisms.push_back("LeastImbalance");
+  c.mechanism = mechanisms[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(mechanisms.size()) - 1))];
+
+  // A third of the QA-NT cases use a sampled solicitation policy, with a
+  // fanout that sometimes exceeds the node count (clamp path).
+  if (c.mechanism == "QA-NT") {
+    int64_t policy = rng.UniformInt(0, 2);
+    if (policy == 1) {
+      c.solicitation.policy = allocation::SolicitationPolicy::kUniformSample;
+    } else if (policy == 2) {
+      c.solicitation.policy =
+          allocation::SolicitationPolicy::kStratifiedSample;
+    }
+    if (c.solicitation.sampled()) {
+      c.solicitation.fanout = static_cast<int>(rng.UniformInt(1, 32));
+    }
+  }
+
+  c.workload.frequency_hz = rng.UniformReal(0.05, 0.5);
+  c.workload.duration = rng.UniformInt(4, 10) * kSecond;
+  c.workload.num_origin_nodes = c.num_nodes;
+  c.workload.q1_peak_rate = rng.UniformReal(2.0, 8.0) *
+                            static_cast<double>(c.num_nodes) / 4.0;
+
+  c.config.period = rng.UniformInt(200, 800) * kMillisecond;
+  c.config.max_retries = static_cast<int>(rng.UniformInt(20, 200));
+  c.config.seed = static_cast<int64_t>(c.seed);
+  c.config.solicitation = c.solicitation;
+  if (rng.Bernoulli(0.3)) {
+    c.config.query_deadline = rng.UniformInt(2, 10) * kSecond;
+  }
+
+  // Half the cases carry a fault plan: a crash, a partition, a degrade —
+  // windows kept inside the workload so transitions actually fire.
+  if (rng.Bernoulli(0.5)) {
+    util::VTime horizon = c.workload.duration;
+    faults::CrashFault crash;
+    crash.node = static_cast<catalog::NodeId>(
+        rng.UniformInt(0, c.num_nodes - 1));
+    crash.at = rng.UniformInt(1, horizon / (2 * kSecond)) * kSecond;
+    crash.restart_at = crash.at + rng.UniformInt(1, 3) * kSecond;
+    c.config.faults.crashes.push_back(crash);
+    if (rng.Bernoulli(0.5)) {
+      faults::PartitionFault partition;
+      partition.nodes = {static_cast<catalog::NodeId>(
+          rng.UniformInt(0, c.num_nodes - 1))};
+      partition.from = rng.UniformInt(1, horizon / (2 * kSecond)) * kSecond;
+      partition.until = partition.from + rng.UniformInt(1, 3) * kSecond;
+      c.config.faults.partitions.push_back(partition);
+    }
+    if (rng.Bernoulli(0.5)) {
+      faults::DegradeFault degrade;
+      degrade.node = static_cast<catalog::NodeId>(
+          rng.UniformInt(0, c.num_nodes - 1));
+      degrade.from = rng.UniformInt(1, horizon / (2 * kSecond)) * kSecond;
+      degrade.until = degrade.from + rng.UniformInt(1, 3) * kSecond;
+      degrade.factor = rng.UniformReal(0.3, 0.9);
+      c.config.faults.degrades.push_back(degrade);
+    }
+  }
+  return c;
+}
+
+void CheckInvariants(const FuzzCase& c, const workload::Trace& trace,
+                     const SimMetrics& m, const obs::ParsedTrace& parsed) {
+  int64_t arrivals = static_cast<int64_t>(trace.size());
+
+  // Conservation: Run drains the event loop, so nothing is in flight and
+  // every arrival either completed or was dropped. Lost/bounced queries
+  // were resubmitted, never leaked.
+  EXPECT_EQ(arrivals, m.completed + m.dropped);
+
+  // Expired queries are a subset of the dropped ones.
+  EXPECT_LE(m.expired, m.dropped);
+  EXPECT_GE(m.expired, 0);
+
+  // Non-negative, internally consistent counters.
+  EXPECT_GE(m.completed, 0);
+  EXPECT_GE(m.dropped, 0);
+  EXPECT_GE(m.retries, 0);
+  EXPECT_GE(m.bounced, 0);
+  EXPECT_GE(m.lost, 0);
+  EXPECT_GE(m.messages, 0);
+  EXPECT_GE(m.solicited, 0);
+  EXPECT_GE(m.assigned, m.completed);  // every completion was assigned
+  EXPECT_GE(m.end_time, 0);
+  EXPECT_GE(m.total_busy_time, 0);
+  EXPECT_GT(m.events_dispatched, 0);
+  EXPECT_EQ(m.response_time_ms.count(), m.completed);
+
+  // Per-node completions cover every federation-level completion, plus at
+  // most the expired queries: a result that lands past the deadline still
+  // ran on the node (counted there) but is dropped as expired up here.
+  int64_t node_sum = 0;
+  for (int64_t n : m.node_completed) {
+    EXPECT_GE(n, 0);
+    node_sum += n;
+  }
+  EXPECT_GE(node_sum, m.completed);
+  EXPECT_LE(node_sum, m.completed + m.expired);
+
+  int64_t per_class_drops = 0;
+  for (int64_t d : m.dropped_per_class) {
+    EXPECT_GE(d, 0);
+    per_class_drops += d;
+  }
+  EXPECT_EQ(per_class_drops, m.dropped);
+
+  // Trace-side conservation: one arrival record per query, completions
+  // match, timestamps never run backwards.
+  int64_t rec_arrivals = 0, rec_completes = 0, rec_drops = 0;
+  int64_t last_t = 0;
+  for (const obs::EventRecord& event : parsed.events) {
+    EXPECT_GE(event.t_us, last_t) << "event time ran backwards";
+    last_t = event.t_us;
+    EXPECT_GE(event.solicited, 0);
+    switch (event.kind) {
+      case obs::EventRecord::Kind::kArrival:
+        ++rec_arrivals;
+        break;
+      case obs::EventRecord::Kind::kComplete:
+        ++rec_completes;
+        break;
+      case obs::EventRecord::Kind::kDrop:
+        ++rec_drops;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(rec_arrivals, arrivals);
+  EXPECT_EQ(rec_completes, m.completed);
+  EXPECT_EQ(rec_drops, m.dropped);
+
+  // Snapshot sanity, every period: prices positive, unsold supply within
+  // the period plan, agent counters ordered (requests >= offers >=
+  // accepted).
+  for (const obs::PriceRecord& price : parsed.prices) {
+    EXPECT_GT(price.price, 0.0) << "node " << price.node << " class "
+                                << price.class_id << " at t=" << price.t_us;
+    EXPECT_GE(price.planned, 0);
+    EXPECT_GE(price.remaining, 0);
+    EXPECT_LE(price.remaining, price.planned);
+    EXPECT_GE(price.node, 0);
+    EXPECT_LT(price.node, c.num_nodes);
+  }
+  // Note: budget_us may legitimately be negative — over-acceptance within
+  // a period is carried into the next one as debt (budget-elastic
+  // admission), so no lower bound is asserted on it.
+  for (const obs::AgentRecord& agent : parsed.agents) {
+    EXPECT_GE(agent.requests, agent.offers);
+    EXPECT_GE(agent.offers, agent.accepted);
+    EXPECT_GE(agent.declined, 0);
+    EXPECT_GE(agent.periods, 0);
+  }
+}
+
+TEST(FederationPropertyTest, InvariantsHoldOnRandomScenarios) {
+  constexpr int kCases = 30;
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("fuzz case " + std::to_string(i));
+    FuzzCase c = MakeCase(i);
+    SCOPED_TRACE("mechanism " + c.mechanism + " nodes " +
+                 std::to_string(c.num_nodes) + " solicitation " +
+                 std::string(allocation::SolicitationPolicyName(
+                     c.solicitation.policy)) +
+                 "(" + std::to_string(c.solicitation.fanout) + ")");
+
+    util::Rng rng(c.seed);
+    TwoClassConfig scenario;
+    scenario.num_nodes = c.num_nodes;
+    auto model = BuildTwoClassCostModel(scenario, rng);
+    util::Rng wl_rng(c.seed + 1);
+    workload::Trace trace =
+        workload::GenerateSinusoidWorkload(c.workload, wl_rng);
+
+    std::string path = ::testing::TempDir() + "/federation_fuzz_" +
+                       std::to_string(i) + ".jsonl";
+    util::StatusOr<std::unique_ptr<obs::Recorder>> recorder =
+        obs::Recorder::OpenFile(path);
+    ASSERT_TRUE(recorder.ok()) << recorder.status();
+
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.mechanism = c.mechanism;
+    spec.trace = &trace;
+    spec.period = c.config.period;
+    spec.seed = c.seed;
+    spec.config = c.config;
+    spec.config.recorder = recorder.value().get();
+    SimMetrics metrics = exec::RunSpecOnce(spec).metrics;
+    recorder.value()->Finish();
+
+    util::StatusOr<obs::ParsedTrace> parsed = obs::ParsedTrace::Load(path);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    CheckInvariants(c, trace, metrics, parsed.value());
+  }
+}
+
+// The fuzz corpus must actually exercise the interesting paths; if a
+// refactor of MakeCase silently stops generating sampled solicitation or
+// fault plans, these canaries fail instead of the coverage quietly rotting.
+TEST(FederationPropertyTest, CorpusCoversTheInterestingPaths) {
+  int sampled = 0, faulted = 0, deadlined = 0, qa_nt = 0;
+  for (int i = 0; i < 30; ++i) {
+    FuzzCase c = MakeCase(i);
+    if (c.solicitation.sampled()) ++sampled;
+    if (!c.config.faults.empty()) ++faulted;
+    if (c.config.query_deadline > 0) ++deadlined;
+    if (c.mechanism == "QA-NT") ++qa_nt;
+  }
+  EXPECT_GE(sampled, 1);
+  EXPECT_GE(faulted, 5);
+  EXPECT_GE(deadlined, 3);
+  EXPECT_GE(qa_nt, 1);
+}
+
+}  // namespace
+}  // namespace qa::sim

@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "allocation/solicitation.h"
+#include "exec/experiment_runner.h"
 #include "market/tatonnement.h"
+#include "sim/scenario.h"
+#include "workload/sinusoid.h"
 #include "obs/analysis.h"
 #include "obs/json.h"
 #include "obs/recorder.h"
@@ -99,6 +106,8 @@ TEST(TraceSchemaTest, WriteParseRoundTripIsExact) {
   meta.period_us = 500 * kMillisecond;
   meta.ticks_per_period = 8;
   meta.seed = 42;
+  meta.solicitation = "uniform-sample";  // v3: solicitation policy + fanout
+  meta.fanout = 4;
 
   EventRecord arrival;
   arrival.kind = EventRecord::Kind::kArrival;
@@ -106,6 +115,16 @@ TEST(TraceSchemaTest, WriteParseRoundTripIsExact) {
   arrival.query = 7;
   arrival.class_id = 1;
   arrival.origin = 0;  // node/messages/attempts/response_ms stay default
+
+  EventRecord assign;
+  assign.kind = EventRecord::Kind::kAssign;
+  assign.t_us = 1200;
+  assign.query = 7;
+  assign.class_id = 1;
+  assign.node = 1;
+  assign.messages = 9;
+  assign.solicited = 4;  // v3: nodes asked for offers on this attempt
+  assign.attempts = 1;
 
   EventRecord complete;
   complete.kind = EventRecord::Kind::kComplete;
@@ -143,6 +162,7 @@ TEST(TraceSchemaTest, WriteParseRoundTripIsExact) {
     Recorder recorder(&sink);
     recorder.Record(meta);
     recorder.Record(arrival);
+    recorder.Record(assign);
     recorder.Record(complete);
     recorder.Record(price);
     recorder.Record(agent);
@@ -159,9 +179,10 @@ TEST(TraceSchemaTest, WriteParseRoundTripIsExact) {
 
   ASSERT_TRUE(trace.has_meta);
   EXPECT_EQ(trace.meta, meta);
-  ASSERT_EQ(trace.events.size(), 2u);
+  ASSERT_EQ(trace.events.size(), 3u);
   EXPECT_EQ(trace.events[0], arrival);
-  EXPECT_EQ(trace.events[1], complete);
+  EXPECT_EQ(trace.events[1], assign);
+  EXPECT_EQ(trace.events[2], complete);
   ASSERT_EQ(trace.prices.size(), 1u);
   EXPECT_EQ(trace.prices[0], price);
   ASSERT_EQ(trace.agents.size(), 1u);
@@ -171,7 +192,7 @@ TEST(TraceSchemaTest, WriteParseRoundTripIsExact) {
   ASSERT_EQ(trace.stats.size(), 2u);
   EXPECT_EQ(trace.stats[0], (StatRecord{"ticks", 390.0, false}));
   EXPECT_EQ(trace.stats[1], (StatRecord{"capacity_qps", 12.5, true}));
-  EXPECT_EQ(trace.NumRecords(), 8u);
+  EXPECT_EQ(trace.NumRecords(), 9u);
 }
 
 TEST(TraceSchemaTest, CountersSerializeAsIntegers) {
@@ -551,6 +572,81 @@ TEST(LoggingTest, VTimeClockScopesNest) {
     QA_LOG(Debug) << "inner scope";  // below default level: dropped
   }
   QA_LOG(Debug) << "outer scope";
+}
+
+// ----------------------------------------------------------- GoldenTrace
+
+/// Runs the checked-in golden scenario and returns the trace bytes: a tiny
+/// three-node federation under QA-NT with stratified-sample(2), exercising
+/// the sampled solicitation path, price/agent snapshots, and completions.
+std::string GenerateGoldenTrace() {
+  util::Rng rng(7);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = 3;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+
+  workload::SinusoidConfig workload;
+  workload.q1_peak_rate = 3.0;
+  workload.frequency_hz = 0.5;
+  workload.duration = 2 * util::kSecond;
+  workload.num_origin_nodes = 3;
+  util::Rng wl_rng(8);
+  workload::Trace trace = workload::GenerateSinusoidWorkload(workload, wl_rng);
+
+  std::ostringstream sink;
+  {
+    Recorder recorder(&sink);
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.mechanism = "QA-NT";
+    spec.trace = &trace;
+    spec.period = 500 * kMillisecond;
+    spec.seed = 7;
+    spec.config.solicitation.policy =
+        allocation::SolicitationPolicy::kStratifiedSample;
+    spec.config.solicitation.fanout = 2;
+    spec.config.recorder = &recorder;
+    exec::RunSpecOnce(spec);
+    recorder.Finish();
+  }
+  return std::move(sink).str();
+}
+
+// The trace format's regression lock: the golden scenario must keep
+// producing byte-identical JSONL. Any diff means either the schema or the
+// simulator's observable behavior changed — bump kTraceSchemaVersion /
+// document the change in SCHEMA.md, then regenerate with
+//   QA_UPDATE_GOLDEN=1 ./obs_test --gtest_filter='*GoldenScenario*'
+TEST(GoldenTraceTest, GoldenScenarioReproducesCheckedInBytes) {
+  const std::string golden_path =
+      std::string(QA_TEST_SOURCE_DIR) + "/tests/golden/trace_tiny.jsonl";
+  std::string bytes = GenerateGoldenTrace();
+
+  if (std::getenv("QA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << bytes;
+    return;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << golden_path << " missing; regenerate with QA_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(bytes, golden.str())
+      << "golden trace drifted; if the change is intentional, update "
+         "SCHEMA.md and regenerate with QA_UPDATE_GOLDEN=1";
+
+  // The golden bytes must also still parse under the current reader.
+  std::istringstream stream(bytes);
+  util::StatusOr<ParsedTrace> parsed = ParsedTrace::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->has_meta);
+  EXPECT_EQ(parsed->meta.solicitation, "stratified-sample");
+  EXPECT_EQ(parsed->meta.fanout, 2);
+  EXPECT_GT(parsed->events.size(), 0u);
+  EXPECT_GT(parsed->prices.size(), 0u);
 }
 
 }  // namespace

@@ -118,8 +118,13 @@ int Run(const Options& opts) {
             << "mechanism: " << meta.mechanism << "  nodes: " << meta.nodes
             << "  classes: " << meta.classes
             << "  period: " << meta.period_us / util::kMillisecond << "ms"
-            << "  seed: " << meta.seed << "\n"
-            << "records: " << trace.NumRecords() << " ("
+            << "  seed: " << meta.seed << "\n";
+  if (!meta.solicitation.empty()) {
+    std::cout << "solicitation: " << meta.solicitation;
+    if (meta.fanout > 0) std::cout << "  fanout: " << meta.fanout;
+    std::cout << "\n";
+  }
+  std::cout << "records: " << trace.NumRecords() << " ("
             << trace.events.size() << " events, " << trace.prices.size()
             << " prices, " << trace.agents.size() << " agents, "
             << trace.umpire.size() << " umpire, " << trace.stats.size()
@@ -217,6 +222,10 @@ int Run(const Options& opts) {
     total_rejects += load.rejects;
   }
   int64_t attempts = total_assigns + total_rejects;
+  int64_t total_solicited = 0;
+  for (const obs::EventRecord& event : trace.events) {
+    total_solicited += event.solicited;
+  }
   std::cout << "message overhead: " << total_messages << " messages over "
             << loads.size() << " periods";
   if (!loads.empty()) {
@@ -227,6 +236,11 @@ int Run(const Options& opts) {
       std::cout << ", " << Fmt(static_cast<double>(total_messages) /
                                static_cast<double>(attempts))
                 << "/allocation attempt";
+      if (total_solicited > 0) {
+        std::cout << ", " << Fmt(static_cast<double>(total_solicited) /
+                                 static_cast<double>(attempts))
+                  << " nodes solicited/attempt";
+      }
     }
     std::cout << ")";
   }
