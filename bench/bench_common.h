@@ -25,6 +25,9 @@ namespace qa::bench {
 ///   --quick        smaller grids/workloads for smoke runs
 ///   --threads=N    experiment-runner parallelism (N<1 = all hardware
 ///                  threads; 1 reproduces the serial behavior exactly)
+///   --shards=N     simulator-core shard count for benches that run the
+///                  sharded federation (0 = the bench's own default sweep;
+///                  results are byte-identical at every count)
 ///   --seed=S       master RNG seed
 ///   --trace=FILE   stream a JSONL telemetry trace of the binary's traced
 ///                  run into FILE (analyze with tools/qa_trace)
@@ -32,6 +35,7 @@ namespace qa::bench {
 struct BenchArgs {
   bool quick = false;
   int threads = 0;  // 0 => hardware_concurrency
+  int shards = 0;   // 0 => bench-defined sweep
   uint64_t seed = 42;
   std::string trace_path;
   std::string report_path;
@@ -45,6 +49,8 @@ struct BenchArgs {
         args.quick = true;
       } else if (arg.rfind("--threads=", 0) == 0) {
         args.threads = std::atoi(arg.c_str() + 10);
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        args.shards = std::atoi(arg.c_str() + 9);
       } else if (arg.rfind("--seed=", 0) == 0) {
         args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
       } else if (arg.rfind("--trace=", 0) == 0) {
@@ -53,7 +59,7 @@ struct BenchArgs {
         args.report_path = arg.substr(9);
       } else {
         std::cerr << "warning: ignoring unknown flag '" << arg
-                  << "' (known: --quick --threads=N --seed=S "
+                  << "' (known: --quick --threads=N --shards=N --seed=S "
                      "--trace=FILE --report=FILE)\n";
       }
     }
@@ -92,7 +98,11 @@ class Telemetry {
 
   ~Telemetry() {
     if (recorder_ != nullptr) recorder_->Finish();
-    if (!report_path_.empty() && !report_.empty()) {
+    // Write when the bench reported anything at all — labeled runs OR
+    // top-level fields. Benches that key per-cell rows by field name
+    // (bench_scale_nodes, bench_shard_scale) never call Add, and gating on
+    // runs alone silently discarded their --report output.
+    if (!report_path_.empty() && (!report_.empty() || has_fields_)) {
       util::Status status = report_.WriteFile(report_path_);
       if (!status.ok()) {
         std::cerr << "warning: --report: " << status << "\n";
@@ -113,14 +123,17 @@ class Telemetry {
     report_.Add(label, sim::MetricsToJson(metrics));
   }
 
-  /// Top-level report extras (capacity estimates, grid shape...).
+  /// Top-level report extras (capacity estimates, grid shape...) — also
+  /// how the sweep benches key their per-cell rows.
   void ReportField(const std::string& key, obs::Json value) {
+    has_fields_ = true;
     report_.SetField(key, std::move(value));
   }
 
  private:
   std::string report_path_;
   obs::RunReport report_;
+  bool has_fields_ = false;
   std::unique_ptr<obs::Recorder> recorder_;
 };
 

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "obs/snapshot.h"
 #include "query/cost_model.h"
+#include "util/task_runner.h"
 #include "util/vtime.h"
 #include "workload/trace.h"
 
@@ -67,6 +68,16 @@ struct MechanismProperties {
   /// to split it (Table 2, "Conflict with query optimization").
   bool conflicts_with_query_optimization = false;
   bool respects_autonomy = false;
+  /// Whether Allocate reads live node execution state from the context
+  /// (NodeBacklog / NodeQueuedWork / NodeCumulativeWork). This is the
+  /// autonomy story of Table 2 made operational for the sharded simulator:
+  /// a mechanism that probes internal node state needs that state current
+  /// at every allocation, which forces the mediator to synchronize with
+  /// the node shards at zero lookahead — so the federation runs it on the
+  /// inline (unsharded) path. Autonomy-respecting mechanisms (QA-NT) and
+  /// blind ones (Random, RoundRobin) never read it, which is exactly what
+  /// makes their runs shardable.
+  bool reads_node_state = false;
 };
 
 /// A query-allocation mechanism: given an arriving query, pick the node
@@ -96,6 +107,17 @@ class Allocator {
   virtual void OnNodeRestart(catalog::NodeId node, util::VTime now) {
     (void)node;
     (void)now;
+  }
+
+  /// Offers the mechanism a fork-join runner for intra-decision
+  /// parallelism (the federation forwards its shard runner here). Purely
+  /// an execution hint: implementations that use it must produce byte-
+  /// identical results with or without it, at any concurrency (QA-NT's
+  /// chunked bid scan keeps the sequential offer order by construction).
+  /// nullptr (the default state) means run sequentially. The runner must
+  /// outlive the allocator or be reset first.
+  virtual void SetTaskRunner(const util::TaskRunner* runner) {
+    (void)runner;
   }
 
   /// Introspection for the telemetry layer: what this mechanism can show

@@ -81,6 +81,7 @@ MechanismProperties GreedyAllocator::properties() const {
   p.handles_dynamic_workload = true;
   p.conflicts_with_query_optimization = true;
   p.respects_autonomy = false;  // clients unilaterally assign queries
+  p.reads_node_state = true;    // probes every node's live backlog
   return p;
 }
 
@@ -158,6 +159,7 @@ MechanismProperties TwoRandomProbesAllocator::properties() const {
   p.handles_dynamic_workload = true;
   p.conflicts_with_query_optimization = true;
   p.respects_autonomy = false;  // probes node load
+  p.reads_node_state = true;    // samples two nodes' live backlogs
   return p;
 }
 
@@ -208,6 +210,7 @@ MechanismProperties BnqrdAllocator::properties() const {
   p.handles_dynamic_workload = true;
   p.conflicts_with_query_optimization = true;
   p.respects_autonomy = false;  // central load collection
+  p.reads_node_state = true;    // collects cumulative usage reports
   return p;
 }
 
@@ -247,6 +250,7 @@ MechanismProperties LeastImbalanceAllocator::properties() const {
   p.handles_dynamic_workload = true;
   p.conflicts_with_query_optimization = true;
   p.respects_autonomy = false;
+  p.reads_node_state = true;  // recomputes global backlog imbalance
   return p;
 }
 

@@ -72,6 +72,17 @@ class QaNtAllocator : public Allocator {
   /// phase is preserved so the restart does not re-synchronize the market.
   void OnNodeRestart(catalog::NodeId node, util::VTime now) override;
 
+  /// Enables the fork-join fast paths: the per-arrival bid scan and the
+  /// per-tick rollover chunk the agent range and fan the chunks out on
+  /// `runner`. Exactness is by construction — each agent's OnRequest /
+  /// rollover touches only that agent's state (agents are autonomous, the
+  /// whole point of the mechanism), chunks are contiguous id ranges, and
+  /// chunk results are concatenated in chunk order, reproducing the
+  /// sequential left-to-right order byte for byte at any concurrency.
+  void SetTaskRunner(const util::TaskRunner* runner) override {
+    runner_ = runner;
+  }
+
   int num_nodes() const { return static_cast<int>(agents_.size()); }
   const SolicitationConfig& solicitation() const { return solicitation_; }
   /// Accessing an agent instantiates it (caught up to the market tick) if
@@ -112,9 +123,14 @@ class QaNtAllocator : public Allocator {
   std::vector<std::unique_ptr<market::QaNtAgent>> agents_;
   /// Next boundary time of each agent's own (staggered) period.
   std::vector<util::VTime> next_refresh_;
+  /// Fork-join runner for the bid scan / rollover (null = sequential).
+  const util::TaskRunner* runner_ = nullptr;
   /// Scratch buffers reused across arrivals (no hot-path allocation).
   std::vector<catalog::NodeId> solicited_;
   std::vector<catalog::NodeId> offers_;
+  /// Per-chunk scratch of the parallel bid scan.
+  std::vector<std::vector<catalog::NodeId>> chunk_offers_;
+  std::vector<int> chunk_asked_;
 };
 
 }  // namespace qa::allocation

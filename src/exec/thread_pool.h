@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/task_runner.h"
+
 namespace qa::exec {
 
 /// A fixed-size pool of worker threads draining a FIFO task queue.
@@ -44,6 +46,37 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// util::TaskRunner backed by a ThreadPool: the bridge that lets the sim
+/// and allocation layers (which only see the abstract TaskRunner) fan
+/// work out onto exec's workers. ParallelFor submits every index as one
+/// pool task and blocks until all futures resolve — the pool's queue
+/// mutex establishes the happens-before edges the TaskRunner contract
+/// promises. The pool is not owned and must outlive the runner.
+class PoolRunner final : public util::TaskRunner {
+ public:
+  explicit PoolRunner(ThreadPool* pool) : pool_(pool) {}
+
+  int concurrency() const override { return pool_->size(); }
+
+  void ParallelFor(int n,
+                   const std::function<void(int)>& fn) const override {
+    if (n <= 0) return;
+    if (n == 1) {  // no fan-out to pay for
+      fn(0);
+      return;
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      done.push_back(pool_->Submit([&fn, i] { fn(i); }));
+    }
+    for (std::future<void>& future : done) future.get();
+  }
+
+ private:
+  ThreadPool* pool_;
 };
 
 }  // namespace qa::exec

@@ -3,7 +3,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,9 +14,31 @@
 
 namespace qa::sim {
 
-/// A classic discrete-event scheduler: events fire in time order, with FIFO
-/// tie-breaking via a monotonically increasing sequence number so that
-/// simultaneous events run in the order they were scheduled (determinism).
+/// Customization point for EventQueue's past-timestamp diagnostic: provide
+/// an overload of DescribeEvent for your event type (found by ADL or in
+/// this namespace) that names the event's kind and the node/query it
+/// targets, and scheduling bugs report *which* event time-traveled instead
+/// of a bare assert. This template is the fallback for payload types that
+/// do not describe themselves (ints in unit tests, micro-bench payloads).
+template <typename Event>
+std::string DescribeEvent(const Event& /*event*/) {
+  return "(event type has no DescribeEvent overload)";
+}
+
+/// A classic discrete-event scheduler: events fire in time order, with a
+/// 64-bit stamp breaking ties deterministically.
+///
+/// Two scheduling modes share the queue:
+///  - Schedule(when, event): the stamp is a monotonically increasing
+///    internal sequence number, i.e. classic FIFO tie-breaking —
+///    simultaneous events run in the order they were scheduled.
+///  - Schedule(when, stamp, event): the caller supplies the stamp. The
+///    sharded federation uses this with *placement-independent* stamps
+///    (a canonical (lane, node, counter) encoding, see sim/shard.h) so
+///    that the global event order is a pure function of the scenario and
+///    never of how nodes are partitioned onto shards or threads.
+/// The two modes must not be mixed on one queue instance: relative order
+/// of internal and external stamps would depend on call history.
 ///
 /// `Event` is a by-value payload (for the federation: a small tagged
 /// struct, see SimEvent) handed back to the dispatcher passed to
@@ -24,17 +49,37 @@ namespace qa::sim {
 template <typename Event>
 class EventQueue {
  public:
-  /// Schedules `event` at absolute time `when` (must be >= now()).
-  /// Scheduling into the past is a bug in the caller: debug builds assert,
-  /// and all builds clamp `when` to now() so the event cannot time-travel
-  /// and corrupt the monotonic clock.
+  /// Schedules `event` at absolute time `when` (must be >= now()) with an
+  /// internal FIFO stamp. Scheduling into the past is a bug in the caller:
+  /// every build prints a diagnostic naming the offending event (see
+  /// DescribeEvent), debug builds then assert, and all builds clamp `when`
+  /// to now() so the event cannot time-travel and corrupt the monotonic
+  /// clock.
   void Schedule(util::VTime when, Event event) {
-    assert(when >= now_ && "cannot schedule into the past");
-    if (when < now_) when = now_;
-    heap_.push_back(Entry{when, next_seq_++, std::move(event)});
+    Schedule(when, next_seq_++, std::move(event));
+  }
+
+  /// Schedules `event` with a caller-chosen tie-break stamp. Same
+  /// past-timestamp policy as above.
+  void Schedule(util::VTime when, uint64_t stamp, Event event) {
+    if (when < now_) {
+      // Diagnose loudly in every build: under NDEBUG the assert below
+      // compiles away, and a silently clamped event is exactly how a
+      // shard-merge ordering bug would hide. The event's own description
+      // (kind, node, query) is what makes the report actionable.
+      std::fprintf(stderr,
+                   "EventQueue: scheduling into the past (when=%" PRId64
+                   "us < now=%" PRId64 "us, stamp=%" PRIu64 "): %s\n",
+                   static_cast<int64_t>(when), static_cast<int64_t>(now_),
+                   stamp, DescribeEvent(event).c_str());
+      assert(when >= now_ && "cannot schedule into the past");
+      when = now_;
+    }
+    heap_.push_back(Entry{when, stamp, std::move(event)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
-  /// Schedules `event` `delay` after now().
+
+  /// Schedules `event` `delay` after now() with an internal FIFO stamp.
   void ScheduleAfter(util::VDuration delay, Event event) {
     Schedule(now_ + delay, std::move(event));
   }
@@ -46,6 +91,11 @@ class EventQueue {
   util::VTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
+
+  /// The next event to fire (undefined when empty()); it stays queued.
+  const Event& Peek() const { return heap_.front().event; }
+  util::VTime PeekTime() const { return heap_.front().time; }
+  uint64_t PeekStamp() const { return heap_.front().stamp; }
 
   /// Pops and dispatches the next event; returns false when the queue is
   /// empty. `dispatch` may schedule further events.
@@ -80,16 +130,41 @@ class EventQueue {
     return ran;
   }
 
+  /// Runs events whose (time, stamp) key is strictly before the given
+  /// fence key — the conservative-window drain of the sharded federation:
+  /// each shard lane advances exactly to the market-tick barrier and not
+  /// one event past it. Unlike RunOne, the dispatcher receives the popped
+  /// entry's key too, `dispatch(event, time, stamp)` — shard handlers use
+  /// it to key their buffered effects for the canonical barrier merge.
+  /// Returns the number of events run.
+  template <typename Dispatch>
+  uint64_t RunWhileBefore(util::VTime fence_time, uint64_t fence_stamp,
+                          Dispatch&& dispatch) {
+    uint64_t ran = 0;
+    while (!heap_.empty() &&
+           (heap_.front().time < fence_time ||
+            (heap_.front().time == fence_time &&
+             heap_.front().stamp < fence_stamp))) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Entry entry = std::move(heap_.back());
+      heap_.pop_back();
+      now_ = entry.time;
+      dispatch(entry.event, entry.time, entry.stamp);
+      ++ran;
+    }
+    return ran;
+  }
+
  private:
   struct Entry {
     util::VTime time;
-    uint64_t seq;
+    uint64_t stamp;
     Event event;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return a.stamp > b.stamp;
     }
   };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "market/market_sim.h"
@@ -28,6 +29,20 @@ faults::FaultPlan EffectivePlan(const FederationConfig& config) {
   }
   return plan;
 }
+
+/// Every counter name a run can ever Count(), in the canonical emission
+/// order. Traced runs pre-register all of them at t=0 (a Count of 0
+/// creates the stat), so the recorder's trailing stats block lists the
+/// same names in the same order regardless of which events a scenario
+/// happens to produce — and, crucially for the sharded core, regardless
+/// of the order in which the first increment of each counter fires
+/// (mediator-side counts fire at dispatch, shard-side counts at the
+/// barrier merge; only pre-registration makes creation order invariant).
+constexpr const char* kCounterNames[] = {
+    "arrivals", "assigns",  "rejects",  "bounces",  "drops",
+    "expired",  "deliveries", "completions", "losses", "crashes",
+    "restarts", "degrades", "ticks",    "snapshots",
+};
 
 }  // namespace
 
@@ -61,6 +76,10 @@ util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
         "query_deadline must be non-negative, got " +
         std::to_string(config.query_deadline));
   }
+  if (config.shards < 1) {
+    return util::Status::InvalidArgument(
+        "shards must be >= 1, got " + std::to_string(config.shards));
+  }
   for (size_t i = 0; i < config.outages.size(); ++i) {
     const Outage& outage = config.outages[i];
     if (outage.node < 0 || outage.node >= num_nodes) {
@@ -81,6 +100,43 @@ util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
   return config.faults.Validate(num_nodes);
 }
 
+std::string DescribeEvent(const SimEvent& event) {
+  switch (event.kind) {
+    case SimEvent::Kind::kArrival:
+      return "arrival query=" + std::to_string(event.pending.id) +
+             " class=" + std::to_string(event.pending.arrival.class_id) +
+             " attempts=" + std::to_string(event.pending.attempts);
+    case SimEvent::Kind::kDeliver:
+      return "deliver node=" + std::to_string(event.node) +
+             " query=" + std::to_string(event.task.query_id);
+    case SimEvent::Kind::kComplete:
+      return "complete node=" + std::to_string(event.node) +
+             " query=" + std::to_string(event.task.query_id);
+    case SimEvent::Kind::kMarketTick:
+      return "market-tick";
+    case SimEvent::Kind::kFault: {
+      using Kind = faults::FaultInjector::Transition::Kind;
+      const char* what = "fault";
+      switch (event.transition.kind) {
+        case Kind::kCrash:
+          what = "fault-crash";
+          break;
+        case Kind::kRestart:
+          what = "fault-restart";
+          break;
+        case Kind::kDegradeStart:
+          what = "fault-degrade-start";
+          break;
+        case Kind::kDegradeEnd:
+          what = "fault-degrade-end";
+          break;
+      }
+      return std::string(what) + " node=" + std::to_string(event.node);
+    }
+  }
+  return "(unknown SimEvent kind)";
+}
+
 Federation::Federation(const query::CostModel* cost_model,
                        allocation::Allocator* allocator,
                        FederationConfig config)
@@ -90,10 +146,34 @@ Federation::Federation(const query::CostModel* cost_model,
       injector_(EffectivePlan(config), static_cast<uint64_t>(config.seed)) {
   assert(cost_model_ != nullptr);
   assert(allocator_ != nullptr);
-  for (catalog::NodeId i = 0; i < cost_model_->num_nodes(); ++i) {
-    nodes_.emplace_back(i);
+  num_nodes_ = cost_model_->num_nodes();
+
+  // Mode selection. Sharded execution is legal exactly when the mediator
+  // can run ahead of the node lanes within a market window — i.e. when the
+  // mechanism never reads live node state at allocation time. Mechanisms
+  // that probe backlogs (Greedy, BNQRD, two-probes...) need that state
+  // current at every decision, which is a zero-lookahead synchronization
+  // requirement: they run on the inline path no matter what the config
+  // asks for. This is Table 2's autonomy column made operational.
+  sharded_ = config_.shards > 1 && config_.runner != nullptr &&
+             !allocator_->properties().reads_node_state;
+  plan_ = ShardPlan(num_nodes_, sharded_ ? config_.shards : 1);
+  std::vector<int> shard_of;
+  shard_of.reserve(static_cast<size_t>(num_nodes_));
+  for (catalog::NodeId j = 0; j < num_nodes_; ++j) {
+    shard_of.push_back(plan_.shard_of(j));
   }
-  link_down_.assign(nodes_.size(), 0);
+  pool_.Init(num_nodes_, plan_.shards(), shard_of);
+  if (sharded_) {
+    lanes_ = std::vector<ShardLane>(static_cast<size_t>(plan_.shards()));
+  }
+  node_seq_.assign(static_cast<size_t>(num_nodes_), 0);
+  // The allocator may use the runner for intra-decision fan-out (QA-NT's
+  // chunked bid scan) on the inline path too; it must be byte-exact either
+  // way, so this is unconditional.
+  allocator_->SetTaskRunner(config_.runner);
+
+  link_down_.assign(static_cast<size_t>(num_nodes_), 0);
   best_cost_.resize(static_cast<size_t>(cost_model_->num_classes()), 0.0);
   for (int k = 0; k < cost_model_->num_classes(); ++k) {
     util::VDuration best = cost_model_->BestCost(k);
@@ -101,10 +181,11 @@ Federation::Federation(const query::CostModel* cost_model,
         best == query::kInfeasibleCost ? 0.0 : static_cast<double>(best);
   }
   cost_cache_.resize(static_cast<size_t>(cost_model_->num_classes()) *
-                     nodes_.size());
+                     static_cast<size_t>(num_nodes_));
   for (int k = 0; k < cost_model_->num_classes(); ++k) {
-    for (catalog::NodeId j = 0; j < cost_model_->num_nodes(); ++j) {
-      cost_cache_[static_cast<size_t>(k) * nodes_.size() +
+    for (catalog::NodeId j = 0; j < num_nodes_; ++j) {
+      cost_cache_[static_cast<size_t>(k) *
+                      static_cast<size_t>(num_nodes_) +
                   static_cast<size_t>(j)] = cost_model_->Cost(k, j);
     }
   }
@@ -151,34 +232,175 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
     meta.fanout =
         config_.solicitation.sampled() ? config_.solicitation.fanout : 0;
     config_.recorder->Record(meta);
-    EmitSnapshot();  // the market's initial prices, at t=0
+    // Fix the stats block's name order up front (see kCounterNames).
+    for (const char* name : kCounterNames) {
+      config_.recorder->Count(name, 0);
+    }
+    // The market's initial prices, at t=0; written directly — nothing can
+    // be buffered ahead of it in either mode.
+    config_.recorder->RecordSnapshot(0, allocator_->Snapshot());
+    config_.recorder->Count("snapshots");
   }
 
   // All arrivals live in the heap at once, plus one in-flight
   // deliver/complete event per node, the market tick, and the fault
   // plan's transitions: reserving here makes steady-state scheduling
-  // allocation-free.
-  events_.Reserve(trace.size() + nodes_.size() + 1 +
+  // allocation-free. Every event carries a canonical placement-independent
+  // stamp (sim/shard.h) in both modes — inline runs dispatch in exactly
+  // the order sharded runs reproduce.
+  events_.Reserve(trace.size() + static_cast<size_t>(num_nodes_) + 1 +
                   injector_.transitions().size());
   for (const workload::Arrival& arrival : trace.arrivals()) {
     events_.Schedule(
-        arrival.time,
+        arrival.time, NextMediatorStamp(),
         SimEvent::MakeArrival({arrival, next_query_id_++, /*attempts=*/0}));
   }
   for (const auto& [when, transition] : injector_.transitions()) {
-    events_.Schedule(when, SimEvent::MakeFault(transition));
+    // Restarts are mediator-lane (the allocator re-learns the node);
+    // crash and degrade edges act on node state and belong to the node's
+    // own lane. Stamp allocation order here is the injector's transition
+    // order in both modes — the counters stay mode-invariant.
+    if (transition.kind == faults::FaultInjector::Transition::Kind::kRestart) {
+      events_.Schedule(when, NextMediatorStamp(),
+                       SimEvent::MakeFault(transition));
+    } else {
+      uint64_t stamp = NextNodeStampFromMediator(transition.node);
+      ScheduleNodeEvent(when, stamp, SimEvent::MakeFault(transition));
+    }
   }
-  events_.Schedule(TickInterval(), SimEvent::MakeMarketTick());
+  events_.Schedule(TickInterval(), NextMediatorStamp(),
+                   SimEvent::MakeMarketTick());
 
-  events_.RunAll([this](const SimEvent& event) { Dispatch(event); });
+  if (sharded_) {
+    RunSharded();
+  } else {
+    events_.RunAll([this](const SimEvent& event) { Dispatch(event); });
+  }
 
   metrics_.end_time = events_.now();
-  for (const SimNode& node : nodes_) {
-    metrics_.total_busy_time += node.busy_time();
-    metrics_.node_last_idle.push_back(node.last_idle_at());
-    metrics_.node_completed.push_back(node.completed());
+  for (const ShardLane& lane : lanes_) {
+    metrics_.end_time = std::max(metrics_.end_time, lane.queue.now());
+  }
+  for (catalog::NodeId j = 0; j < num_nodes_; ++j) {
+    metrics_.total_busy_time += pool_.busy_time(j);
+    metrics_.node_last_idle.push_back(pool_.last_idle_at(j));
+    metrics_.node_completed.push_back(pool_.completed(j));
   }
   return metrics_;
+}
+
+void Federation::RunSharded() {
+  constexpr util::VTime kEndTime = std::numeric_limits<util::VTime>::max();
+  constexpr uint64_t kEndStamp = std::numeric_limits<uint64_t>::max();
+  for (;;) {
+    while (!events_.empty()) {
+      if (events_.Peek().kind == SimEvent::Kind::kMarketTick) {
+        // The conservative time-window barrier: before the market tick
+        // runs, every lane has drained strictly up to the tick's own
+        // canonical key and all buffered effects are applied — so the
+        // tick (and everything the mediator does after it) observes
+        // exactly the state the inline dispatch order would have built.
+        // Nothing the merge schedules can precede the tick: loss
+        // resubmissions land at tick times with node-lane stamps, which
+        // sort after the tick's mediator stamp.
+        FenceAndMerge(events_.PeekTime(), events_.PeekStamp());
+      }
+      current_time_ = events_.PeekTime();
+      current_stamp_ = events_.PeekStamp();
+      events_.RunOne([this](const SimEvent& event) { Dispatch(event); });
+    }
+    // Mediator queue drained: run the lanes dry (fault transitions on
+    // idle nodes may remain past the last tick) and flush every buffered
+    // record. A lane can only hand the mediator new work (a loss
+    // resubmission) while queries are outstanding — and then a market
+    // tick would still be queued — so this loop runs at most twice in
+    // practice; the re-check keeps termination an invariant rather than
+    // an argument.
+    FenceAndMerge(kEndTime, kEndStamp);
+    if (events_.empty()) break;
+  }
+}
+
+void Federation::FenceAndMerge(util::VTime fence_time, uint64_t fence_stamp) {
+  size_t lanes = lanes_.size();
+  size_t queued = 0;
+  for (const ShardLane& lane : lanes_) queued += lane.queue.size();
+
+  if (queued > 0) {
+    auto drain = [this, fence_time, fence_stamp](int s) {
+      ShardLane& lane = lanes_[static_cast<size_t>(s)];
+      lane.dispatched = lane.queue.RunWhileBefore(
+          fence_time, fence_stamp,
+          [this, &lane](const SimEvent& event, util::VTime when,
+                        uint64_t stamp) {
+            DispatchShard(&lane, event, when, stamp);
+          });
+    };
+    // Tiny windows are not worth a fork-join round trip; the drain is
+    // byte-equivalent either way (lanes are independent by construction).
+    if (config_.runner != nullptr && lanes > 1 && queued >= 64) {
+      config_.runner->ParallelFor(static_cast<int>(lanes), drain);
+    } else {
+      for (size_t s = 0; s < lanes; ++s) drain(static_cast<int>(s));
+    }
+    for (ShardLane& lane : lanes_) {
+      metrics_.events_dispatched +=
+          static_cast<int64_t>(lane.dispatched);
+      lane.dispatched = 0;
+    }
+  }
+
+  // (S+1)-way merge of the window's buffered effects in canonical
+  // (time, stamp) order: each lane's outcome list and the mediator's
+  // record list are individually key-sorted (their producers run in key
+  // order), and keys never collide across lists (each stamp belongs to
+  // exactly one dispatched event), so picking the smallest head
+  // reproduces the inline dispatch order exactly — including the
+  // floating-point accumulation order of the metrics and the byte order
+  // of the trace.
+  size_t med_index = 0;
+  std::vector<size_t> out_index(lanes, 0);
+  for (;;) {
+    bool have = false;
+    bool take_mediator = false;
+    size_t best_lane = 0;
+    util::VTime best_time = 0;
+    uint64_t best_stamp = 0;
+    if (med_index < med_items_.size()) {
+      best_time = med_items_[med_index].time;
+      best_stamp = med_items_[med_index].stamp;
+      take_mediator = true;
+      have = true;
+    }
+    for (size_t s = 0; s < lanes; ++s) {
+      if (out_index[s] >= lanes_[s].outcomes.size()) continue;
+      const ShardOutcome& outcome = lanes_[s].outcomes[out_index[s]];
+      if (!have || outcome.time < best_time ||
+          (outcome.time == best_time && outcome.stamp < best_stamp)) {
+        best_time = outcome.time;
+        best_stamp = outcome.stamp;
+        take_mediator = false;
+        best_lane = s;
+        have = true;
+      }
+    }
+    if (!have) break;
+    if (take_mediator) {
+      const MediatorTraceItem& item = med_items_[med_index++];
+      // Only traced runs buffer mediator items, so the recorder is set.
+      QA_OBS(config_.recorder) {
+        if (item.is_snapshot) {
+          config_.recorder->RecordSnapshot(item.time, item.snapshot);
+        } else {
+          config_.recorder->Record(item.record);
+        }
+      }
+    } else {
+      ApplyOutcome(lanes_[best_lane].outcomes[out_index[best_lane]++]);
+    }
+  }
+  med_items_.clear();
+  for (ShardLane& lane : lanes_) lane.outcomes.clear();
 }
 
 void Federation::Dispatch(const SimEvent& event) {
@@ -188,16 +410,43 @@ void Federation::Dispatch(const SimEvent& event) {
       HandleQuery(event.pending);
       break;
     case SimEvent::Kind::kDeliver:
-      DeliverTask(event.node, event.task);
+      DeliverTask(nullptr, event.node, event.task, events_.now(),
+                  /*stamp=*/0);
       break;
     case SimEvent::Kind::kComplete:
-      CompleteTask(event.node, event.task);
+      CompleteTask(nullptr, event.node, event.task, events_.now(),
+                   /*stamp=*/0);
       break;
     case SimEvent::Kind::kMarketTick:
       MarketTick();
       break;
     case SimEvent::Kind::kFault:
-      HandleFault(event.transition);
+      if (event.transition.kind ==
+          faults::FaultInjector::Transition::Kind::kRestart) {
+        HandleRestart(event.transition);
+      } else {
+        HandleShardFault(nullptr, event.transition, events_.now(),
+                         /*stamp=*/0);
+      }
+      break;
+  }
+}
+
+void Federation::DispatchShard(ShardLane* lane, const SimEvent& event,
+                               util::VTime now, uint64_t stamp) {
+  switch (event.kind) {
+    case SimEvent::Kind::kDeliver:
+      DeliverTask(lane, event.node, event.task, now, stamp);
+      break;
+    case SimEvent::Kind::kComplete:
+      CompleteTask(lane, event.node, event.task, now, stamp);
+      break;
+    case SimEvent::Kind::kFault:
+      HandleShardFault(lane, event.transition, now, stamp);
+      break;
+    case SimEvent::Kind::kArrival:
+    case SimEvent::Kind::kMarketTick:
+      assert(false && "mediator-lane event in a shard lane");
       break;
   }
 }
@@ -222,7 +471,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       event.query = pending.id;
       event.class_id = pending.arrival.class_id;
       event.origin = pending.arrival.origin;
-      config_.recorder->Record(event);
+      EmitRecord(event);
       config_.recorder->Count("arrivals");
     }
   }
@@ -271,7 +520,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       event.class_id = pending.arrival.class_id;
       event.node = decision.node;
       event.attempts = pending.attempts;
-      config_.recorder->Record(event);
+      EmitRecord(event);
       config_.recorder->Count("bounces");
     }
     decision.node = allocation::kNoNode;
@@ -300,7 +549,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       event.messages = decision.messages;
       event.solicited = decision.solicited;
       event.attempts = pending.attempts;
-      config_.recorder->Record(event);
+      EmitRecord(event);
       config_.recorder->Count("rejects");
     }
     // The client resubmits the query at the next market tick (§3.3 says
@@ -308,8 +557,8 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     // period boundary passes every tick). Long-waiting queries back off to
     // once per full period so a deep overload costs O(backlog) retry work
     // per period instead of O(backlog * ticks). The tick event is already
-    // scheduled and was enqueued earlier, so the market refreshes before
-    // the retry runs.
+    // scheduled and sorts ahead of the retry (mediator stamps issued
+    // earlier are smaller), so the market refreshes before the retry runs.
     int wait_ticks = std::min(pending.attempts,
                               std::max(config_.market_tick_divisor, 1));
     // Market-protocol hardening: when whole market rounds go by with every
@@ -323,7 +572,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       wait_ticks = std::min(wait_ticks << shift, cap);
     }
     events_.Schedule(NextMarketTick() + (wait_ticks - 1) * TickInterval(),
-                     SimEvent::MakeArrival(pending));
+                     NextMediatorStamp(), SimEvent::MakeArrival(pending));
     return;
   }
 
@@ -339,7 +588,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     event.messages = decision.messages;
     event.solicited = decision.solicited;
     event.attempts = pending.attempts;
-    config_.recorder->Record(event);
+    EmitRecord(event);
     config_.recorder->Count("assigns");
   }
   QueryTask task;
@@ -361,7 +610,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   // dropped shipment loses the (already accepted) query in flight; the
   // client notices the silence and resubmits at the next market tick.
   if (link_faults && injector_.DropMessage(decision.node, events_.now())) {
-    LoseTask(task, decision.node);
+    LoseTaskMediator(task, decision.node);
     return;
   }
 
@@ -373,7 +622,9 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   if (link_faults) {
     delay += injector_.ExtraLatency(decision.node, events_.now());
   }
-  events_.ScheduleAfter(delay, SimEvent::MakeDeliver(decision.node, task));
+  ScheduleNodeEvent(events_.now() + delay,
+                    NextNodeStampFromMediator(decision.node),
+                    SimEvent::MakeDeliver(decision.node, task));
 }
 
 void Federation::DropQuery(query::QueryId id, query::QueryClassId class_id,
@@ -389,12 +640,13 @@ void Federation::DropQuery(query::QueryId id, query::QueryClassId class_id,
     event.query = id;
     event.class_id = class_id;
     event.attempts = attempts;
-    config_.recorder->Record(event);
+    EmitRecord(event);
     config_.recorder->Count(expired ? "expired" : "drops");
   }
 }
 
-void Federation::LoseTask(const QueryTask& task, catalog::NodeId node_id) {
+void Federation::LoseTaskMediator(const QueryTask& task,
+                                  catalog::NodeId node_id) {
   ++metrics_.lost;
   QA_OBS(config_.recorder) {
     obs::EventRecord event;
@@ -404,7 +656,7 @@ void Federation::LoseTask(const QueryTask& task, catalog::NodeId node_id) {
     event.class_id = task.class_id;
     event.node = node_id;
     event.attempts = task.attempts;
-    config_.recorder->Record(event);
+    EmitRecord(event);
     config_.recorder->Count("losses");
   }
   // Reconstruct the client's pending query (original arrival time — the
@@ -418,15 +670,37 @@ void Federation::LoseTask(const QueryTask& task, catalog::NodeId node_id) {
   pending.arrival.cost_jitter = task.cost_jitter;
   pending.id = task.query_id;
   pending.attempts = task.attempts + 1;
-  events_.Schedule(NextMarketTick(), SimEvent::MakeArrival(pending));
+  events_.Schedule(NextMarketTick(), NextMediatorStamp(),
+                   SimEvent::MakeArrival(pending));
 }
 
-void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
+void Federation::LoseTaskShard(ShardLane* lane, const QueryTask& task,
+                               catalog::NodeId node_id, util::VTime now,
+                               uint64_t stamp) {
+  ShardOutcome outcome;
+  outcome.kind = ShardOutcome::Kind::kLost;
+  outcome.node = node_id;
+  outcome.time = now;
+  outcome.stamp = stamp;
+  outcome.task = task;
+  // The resubmission is decided here, on the losing node's lane: its time
+  // is the first market tick after the loss, its stamp comes from the
+  // node's own counter — both pure functions of the node's event history,
+  // so the mediator applying this outcome at the barrier schedules exactly
+  // the arrival the inline dispatch order would have.
+  outcome.resubmit_time = NextMarketTickAfter(now);
+  outcome.resubmit_stamp = NextNodeStamp(node_id);
+  Emit(lane, std::move(outcome));
+}
+
+void Federation::DeliverTask(ShardLane* lane, catalog::NodeId node_id,
+                             const QueryTask& task, util::VTime now,
+                             uint64_t stamp) {
   // The node crashed while the query was on the wire: the shipment reaches
   // a dead machine and is lost (the negotiation happened before the
   // crash). The client resubmits at the next market tick.
-  if (injector_.Crashed(node_id, events_.now())) {
-    LoseTask(task, node_id);
+  if (injector_.Crashed(node_id, now)) {
+    LoseTaskShard(lane, task, node_id, now, stamp);
     return;
   }
   QueryTask delivered = task;
@@ -434,7 +708,7 @@ void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
   // speed, so the execution time fixed at allocation stretches. The
   // mechanism is not told — its learned costs/prices are now stale, which
   // is exactly the failure mode under study.
-  double speed = injector_.SpeedFactor(node_id, events_.now());
+  double speed = injector_.SpeedFactor(node_id, now);
   if (speed < 1.0) {
     delivered.exec_time = std::max<util::VDuration>(
         static_cast<util::VDuration>(
@@ -442,119 +716,232 @@ void Federation::DeliverTask(catalog::NodeId node_id, const QueryTask& task) {
         1);
   }
   QA_OBS(config_.recorder) {
-    obs::EventRecord event;
-    event.kind = obs::EventRecord::Kind::kDeliver;
-    event.t_us = events_.now();
-    event.query = delivered.query_id;
-    event.class_id = delivered.class_id;
-    event.node = node_id;
-    config_.recorder->Record(event);
-    config_.recorder->Count("deliveries");
+    ShardOutcome outcome;
+    outcome.kind = ShardOutcome::Kind::kDeliverRecord;
+    outcome.node = node_id;
+    outcome.time = now;
+    outcome.stamp = stamp;
+    outcome.task = delivered;
+    Emit(lane, std::move(outcome));
   }
-  if (nodes_[static_cast<size_t>(node_id)].Enqueue(delivered,
-                                                   events_.now())) {
-    StartTask(node_id);
+  if (pool_.Enqueue(node_id, delivered)) {
+    StartTask(node_id, now);
   }
 }
 
-void Federation::StartTask(catalog::NodeId node_id) {
-  SimNode& node = nodes_[static_cast<size_t>(node_id)];
-  QueryTask task = node.BeginNext(events_.now());
+void Federation::StartTask(catalog::NodeId node_id, util::VTime now) {
+  QueryTask task = pool_.BeginNext(node_id, now);
   // Stamp the node's incarnation so this completion event can be
   // recognized as stale if a crash wipes the task before it fires.
-  task.epoch = node.epoch();
-  events_.ScheduleAfter(task.exec_time,
-                        SimEvent::MakeComplete(node_id, task));
+  task.epoch = pool_.epoch(node_id);
+  ScheduleNodeEvent(now + task.exec_time, NextNodeStamp(node_id),
+                    SimEvent::MakeComplete(node_id, task));
 }
 
-void Federation::CompleteTask(catalog::NodeId node_id, const QueryTask& task) {
-  SimNode& node = nodes_[static_cast<size_t>(node_id)];
+void Federation::CompleteTask(ShardLane* lane, catalog::NodeId node_id,
+                              const QueryTask& task, util::VTime now,
+                              uint64_t stamp) {
   // A crash bumped the node's epoch after this completion was scheduled:
   // the task it announces was wiped (and resubmitted by its client), so
   // the event is a ghost of the previous incarnation. Ignore it.
-  if (task.epoch != node.epoch()) return;
-  bool more = node.CompleteCurrent(events_.now());
+  if (task.epoch != pool_.epoch(node_id)) return;
+  bool more = pool_.CompleteCurrent(node_id, now);
 
+  ShardOutcome outcome;
+  outcome.node = node_id;
+  outcome.time = now;
+  outcome.stamp = stamp;
+  outcome.task = task;
   // The result arrived after the client's deadline: nobody is waiting for
   // it. The node's work is already spent (wasted capacity — the real cost
   // of serving a client that gave up); the query counts as expired.
   if (config_.query_deadline > 0 &&
-      events_.now() - task.arrival > config_.query_deadline) {
-    DropQuery(task.query_id, task.class_id, task.attempts,
-              /*expired=*/true);
-    if (more) StartTask(node_id);
-    return;
+      now - task.arrival > config_.query_deadline) {
+    outcome.kind = ShardOutcome::Kind::kExpired;
+  } else {
+    outcome.kind = ShardOutcome::Kind::kComplete;
   }
+  Emit(lane, std::move(outcome));
 
-  double response_ms = util::ToMillis(events_.now() - task.arrival);
-  QA_OBS(config_.recorder) {
-    obs::EventRecord event;
-    event.kind = obs::EventRecord::Kind::kComplete;
-    event.t_us = events_.now();
-    event.query = task.query_id;
-    event.class_id = task.class_id;
-    event.node = node_id;
-    event.response_ms = response_ms;
-    config_.recorder->Record(event);
-    config_.recorder->Count("completions");
-  }
-  metrics_.response_time_ms.Add(response_ms);
-  metrics_.completions.Add(events_.now(),
-                           static_cast<double>(task.class_id));
-  metrics_.completions_per_class[static_cast<size_t>(task.class_id)].Add(
-      events_.now(), 1.0);
-  ++metrics_.completed;
-  --outstanding_;
-
-  if (more) StartTask(node_id);
+  if (more) StartTask(node_id, now);
 }
 
-void Federation::HandleFault(
+void Federation::HandleRestart(
     const faults::FaultInjector::Transition& transition) {
+  assert(transition.kind ==
+         faults::FaultInjector::Transition::Kind::kRestart);
+  // The node is back with empty queues and default configuration; a
+  // mechanism with learned per-node state (QA-NT's price vector) resets it
+  // and re-learns through ordinary market interaction.
+  allocator_->OnNodeRestart(transition.node, events_.now());
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kRestart;
+    event.t_us = events_.now();
+    event.node = transition.node;
+    EmitRecord(event);
+    config_.recorder->Count("restarts");
+  }
+}
+
+void Federation::HandleShardFault(
+    ShardLane* lane, const faults::FaultInjector::Transition& transition,
+    util::VTime now, uint64_t stamp) {
   using Kind = faults::FaultInjector::Transition::Kind;
   switch (transition.kind) {
     case Kind::kCrash: {
-      SimNode& node = nodes_[static_cast<size_t>(transition.node)];
-      std::vector<QueryTask> wiped = node.Crash(events_.now());
+      std::vector<QueryTask> wiped;
+      pool_.Crash(transition.node, now, &wiped);
       QA_OBS(config_.recorder) {
-        obs::EventRecord event;
-        event.kind = obs::EventRecord::Kind::kCrash;
-        event.t_us = events_.now();
-        event.node = transition.node;
-        config_.recorder->Record(event);
-        config_.recorder->Count("crashes");
+        ShardOutcome outcome;
+        outcome.kind = ShardOutcome::Kind::kCrashRecord;
+        outcome.node = transition.node;
+        outcome.time = now;
+        outcome.stamp = stamp;
+        Emit(lane, std::move(outcome));
       }
       // Everything queued or running there is gone with the volatile
       // state; the clients detect the silence and resubmit.
-      for (const QueryTask& task : wiped) LoseTask(task, transition.node);
+      for (const QueryTask& task : wiped) {
+        LoseTaskShard(lane, task, transition.node, now, stamp);
+      }
       break;
     }
     case Kind::kRestart:
-      // The node is back with empty queues and default configuration; a
-      // mechanism with learned per-node state (QA-NT's price vector)
-      // resets it and re-learns through ordinary market interaction.
-      allocator_->OnNodeRestart(transition.node, events_.now());
-      QA_OBS(config_.recorder) {
-        obs::EventRecord event;
-        event.kind = obs::EventRecord::Kind::kRestart;
-        event.t_us = events_.now();
-        event.node = transition.node;
-        config_.recorder->Record(event);
-        config_.recorder->Count("restarts");
-      }
+      assert(false && "restarts are mediator-lane events");
       break;
     case Kind::kDegradeStart:
     case Kind::kDegradeEnd:
       QA_OBS(config_.recorder) {
+        ShardOutcome outcome;
+        outcome.kind = ShardOutcome::Kind::kDegradeRecord;
+        outcome.node = transition.node;
+        outcome.time = now;
+        outcome.stamp = stamp;
+        outcome.factor = transition.factor;
+        Emit(lane, std::move(outcome));
+      }
+      break;
+  }
+}
+
+void Federation::Emit(ShardLane* lane, ShardOutcome outcome) {
+  if (lane != nullptr) {
+    lane->outcomes.push_back(std::move(outcome));
+  } else {
+    ApplyOutcome(outcome);
+  }
+}
+
+void Federation::ApplyOutcome(const ShardOutcome& outcome) {
+  // Runs on the mediator thread only (inline dispatch, or the barrier
+  // merge), in canonical key order. All times come from the outcome — at
+  // a barrier the mediator clock has already moved past them.
+  switch (outcome.kind) {
+    case ShardOutcome::Kind::kDeliverRecord: {
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kDeliver;
+        event.t_us = outcome.time;
+        event.query = outcome.task.query_id;
+        event.class_id = outcome.task.class_id;
+        event.node = outcome.node;
+        config_.recorder->Record(event);
+        config_.recorder->Count("deliveries");
+      }
+      break;
+    }
+    case ShardOutcome::Kind::kComplete: {
+      double response_ms =
+          util::ToMillis(outcome.time - outcome.task.arrival);
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kComplete;
+        event.t_us = outcome.time;
+        event.query = outcome.task.query_id;
+        event.class_id = outcome.task.class_id;
+        event.node = outcome.node;
+        event.response_ms = response_ms;
+        config_.recorder->Record(event);
+        config_.recorder->Count("completions");
+      }
+      metrics_.response_time_ms.Add(response_ms);
+      metrics_.completions.Add(outcome.time,
+                               static_cast<double>(outcome.task.class_id));
+      metrics_.completions_per_class[static_cast<size_t>(
+          outcome.task.class_id)].Add(outcome.time, 1.0);
+      ++metrics_.completed;
+      --outstanding_;
+      break;
+    }
+    case ShardOutcome::Kind::kExpired: {
+      ++metrics_.dropped;
+      ++metrics_.dropped_per_class[static_cast<size_t>(
+          outcome.task.class_id)];
+      ++metrics_.expired;
+      --outstanding_;
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kDrop;
+        event.t_us = outcome.time;
+        event.query = outcome.task.query_id;
+        event.class_id = outcome.task.class_id;
+        event.attempts = outcome.task.attempts;
+        config_.recorder->Record(event);
+        config_.recorder->Count("expired");
+      }
+      break;
+    }
+    case ShardOutcome::Kind::kLost: {
+      ++metrics_.lost;
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kLost;
+        event.t_us = outcome.time;
+        event.query = outcome.task.query_id;
+        event.class_id = outcome.task.class_id;
+        event.node = outcome.node;
+        event.attempts = outcome.task.attempts;
+        config_.recorder->Record(event);
+        config_.recorder->Count("losses");
+      }
+      // Reconstruct the client's pending query (original arrival time —
+      // the loss inflates its response time, which is the point) and
+      // resubmit it with the time and stamp the losing lane fixed.
+      SimEvent::Pending pending;
+      pending.arrival.time = outcome.task.arrival;
+      pending.arrival.class_id = outcome.task.class_id;
+      pending.arrival.origin = outcome.task.origin;
+      pending.arrival.cost_jitter = outcome.task.cost_jitter;
+      pending.id = outcome.task.query_id;
+      pending.attempts = outcome.task.attempts + 1;
+      events_.Schedule(outcome.resubmit_time, outcome.resubmit_stamp,
+                       SimEvent::MakeArrival(pending));
+      break;
+    }
+    case ShardOutcome::Kind::kCrashRecord: {
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kCrash;
+        event.t_us = outcome.time;
+        event.node = outcome.node;
+        config_.recorder->Record(event);
+        config_.recorder->Count("crashes");
+      }
+      break;
+    }
+    case ShardOutcome::Kind::kDegradeRecord: {
+      QA_OBS(config_.recorder) {
         obs::EventRecord event;
         event.kind = obs::EventRecord::Kind::kDegrade;
-        event.t_us = events_.now();
-        event.node = transition.node;
-        event.factor = transition.factor;
+        event.t_us = outcome.time;
+        event.node = outcome.node;
+        event.factor = outcome.factor;
         config_.recorder->Record(event);
         config_.recorder->Count("degrades");
       }
       break;
+    }
   }
 }
 
@@ -576,7 +963,7 @@ void Federation::MarketTick() {
     obs::EventRecord event;
     event.kind = obs::EventRecord::Kind::kTick;
     event.t_us = events_.now();
-    config_.recorder->Record(event);
+    EmitRecord(event);
     config_.recorder->Count("ticks");
     // Snapshot once per global period (every divisor-th tick), after the
     // period hooks ran: post-rollover prices are what convergence analysis
@@ -585,16 +972,48 @@ void Federation::MarketTick() {
       EmitSnapshot();
     }
   }
+  // The barrier before this tick applied every completion and drop with
+  // an earlier key, so `outstanding_` is exact here in both modes.
   if (outstanding_ > 0) {
-    events_.ScheduleAfter(TickInterval(), SimEvent::MakeMarketTick());
+    events_.Schedule(events_.now() + TickInterval(), NextMediatorStamp(),
+                     SimEvent::MakeMarketTick());
+  }
+}
+
+void Federation::EmitRecord(const obs::EventRecord& record) {
+  // Every call site is inside a QA_OBS gate already; gating again here
+  // keeps the recorder call compiled away under -DQA_OBS_DISABLED.
+  QA_OBS(config_.recorder) {
+    if (!sharded_) {
+      config_.recorder->Record(record);
+      return;
+    }
+    MediatorTraceItem item;
+    item.time = current_time_;
+    item.stamp = current_stamp_;
+    item.record = record;
+    med_items_.push_back(std::move(item));
   }
 }
 
 void Federation::EmitSnapshot() {
-  // Both call sites sit inside QA_OBS gates already, but gate here too so
+  // The call site sits inside a QA_OBS gate already, but gate here too so
   // the allocator Snapshot() walk compiles away under -DQA_OBS_DISABLED.
   QA_OBS(config_.recorder) {
-    config_.recorder->RecordSnapshot(events_.now(), allocator_->Snapshot());
+    if (!sharded_) {
+      config_.recorder->RecordSnapshot(events_.now(),
+                                       allocator_->Snapshot());
+    } else {
+      // Materialized eagerly: by the time the barrier flushes this item
+      // the allocator has moved on, and a late Snapshot() would show the
+      // future.
+      MediatorTraceItem item;
+      item.time = current_time_;
+      item.stamp = current_stamp_;
+      item.is_snapshot = true;
+      item.snapshot = allocator_->Snapshot();
+      med_items_.push_back(std::move(item));
+    }
     config_.recorder->Count("snapshots");
   }
 }
@@ -605,8 +1024,22 @@ util::VDuration Federation::TickInterval() const {
 }
 
 util::VTime Federation::NextMarketTick() const {
+  return NextMarketTickAfter(events_.now());
+}
+
+util::VTime Federation::NextMarketTickAfter(util::VTime t) const {
   util::VDuration tick = TickInterval();
-  return (events_.now() / tick + 1) * tick;
+  return (t / tick + 1) * tick;
+}
+
+void Federation::ScheduleNodeEvent(util::VTime when, uint64_t stamp,
+                                   SimEvent event) {
+  if (sharded_) {
+    lanes_[static_cast<size_t>(plan_.shard_of(event.node))].queue.Schedule(
+        when, stamp, event);
+  } else {
+    events_.Schedule(when, stamp, event);
+  }
 }
 
 double EstimateCapacityQps(const query::CostModel& cost_model,

@@ -3,18 +3,22 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "allocation/allocator.h"
 #include "allocation/solicitation.h"
 #include "obs/recorder.h"
+#include "obs/snapshot.h"
 #include "query/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/faults/fault_injector.h"
 #include "sim/faults/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/node.h"
+#include "sim/shard.h"
 #include "util/status.h"
+#include "util/task_runner.h"
 #include "workload/trace.h"
 
 namespace qa::sim {
@@ -83,14 +87,27 @@ struct FederationConfig {
   /// experiment runner forwards it into AllocatorParams. Mechanisms other
   /// than QA-NT ignore it.
   allocation::SolicitationConfig solicitation;
+  /// Node-partition count of the sharded core: nodes are split into this
+  /// many shards (stable id-hash, see ShardPlan), each draining its own
+  /// event lane between market-tick barriers. Results are byte-identical
+  /// at every (shards, runner) combination — sharding is an execution
+  /// layout, never a semantic knob. Sharded execution engages only when
+  /// shards > 1, `runner` is set, and the mechanism does not read live
+  /// node state (MechanismProperties::reads_node_state); otherwise the
+  /// run uses the inline single-queue path.
+  int shards = 1;
+  /// Fork-join runner the sharded core drains its lanes on, also handed
+  /// to the allocator for its intra-decision fan-out (QA-NT's bid scan).
+  /// Not owned; must outlive the run. Null = fully sequential.
+  const util::TaskRunner* runner = nullptr;
 };
 
 /// Rejects misconfigured runs before they produce silent nonsense:
 /// non-positive period, market_tick_divisor < 1, negative message latency
-/// or retry budget, max_backoff_periods < 1, malformed outage windows, and
-/// anything FaultPlan::Validate rejects. Federation::Run calls this at
-/// entry and aborts on error; callers building configs from external input
-/// should call it themselves and surface the Status.
+/// or retry budget, max_backoff_periods < 1, shards < 1, malformed outage
+/// windows, and anything FaultPlan::Validate rejects. Federation::Run
+/// calls this at entry and aborts on error; callers building configs from
+/// external input should call it themselves and surface the Status.
 util::Status ValidateConfig(const FederationConfig& config, int num_nodes);
 
 /// The tagged event payload of the federation's discrete-event loop.
@@ -157,6 +174,10 @@ struct SimEvent {
       : kind(Kind::kFault), node(t.node), transition(t) {}
 };
 
+/// EventQueue's past-timestamp diagnostic hook: names the offending
+/// event's kind plus the node/query it targets (see EventQueue::Schedule).
+std::string DescribeEvent(const SimEvent& event);
+
 /// The discrete-event simulator of a federation of autonomous RDBMSs:
 /// arrivals from a workload trace are placed by an allocation mechanism
 /// onto serial-executor nodes; completions, retries and market periods are
@@ -166,9 +187,29 @@ struct SimEvent {
 /// mechanism: it exposes node backlogs/work to the mechanisms that probe
 /// them, and charges every decision's messages to the metrics.
 ///
-/// A Federation is single-threaded and self-contained: concurrent runs on
-/// *distinct* Federation instances (sharing only the const cost model) are
-/// safe, which is what exec::ExperimentRunner exploits.
+/// Execution has two byte-identical modes:
+///
+///  - Inline: one event queue, events dispatched strictly in canonical
+///    (time, stamp) order — the semantics reference.
+///  - Sharded (config.shards > 1 with a runner): the run is split into a
+///    *mediator lane* (arrivals, allocation, market ticks, restarts) and
+///    one lane per node shard (deliveries, completions, node faults). The
+///    mediator runs ahead within one market-tick window — legal exactly
+///    when the mechanism never reads live node state — while shard lanes
+///    drain their queues in parallel at each tick barrier (a conservative
+///    time window: the tick's own (time, stamp) key). Shard-side effects
+///    (metrics, trace records, loss resubmissions) are buffered per lane
+///    and k-way merged in canonical key order at the barrier, so metrics
+///    float-accumulation order and trace bytes match the inline mode
+///    exactly. Canonical stamps (sim/shard.h) make the global order a
+///    pure function of the scenario, independent of shard count, thread
+///    count and node placement.
+///
+/// Threading: concurrency exists only inside the fork-join fences the
+/// federation itself issues on config.runner; between fences the run is
+/// single-threaded, and concurrent runs on *distinct* Federation
+/// instances (sharing only the const cost model) remain safe, which is
+/// what exec::ExperimentRunner exploits.
 class Federation : public allocation::AllocationContext {
  public:
   /// Both pointers must outlive the federation.
@@ -180,54 +221,143 @@ class Federation : public allocation::AllocationContext {
   SimMetrics Run(const workload::Trace& trace);
 
   // ---- AllocationContext ----
-  int num_nodes() const override {
-    return static_cast<int>(nodes_.size());
-  }
+  int num_nodes() const override { return num_nodes_; }
   const query::CostModel& cost_model() const override { return *cost_model_; }
   util::VDuration NodeBacklog(catalog::NodeId node) const override {
-    return nodes_[static_cast<size_t>(node)].Backlog(events_.now());
+    // Only mechanisms with reads_node_state consult this; those run on
+    // the inline path, where node state is current at every allocation.
+    return pool_.Backlog(node, events_.now());
   }
   double NodeQueuedWork(catalog::NodeId node) const override {
-    return nodes_[static_cast<size_t>(node)].QueuedWork();
+    return pool_.QueuedWork(node);
   }
   double NodeCumulativeWork(catalog::NodeId node) const override {
-    return nodes_[static_cast<size_t>(node)].CumulativeWork();
+    return pool_.CumulativeWork(node);
   }
   util::VTime now() const override { return events_.now(); }
   bool NodeOnline(catalog::NodeId node) const override;
 
-  const SimNode& node(catalog::NodeId id) const {
-    return nodes_[static_cast<size_t>(id)];
-  }
-
  private:
+  /// A shard-side effect, buffered during the window drain and applied by
+  /// the mediator at the barrier in canonical (time, stamp) order.
+  struct ShardOutcome {
+    enum class Kind : uint8_t {
+      kDeliverRecord,  // trace only
+      kComplete,       // completion metrics + record
+      kExpired,        // completion past deadline: drop accounting
+      kLost,           // in-flight loss: accounting + resubmission
+      kCrashRecord,    // trace only (losses arrive as kLost outcomes)
+      kDegradeRecord,  // trace only
+    };
+    Kind kind;
+    catalog::NodeId node = -1;
+    util::VTime time = 0;
+    uint64_t stamp = 0;
+    QueryTask task;       // kComplete / kExpired / kLost
+    double factor = 0.0;  // kDegradeRecord
+    util::VTime resubmit_time = 0;   // kLost
+    uint64_t resubmit_stamp = 0;     // kLost
+  };
+
+  /// One node shard's event lane: its own queue over its own nodes, plus
+  /// the window's buffered effects, drained only inside tick barriers.
+  struct ShardLane {
+    EventQueue<SimEvent> queue;
+    std::vector<ShardOutcome> outcomes;
+    uint64_t dispatched = 0;
+  };
+
+  /// A mediator-side trace emission buffered while the mediator runs
+  /// ahead of the shard lanes, flushed at the barrier merge.
+  struct MediatorTraceItem {
+    util::VTime time = 0;
+    uint64_t stamp = 0;
+    bool is_snapshot = false;
+    obs::EventRecord record;
+    /// Materialized eagerly at the tick (allocator state moves on before
+    /// the flush).
+    obs::AllocatorSnapshot snapshot;
+  };
+
+  // ---- event dispatch ----
   void Dispatch(const SimEvent& event);
+  void DispatchShard(ShardLane* lane, const SimEvent& event, util::VTime now,
+                     uint64_t stamp);
   void HandleQuery(SimEvent::Pending pending);
-  void DeliverTask(catalog::NodeId node_id, const QueryTask& task);
-  void StartTask(catalog::NodeId node_id);
-  void CompleteTask(catalog::NodeId node_id, const QueryTask& task);
+  void DeliverTask(ShardLane* lane, catalog::NodeId node_id,
+                   const QueryTask& task, util::VTime now, uint64_t stamp);
+  void StartTask(catalog::NodeId node_id, util::VTime now);
+  void CompleteTask(ShardLane* lane, catalog::NodeId node_id,
+                    const QueryTask& task, util::VTime now, uint64_t stamp);
   void MarketTick();
-  /// Acts on a fault-plan transition: a crash flushes the node (lost tasks
-  /// are accounted and resubmitted), a restart tells the allocator to
-  /// rebuild the node's learned state, degrade edges are traced.
-  void HandleFault(const faults::FaultInjector::Transition& transition);
-  /// Accounts `task` as lost in flight (crash flush or dropped shipment)
-  /// and schedules the client's resubmission at the next market tick.
-  void LoseTask(const QueryTask& task, catalog::NodeId node_id);
+  /// Mediator-side fault transition (restart: allocator re-learns).
+  void HandleRestart(const faults::FaultInjector::Transition& transition);
+  /// Shard-side fault transition (crash flush / degrade edges).
+  void HandleShardFault(ShardLane* lane,
+                        const faults::FaultInjector::Transition& transition,
+                        util::VTime now, uint64_t stamp);
+  /// Accounts `task` as lost to a *shard-side* event (crash flush,
+  /// delivery to a dead node) and arranges the client's resubmission.
+  void LoseTaskShard(ShardLane* lane, const QueryTask& task,
+                     catalog::NodeId node_id, util::VTime now,
+                     uint64_t stamp);
+  /// Accounts `task` as lost on the mediator side (shipment hop dropped by
+  /// a link fault) and schedules the resubmission.
+  void LoseTaskMediator(const QueryTask& task, catalog::NodeId node_id);
   /// Accounts one query as abandoned — retry budget exhausted, or
   /// `expired` (client deadline passed) — and emits the drop record.
+  /// Mediator-side only; the shard-side equivalent is a kExpired outcome.
   void DropQuery(query::QueryId id, query::QueryClassId class_id,
                  int attempts, bool expired);
+
+  // ---- sharded-mode machinery ----
+  /// Runs the mediator lane with a barrier before every market tick.
+  void RunSharded();
+  /// Drains every shard lane up to the fence key (in parallel on the
+  /// runner), then merges and applies the buffered window effects.
+  void FenceAndMerge(util::VTime fence_time, uint64_t fence_stamp);
+  /// Routes a shard effect: buffered into the lane in sharded mode,
+  /// applied on the spot in inline mode — one effect-application code path
+  /// in both modes, which is what makes byte-identity an invariant rather
+  /// than a coincidence.
+  void Emit(ShardLane* lane, ShardOutcome outcome);
+  void ApplyOutcome(const ShardOutcome& outcome);
+  /// Emits a mediator-side trace record: direct in inline mode, buffered
+  /// in canonical key order in sharded mode.
+  void EmitRecord(const obs::EventRecord& record);
+
+  // ---- stamps and routing ----
+  uint64_t NextMediatorStamp() {
+    return EventStamp::Mediator(mediator_seq_++);
+  }
+  /// Mediator-allocated node-lane stamp (sublane 0: deliveries, faults).
+  uint64_t NextNodeStampFromMediator(catalog::NodeId node) {
+    return EventStamp::Node(node, 0, mediator_seq_++);
+  }
+  /// Node-allocated node-lane stamp (sublane 1: completions, losses).
+  uint64_t NextNodeStamp(catalog::NodeId node) {
+    return EventStamp::Node(node, 1,
+                            node_seq_[static_cast<size_t>(node)]++);
+  }
+  /// Schedules a node-lane event: into the owning shard's lane queue in
+  /// sharded mode, into the single queue otherwise.
+  void ScheduleNodeEvent(util::VTime when, uint64_t stamp, SimEvent event);
+
   /// Streams the allocator's Snapshot() into the recorder (traced runs
   /// only; called once per global market period plus once at t=0).
   void EmitSnapshot();
   util::VTime NextMarketTick() const;
+  /// First market tick strictly after `t` (shard lanes compute their loss
+  /// resubmission times against their own event clock, not the
+  /// mediator's).
+  util::VTime NextMarketTickAfter(util::VTime t) const;
   util::VDuration TickInterval() const;
   /// Cached cost_model_->Cost(k, node): one flat-array load instead of a
   /// virtual call per placement on the hot path.
   util::VDuration CachedCost(query::QueryClassId k,
                              catalog::NodeId node) const {
-    return cost_cache_[static_cast<size_t>(k) * nodes_.size() +
+    return cost_cache_[static_cast<size_t>(k) *
+                           static_cast<size_t>(num_nodes_) +
                        static_cast<size_t>(node)];
   }
 
@@ -237,8 +367,25 @@ class Federation : public allocation::AllocationContext {
   /// Compiled fault schedule: config_.faults plus config_.outages (each
   /// outage becomes a single-node partition).
   faults::FaultInjector injector_;
+  int num_nodes_ = 0;
+  /// The mediator lane (and, in inline mode, the only queue).
   EventQueue<SimEvent> events_;
-  std::vector<SimNode> nodes_;
+  /// Struct-of-arrays node state (see NodePool).
+  NodePool pool_;
+  ShardPlan plan_;
+  std::vector<ShardLane> lanes_;
+  /// True while Run executes in sharded mode.
+  bool sharded_ = false;
+  /// Canonical stamp counters: the mediator's scheduling counter and each
+  /// node's own (sublane 1) counter. See sim/shard.h for why the two
+  /// spaces must be separate.
+  uint64_t mediator_seq_ = 0;
+  std::vector<uint64_t> node_seq_;
+  /// Key of the mediator event being dispatched (buffered records carry
+  /// it so the barrier merge can interleave them canonically).
+  util::VTime current_time_ = 0;
+  uint64_t current_stamp_ = 0;
+  std::vector<MediatorTraceItem> med_items_;
   SimMetrics metrics_;
   /// Per-allocation-attempt link mask: while the current arrival is being
   /// negotiated, link_down_[j] != 0 means this attempt's message hops to

@@ -99,6 +99,98 @@ class SimNode {
   int64_t epoch_ = 0;
 };
 
+/// Struct-of-arrays node state for the federation's hot path: the same
+/// executor semantics as SimNode, but every per-node field lives in a flat
+/// parallel array indexed by node id, and the FIFO task queues draw their
+/// storage from per-shard arena free lists instead of one std::deque per
+/// node. Federation::Dispatch touches two or three of these arrays per
+/// event; with 10k+ nodes that is a handful of contiguous cache lines
+/// instead of a pointer chase through 10k deque headers.
+///
+/// Sharding contract: a node's state (including its queue links) is only
+/// ever touched by the lane that owns its shard, and each arena belongs to
+/// exactly one shard — so concurrent lanes never share a free list. Arena
+/// slot indices are an allocation detail: they never influence event
+/// order or results.
+class NodePool {
+ public:
+  /// Sizes the pool for `num_nodes` nodes partitioned into `shards`
+  /// arenas by `shard_of` (node -> shard, values in [0, shards)).
+  void Init(int num_nodes, int shards,
+            const std::vector<int>& shard_of);
+
+  int num_nodes() const { return static_cast<int>(busy_until_.size()); }
+
+  /// Same contract as SimNode::Enqueue: returns true when the node was
+  /// idle with an empty queue (caller should begin the task now).
+  bool Enqueue(catalog::NodeId node, const QueryTask& task);
+
+  /// Same contract as SimNode::BeginNext.
+  QueryTask BeginNext(catalog::NodeId node, util::VTime now);
+
+  /// Same contract as SimNode::CompleteCurrent.
+  bool CompleteCurrent(catalog::NodeId node, util::VTime now);
+
+  /// Same contract as SimNode::Crash: wipes queue + running task into
+  /// `lost` (appended in run-queue order, running task first), corrects
+  /// the busy ledger, bumps the epoch.
+  void Crash(catalog::NodeId node, util::VTime now,
+             std::vector<QueryTask>* lost);
+
+  util::VDuration Backlog(catalog::NodeId node, util::VTime now) const;
+  double QueuedWork(catalog::NodeId node) const {
+    return queued_work_[static_cast<size_t>(node)];
+  }
+  double CumulativeWork(catalog::NodeId node) const {
+    return cumulative_work_[static_cast<size_t>(node)];
+  }
+  util::VDuration busy_time(catalog::NodeId node) const {
+    return busy_time_[static_cast<size_t>(node)];
+  }
+  int64_t completed(catalog::NodeId node) const {
+    return completed_[static_cast<size_t>(node)];
+  }
+  util::VTime last_idle_at(catalog::NodeId node) const {
+    return last_idle_[static_cast<size_t>(node)];
+  }
+  int64_t epoch(catalog::NodeId node) const {
+    return epoch_[static_cast<size_t>(node)];
+  }
+
+ private:
+  /// One arena slot: a queued task plus the intrusive FIFO link (index of
+  /// the next slot in the same node's queue, -1 at the tail). Free slots
+  /// reuse `next` as the free-list link.
+  struct Slot {
+    QueryTask task;
+    int32_t next = -1;
+  };
+  struct Arena {
+    std::vector<Slot> slots;
+    int32_t free_head = -1;
+  };
+
+  int32_t AcquireSlot(int shard);
+  void ReleaseSlot(int shard, int32_t index);
+
+  // ---- hot per-node state (parallel arrays indexed by node id) ----
+  std::vector<util::VTime> busy_until_;
+  std::vector<double> queued_work_;
+  std::vector<double> cumulative_work_;
+  std::vector<util::VDuration> busy_time_;
+  std::vector<int64_t> completed_;
+  std::vector<util::VTime> last_idle_;
+  std::vector<int64_t> epoch_;
+  std::vector<uint8_t> running_;
+  std::vector<QueryTask> current_;
+  // FIFO queue per node: arena slot indices into the owning shard's arena.
+  std::vector<int32_t> queue_head_;
+  std::vector<int32_t> queue_tail_;
+  std::vector<int32_t> queue_len_;
+  std::vector<int> shard_of_;
+  std::vector<Arena> arenas_;
+};
+
 }  // namespace qa::sim
 
 #endif  // QAMARKET_SIM_NODE_H_

@@ -320,5 +320,98 @@ TEST_F(RunnerTest, SampledTraceIsByteIdenticalAcrossRepeatRuns) {
   EXPECT_EQ(first_trace, second_trace);
 }
 
+// ------------------------------------------------------- Sharded core
+
+/// Runs one traced cell under the given shard/thread layout and returns
+/// (metrics, full trace bytes). shards == 1 is the inline reference; any
+/// other count routes through the sharded fork-join core with a pool of
+/// `threads` workers.
+std::pair<sim::SimMetrics, std::string> RunShardLayout(
+    const query::CostModel& model, const workload::Trace& trace,
+    const std::string& mechanism, uint64_t seed, int shards, int threads,
+    const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/shard_layout_" + tag +
+                     ".jsonl";
+  sim::SimMetrics metrics;
+  {
+    ThreadPool pool(threads);
+    PoolRunner runner(&pool);
+    util::StatusOr<std::unique_ptr<obs::Recorder>> recorder =
+        obs::Recorder::OpenFile(path);
+    EXPECT_TRUE(recorder.ok()) << recorder.status();
+    RunSpec spec;
+    spec.cost_model = &model;
+    spec.mechanism = mechanism;
+    spec.trace = &trace;
+    spec.period = 500 * kMillisecond;
+    spec.seed = seed;
+    spec.config.max_retries = 5000;
+    spec.config.recorder = recorder.value().get();
+    spec.config.shards = shards;
+    if (shards > 1) spec.config.runner = &runner;
+    metrics = RunSpecOnce(spec).metrics;
+    recorder.value()->Finish();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return {std::move(metrics), std::move(bytes).str()};
+}
+
+TEST_F(RunnerTest, ShardedRunIsByteIdenticalAtAnyShardAndThreadCount) {
+  // The tentpole contract: metrics AND trace bytes must be a pure function
+  // of the scenario, never of the shard count or the pool width. Compare
+  // the inline reference against shards {1, 4} x threads {1, 8}.
+  auto [reference_metrics, reference_trace] =
+      RunShardLayout(*model_, trace_, "QA-NT", kSeed, 1, 1, "ref");
+  int case_id = 0;
+  for (int shards : {1, 4}) {
+    for (int threads : {1, 8}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                   std::to_string(threads));
+      auto [metrics, trace_bytes] = RunShardLayout(
+          *model_, trace_, "QA-NT", kSeed, shards, threads,
+          "s" + std::to_string(shards) + "t" + std::to_string(threads));
+      ExpectIdenticalMetrics(reference_metrics, metrics,
+                             static_cast<size_t>(case_id++));
+      EXPECT_EQ(reference_trace, trace_bytes);
+    }
+  }
+  EXPECT_GT(reference_metrics.completed, 0);
+}
+
+TEST_F(RunnerTest, StateReadingMechanismFallsBackToInlineAndStaysExact) {
+  // Greedy reads live node state at allocation time, so the federation
+  // must refuse to shard it (reads_node_state routes it inline) — and the
+  // run with shards requested must still be byte-identical to shards=1.
+  auto [reference_metrics, reference_trace] =
+      RunShardLayout(*model_, trace_, "Greedy", kSeed, 1, 1, "greedy_ref");
+  auto [sharded_metrics, sharded_trace] =
+      RunShardLayout(*model_, trace_, "Greedy", kSeed, 4, 8, "greedy_s4");
+  ExpectIdenticalMetrics(reference_metrics, sharded_metrics, 0);
+  EXPECT_EQ(reference_trace, sharded_trace);
+  EXPECT_GT(reference_metrics.completed, 0);
+}
+
+TEST_F(RunnerTest, SingleShardedSpecBorrowsTheRunnersPool) {
+  // ExperimentRunner's nested-parallelism budget: a one-cell grid that
+  // asks for shards gets the runner's own pool as its intra-run runner,
+  // and the result still matches the serial inline reference.
+  RunSpec spec;
+  spec.cost_model = model_.get();
+  spec.mechanism = "QA-NT";
+  spec.trace = &trace_;
+  spec.period = 500 * kMillisecond;
+  spec.seed = kSeed;
+  spec.config.max_retries = 5000;
+  std::vector<RunResult> inline_result = ExperimentRunner(1).Run({spec});
+  spec.config.shards = 4;
+  std::vector<RunResult> sharded_result = ExperimentRunner(8).Run({spec});
+  ASSERT_EQ(inline_result.size(), 1u);
+  ASSERT_EQ(sharded_result.size(), 1u);
+  ExpectIdenticalMetrics(inline_result[0].metrics, sharded_result[0].metrics,
+                         0);
+}
+
 }  // namespace
 }  // namespace qa::exec

@@ -15,14 +15,17 @@
 
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "allocation/factory.h"
 #include "allocation/solicitation.h"
 #include "exec/experiment_runner.h"
+#include "exec/thread_pool.h"
 #include "obs/recorder.h"
 #include "obs/trace_reader.h"
+#include "sim/metrics_json.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
 #include "workload/sinusoid.h"
@@ -251,6 +254,76 @@ TEST(FederationPropertyTest, InvariantsHoldOnRandomScenarios) {
     util::StatusOr<obs::ParsedTrace> parsed = obs::ParsedTrace::Load(path);
     ASSERT_TRUE(parsed.ok()) << parsed.status();
     CheckInvariants(c, trace, metrics, parsed.value());
+  }
+}
+
+/// Replays one fuzz case end to end under the given shard/thread layout
+/// and returns (metrics-as-json, trace bytes). shards == 1 leaves
+/// config.runner unset and takes the inline path.
+std::pair<std::string, std::string> ReplayCase(const FuzzCase& c, int index,
+                                               int shards, int threads,
+                                               const std::string& tag) {
+  util::Rng rng(c.seed);
+  TwoClassConfig scenario;
+  scenario.num_nodes = c.num_nodes;
+  auto model = BuildTwoClassCostModel(scenario, rng);
+  util::Rng wl_rng(c.seed + 1);
+  workload::Trace trace =
+      workload::GenerateSinusoidWorkload(c.workload, wl_rng);
+
+  std::string path = ::testing::TempDir() + "/federation_shard_" +
+                     std::to_string(index) + "_" + tag + ".jsonl";
+  std::string metrics_json;
+  {
+    exec::ThreadPool pool(threads);
+    exec::PoolRunner runner(&pool);
+    util::StatusOr<std::unique_ptr<obs::Recorder>> recorder =
+        obs::Recorder::OpenFile(path);
+    EXPECT_TRUE(recorder.ok()) << recorder.status();
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.mechanism = c.mechanism;
+    spec.trace = &trace;
+    spec.period = c.config.period;
+    spec.seed = c.seed;
+    spec.config = c.config;
+    spec.config.recorder = recorder.value().get();
+    spec.config.shards = shards;
+    if (shards > 1) spec.config.runner = &runner;
+    metrics_json = MetricsToJson(exec::RunSpecOnce(spec).metrics).Dump();
+    recorder.value()->Finish();
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return {std::move(metrics_json), std::move(bytes).str()};
+}
+
+// The sharded-core contract over the whole fuzz corpus: every scenario —
+// every mechanism, fault plan, deadline, and solicitation policy the
+// corpus generates — must come back byte-identical (metrics AND trace
+// bytes) when the run is split over 4 shards on an 8-thread pool, and
+// again on a 1-thread pool (same partition, different interleaving of the
+// drains). This is the strongest statement the repo can make that the
+// conservative-window merge reproduces the inline event order exactly.
+TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
+  constexpr int kCases = 30;
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("fuzz case " + std::to_string(i));
+    FuzzCase c = MakeCase(i);
+    SCOPED_TRACE("mechanism " + c.mechanism + " nodes " +
+                 std::to_string(c.num_nodes) + " faults " +
+                 std::to_string(c.config.faults.crashes.size() +
+                                c.config.faults.partitions.size() +
+                                c.config.faults.degrades.size()));
+    auto [inline_metrics, inline_trace] = ReplayCase(c, i, 1, 1, "inline");
+    for (int threads : {1, 8}) {
+      SCOPED_TRACE("shards 4 threads " + std::to_string(threads));
+      auto [sharded_metrics, sharded_trace] =
+          ReplayCase(c, i, 4, threads, "s4t" + std::to_string(threads));
+      EXPECT_EQ(inline_metrics, sharded_metrics);
+      EXPECT_EQ(inline_trace, sharded_trace);
+    }
   }
 }
 

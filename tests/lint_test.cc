@@ -130,7 +130,8 @@ TEST(QaDet003Test, FlagsRangeForOverUnorderedMap) {
   std::vector<Finding> findings =
       Lint("src/sim/fixture.cc",
            "#include <unordered_map>\n"
-           "std::unordered_map<int, double> loads_;\n"
+           "std::unordered_map<int, double> loads_;"
+           "  // qa-lint: allow(QA-SHD-001)\n"
            "double Sum() {\n"
            "  double total = 0;\n"
            "  for (const auto& [node, load] : loads_) total += load;\n"
@@ -151,7 +152,8 @@ TEST(QaDet003Test, FlagsIteratorWalk) {
 TEST(QaDet003Test, LookupOnlyAndOtherDirsAreFine) {
   // Point lookups don't depend on iteration order.
   EXPECT_TRUE(Lint("src/sim/fixture.cc",
-                   "std::unordered_map<int, double> loads_;\n"
+                   "std::unordered_map<int, double> loads_;"
+                   "  // qa-lint: allow(QA-SHD-001)\n"
                    "double At(int k) { return loads_.at(k); }\n")
                   .empty());
   // dbms is not a sim path; its unordered iteration is not this rule's
@@ -320,7 +322,8 @@ TEST(QaHot001Test, FlagsStdFunctionInQueueConsumer) {
       Lint("src/sim/fixture.cc",
            "#include \"sim/event_queue.h\"\n"
            "#include <functional>\n"
-           "std::function<void()> on_fire_;\n");
+           "std::function<void()> on_fire_;"
+           "  // qa-lint: allow(QA-SHD-001)\n");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "QA-HOT-001");
   EXPECT_EQ(findings[0].line, 3);
@@ -330,6 +333,84 @@ TEST(QaHot001Test, NonConsumersMayUseStdFunction) {
   EXPECT_TRUE(Lint("src/exec/fixture.cc",
                    "#include <functional>\n"
                    "std::function<void()> task_;\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// QA-SHD-001
+// ---------------------------------------------------------------------------
+
+TEST(QaShd001Test, FlagsMutableNamespaceScopeStateWithPosition) {
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc",
+           "namespace qa::sim {\n"
+           "int64_t g_dispatched = 0;\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-SHD-001");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("g_dispatched"), std::string::npos);
+}
+
+TEST(QaShd001Test, FlagsMutableStaticsAtAnyScope) {
+  // Function-local static: hidden cross-run state even without threads.
+  EXPECT_TRUE(Has(Lint("src/allocation/fixture.cc",
+                       "int NextId() {\n"
+                       "  static int counter = 0;\n"
+                       "  return ++counter;\n"
+                       "}\n"),
+                  "QA-SHD-001"));
+  // Class static data member.
+  EXPECT_TRUE(Has(Lint("src/sim/fixture.h",
+                       "class Pool {\n"
+                       "  static int live_;\n"
+                       "};\n"),
+                  "QA-SHD-001"));
+  // thread_local is still per-layout state: shard results would depend on
+  // which worker drained which lane.
+  EXPECT_TRUE(Has(Lint("src/sim/fixture.cc",
+                       "void F() { thread_local int scratch = 0; ++scratch; }\n"),
+                  "QA-SHD-001"));
+}
+
+TEST(QaShd001Test, ImmutableAndFunctionDeclarationsAreFine) {
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "namespace {\n"
+                   "constexpr int kShards = 4;\n"
+                   "const char* const kNames[] = {\"a\", \"b\"};\n"
+                   "static constexpr double kStep = 0.5;\n"
+                   "int Helper(int x);\n"
+                   "static int Twice(int x) { int local = x; return local + x; }\n"
+                   "}\n")
+                  .empty());
+  // static_cast is one token, not the `static` keyword.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "double D(int x) { return static_cast<double>(x); }\n")
+                  .empty());
+}
+
+TEST(QaShd001Test, OtherDirsAndLocalsAreNotThisRulesBusiness) {
+  // Mutable globals outside src/sim and src/allocation are out of scope.
+  EXPECT_TRUE(Lint("src/obs/fixture.cc", "int g_records = 0;\n").empty());
+  EXPECT_TRUE(Lint("src/market/fixture.cc", "int g_iters = 0;\n").empty());
+  // Plain locals and members are per-instance state, not shared.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "void F() { int local = 0; ++local; }\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/sim/fixture.h",
+                   "class Lane {\n"
+                   "  int dispatched_ = 0;\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(QaShd001Test, AllowDirectiveSuppresses) {
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "namespace qa::sim {\n"
+                   "// Intentional: registry poked only before Run().\n"
+                   "// qa-lint: allow(QA-SHD-001)\n"
+                   "int g_registry_epoch = 0;\n"
+                   "}\n")
                   .empty());
 }
 
@@ -376,8 +457,9 @@ TEST(LintSelfCheckTest, RealTreeHasZeroFindings) {
 /// catalog grows without coverage).
 TEST(LintSelfCheckTest, CatalogMatchesCoveredRules) {
   std::vector<std::string> covered = {
-      "QA-DET-001", "QA-DET-002", "QA-DET-003", "QA-NUM-001",
-      "QA-NUM-002", "QA-OBS-001", "QA-OBS-002", "QA-HOT-001"};
+      "QA-DET-001", "QA-DET-002", "QA-DET-003",
+      "QA-NUM-001", "QA-NUM-002", "QA-OBS-001",
+      "QA-OBS-002", "QA-HOT-001", "QA-SHD-001"};
   ASSERT_EQ(AllRules().size(), covered.size());
   for (const Rule& rule : AllRules()) {
     EXPECT_NE(std::find(covered.begin(), covered.end(), rule.id),

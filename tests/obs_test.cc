@@ -10,6 +10,7 @@
 
 #include "allocation/solicitation.h"
 #include "exec/experiment_runner.h"
+#include "exec/thread_pool.h"
 #include "market/tatonnement.h"
 #include "sim/scenario.h"
 #include "workload/sinusoid.h"
@@ -579,7 +580,9 @@ TEST(LoggingTest, VTimeClockScopesNest) {
 /// Runs the checked-in golden scenario and returns the trace bytes: a tiny
 /// three-node federation under QA-NT with stratified-sample(2), exercising
 /// the sampled solicitation path, price/agent snapshots, and completions.
-std::string GenerateGoldenTrace() {
+/// `shards` > 1 routes the run through the sharded fork-join core (with a
+/// two-worker pool), which must not change a single byte.
+std::string GenerateGoldenTrace(int shards = 1) {
   util::Rng rng(7);
   sim::TwoClassConfig scenario;
   scenario.num_nodes = 3;
@@ -595,6 +598,8 @@ std::string GenerateGoldenTrace() {
 
   std::ostringstream sink;
   {
+    exec::ThreadPool pool(2);
+    exec::PoolRunner runner(&pool);
     Recorder recorder(&sink);
     exec::RunSpec spec;
     spec.cost_model = model.get();
@@ -606,6 +611,8 @@ std::string GenerateGoldenTrace() {
         allocation::SolicitationPolicy::kStratifiedSample;
     spec.config.solicitation.fanout = 2;
     spec.config.recorder = &recorder;
+    spec.config.shards = shards;
+    if (shards > 1) spec.config.runner = &runner;
     exec::RunSpecOnce(spec);
     recorder.Finish();
   }
@@ -647,6 +654,24 @@ TEST(GoldenTraceTest, GoldenScenarioReproducesCheckedInBytes) {
   EXPECT_EQ(parsed->meta.fanout, 2);
   EXPECT_GT(parsed->events.size(), 0u);
   EXPECT_GT(parsed->prices.size(), 0u);
+}
+
+// Sharding is an execution layout, not an observable: the golden scenario
+// split over 4 shards must reproduce the checked-in bytes verbatim. This
+// pins the cross-shard merge to the same regression lock as the schema —
+// an ordering bug in the barrier merge fails here against a committed
+// artifact, not merely against a same-binary inline rerun.
+TEST(GoldenTraceTest, GoldenScenarioIsByteIdenticalUnderSharding) {
+  const std::string golden_path =
+      std::string(QA_TEST_SOURCE_DIR) + "/tests/golden/trace_tiny.jsonl";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << golden_path << " missing; regenerate with QA_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(GenerateGoldenTrace(/*shards=*/4), golden.str())
+      << "sharded run diverged from the golden trace: the conservative "
+         "window merge no longer reproduces the inline event order";
 }
 
 }  // namespace

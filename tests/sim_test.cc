@@ -90,6 +90,54 @@ TEST(EventQueueTest, SchedulingIntoThePastAssertsAndClamps) {
 #endif
 }
 
+TEST(EventQueueTest, DescribeEventNamesKindAndTarget) {
+  QueryTask task;
+  task.query_id = 77;
+  EXPECT_EQ(DescribeEvent(SimEvent::MakeDeliver(5, task)),
+            "deliver node=5 query=77");
+  EXPECT_EQ(DescribeEvent(SimEvent::MakeComplete(3, task)),
+            "complete node=3 query=77");
+  EXPECT_EQ(DescribeEvent(SimEvent::MakeMarketTick()), "market-tick");
+  // Payload types without an overload get the honest fallback, never a
+  // compile error — the diagnostic must not constrain what a queue holds.
+  EXPECT_EQ(DescribeEvent(42), "(event type has no DescribeEvent overload)");
+}
+
+TEST(EventQueueTest, PastTimestampDiagnosticNamesTheOffendingEvent) {
+  // The report must identify *which* event time-traveled (kind, node,
+  // query) in every build — under NDEBUG the assert compiles away and a
+  // bare clamp would hide exactly the shard-merge ordering bugs this
+  // diagnostic exists to catch.
+  EventQueue<SimEvent> q;
+  q.Schedule(10, 1, SimEvent::MakeMarketTick());
+  q.RunAll([](const SimEvent&) {});
+  ASSERT_EQ(q.now(), 10);
+  QueryTask task;
+  task.query_id = 77;
+  SimEvent late = SimEvent::MakeDeliver(5, task);
+#ifdef NDEBUG
+  ::testing::internal::CaptureStderr();
+  q.Schedule(4, 2, late);
+  std::string report = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(report.find("scheduling into the past"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("when=4us < now=10us"), std::string::npos) << report;
+  EXPECT_NE(report.find("deliver node=5 query=77"), std::string::npos)
+      << report;
+  // ... and the event still fires, clamped to now().
+  int fired = 0;
+  q.RunAll([&](const SimEvent& event) {
+    ++fired;
+    EXPECT_EQ(event.kind, SimEvent::Kind::kDeliver);
+    EXPECT_EQ(q.now(), 10);
+  });
+  EXPECT_EQ(fired, 1);
+#else
+  // Debug builds die on the assert, with the description in the report.
+  EXPECT_DEATH(q.Schedule(4, 2, late), "deliver node=5 query=77");
+#endif
+}
+
 // --------------------------------------------------------------- SimNode
 
 TEST(SimNodeTest, SerialExecutionAccounting) {

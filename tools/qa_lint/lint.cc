@@ -43,6 +43,11 @@ const Rule kRules[] = {
     {"QA-HOT-001", "std::function in an event-queue consumer",
      "type-erased callbacks heap-allocate per event; the PR 1 hot-path "
      "rewrite exists precisely to keep EventQueue users allocation-free"},
+    {"QA-SHD-001", "mutable namespace-scope / static state in sharded code",
+     "src/sim and src/allocation run on the sharded core's worker threads; "
+     "a mutable global or static is shared across shards — a data race "
+     "under threads and hidden cross-run state under any layout. Thread "
+     "state through Federation/Allocator members instead"},
 };
 
 // ---------------------------------------------------------------------------
@@ -402,6 +407,7 @@ class Linter {
     RuleSchemaDoc();
     RuleUngatedProbe();
     RuleStdFunctionInQueueConsumer();
+    RuleMutableSharedState();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.line, a.column, a.rule) <
@@ -736,6 +742,106 @@ class Linter {
         Report(toks()[i + 2], "QA-HOT-001",
                "std::function in an event-queue consumer (heap-allocating "
                "callback on the hot path)");
+      }
+    }
+  }
+
+  // QA-SHD-001 — mutable namespace-scope or static state in the paths the
+  // sharded simulator core runs on worker threads. Lexical heuristics, one
+  // statement at a time:
+  //  - a `static` / `thread_local` declaration anywhere (function-local and
+  //    class statics included) that is not const/constexpr/constinit and
+  //    not a function (a '(' before the initializer marks a declarator);
+  //  - any declaration at pure namespace scope (every enclosing brace is a
+  //    namespace) under the same mutability test.
+  // `static_cast` & co. are single identifier tokens, so they never match
+  // the `static` keyword. Suppress genuinely-safe sites inline with
+  // `// qa-lint: allow(QA-SHD-001)`.
+  void RuleMutableSharedState() {
+    if (!PathInDir(path_, "src/sim") && !PathInDir(path_, "src/allocation")) {
+      return;
+    }
+    enum class Scope { kNamespace, kClass, kBlock };
+    std::vector<Scope> scopes;  // empty == file scope, itself namespace-like
+    auto all_namespace = [&scopes] {
+      for (Scope s : scopes) {
+        if (s != Scope::kNamespace) return false;
+      }
+      return true;
+    };
+    static const std::set<std::string> kImmutable = {"const", "constexpr",
+                                                     "constinit"};
+    static const std::set<std::string> kNotADeclaration = {
+        "using", "typedef", "template", "friend", "operator",
+        "extern", "namespace", "static_assert", "return", "goto"};
+    static const std::set<std::string> kClassKeys = {"class", "struct",
+                                                     "union", "enum"};
+
+    size_t head = 0;  // first token of the current statement
+    for (size_t i = 0; i < toks().size(); ++i) {
+      const std::string& text = toks()[i].text;
+      if (text != ";" && text != "{" && text != "}") continue;
+
+      if (text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        head = i + 1;
+        continue;
+      }
+
+      // Examine the statement head..i-1, up to its `=` initializer if any
+      // (a '(' inside an initializer expression must not read as a
+      // function declarator).
+      const bool at_namespace_scope = all_namespace();
+      size_t limit = i;
+      for (size_t j = head; j < i; ++j) {
+        if (toks()[j].text == "=") {
+          limit = j;
+          break;
+        }
+      }
+      bool is_function = false, has_static = false, is_immutable = false;
+      bool skip = false;
+      Scope brace_kind = Scope::kBlock;
+      const Token* name = nullptr;
+      size_t ident_count = 0;
+      for (size_t j = head; j < limit; ++j) {
+        const Token& t = toks()[j];
+        if (t.text == "(") {
+          is_function = true;  // declarator or control flow, not a variable
+          break;
+        }
+        if (t.kind != TokKind::kIdent) continue;
+        if (t.text == "namespace") brace_kind = Scope::kNamespace;
+        if (kClassKeys.count(t.text) > 0) brace_kind = Scope::kClass;
+        if (t.text == "static" || t.text == "thread_local") has_static = true;
+        if (kImmutable.count(t.text) > 0) is_immutable = true;
+        if (kNotADeclaration.count(t.text) > 0 ||
+            brace_kind != Scope::kBlock) {
+          skip = true;
+          break;
+        }
+        ++ident_count;
+        name = &t;
+      }
+
+      if (text == "{") {
+        scopes.push_back(is_function ? Scope::kBlock : brace_kind);
+      }
+      head = i + 1;
+
+      if (skip || is_function || is_immutable || name == nullptr) continue;
+      if (has_static) {
+        // Function-local and class statics included: any mutable static
+        // is cross-shard shared state.
+        Report(*name, "QA-SHD-001",
+               Cat({"mutable static state '", name->text,
+                    "' — shared across shards/threads"}));
+      } else if (at_namespace_scope && ident_count >= 2) {
+        // A declaration needs a type before the name; a lone identifier is
+        // an expression statement or macro invocation, not a variable.
+        Report(*name, "QA-SHD-001",
+               Cat({"mutable namespace-scope state '", name->text,
+                    "' — shared across shards/threads"}));
       }
     }
   }
