@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include "allocation/factory.h"
 #include "exec/experiment_runner.h"
+#include "obs/metrics/collector.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "sim/federation.h"
@@ -32,6 +34,11 @@ namespace qa::bench {
 ///   --trace=FILE   stream a JSONL telemetry trace of the binary's traced
 ///                  run into FILE (analyze with tools/qa_trace)
 ///   --report=FILE  write a structured JSON run report (SimMetrics per run)
+///   --metrics=FILE stream a JSONL metrics timeseries (per-period samples,
+///                  watchdog alarms, phase wall-time stats) into FILE
+///                  (analyze with tools/qa_perf)
+///   --prom=FILE    write a Prometheus-style text exposition snapshot of
+///                  the final metric values into FILE
 struct BenchArgs {
   bool quick = false;
   int threads = 0;  // 0 => hardware_concurrency
@@ -39,6 +46,8 @@ struct BenchArgs {
   uint64_t seed = 42;
   std::string trace_path;
   std::string report_path;
+  std::string metrics_path;
+  std::string prom_path;
 
   static BenchArgs Parse(int argc, char** argv, uint64_t default_seed = 42) {
     BenchArgs args;
@@ -57,10 +66,15 @@ struct BenchArgs {
         args.trace_path = arg.substr(8);
       } else if (arg.rfind("--report=", 0) == 0) {
         args.report_path = arg.substr(9);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        args.metrics_path = arg.substr(10);
+      } else if (arg.rfind("--prom=", 0) == 0) {
+        args.prom_path = arg.substr(7);
       } else {
         std::cerr << "warning: ignoring unknown flag '" << arg
                   << "' (known: --quick --threads=N --shards=N --seed=S "
-                     "--trace=FILE --report=FILE)\n";
+                     "--trace=FILE --report=FILE --metrics=FILE "
+                     "--prom=FILE)\n";
       }
     }
     return args;
@@ -91,6 +105,21 @@ class Telemetry {
                   << "; tracing disabled\n";
       }
     }
+    if (!args.metrics_path.empty()) {
+      util::StatusOr<std::unique_ptr<obs::metrics::Collector>> opened =
+          obs::metrics::Collector::OpenFile(args.metrics_path);
+      if (opened.ok()) {
+        collector_ = std::move(opened).value();
+      } else {
+        std::cerr << "warning: --metrics: " << opened.status()
+                  << "; metrics disabled\n";
+      }
+    } else if (!args.prom_path.empty()) {
+      // --prom without --metrics still needs a collector; collect-only
+      // (no JSONL sink).
+      collector_ = std::make_unique<obs::metrics::Collector>();
+    }
+    prom_path_ = args.prom_path;
   }
 
   Telemetry(const Telemetry&) = delete;
@@ -98,6 +127,20 @@ class Telemetry {
 
   ~Telemetry() {
     if (recorder_ != nullptr) recorder_->Finish();
+    if (collector_ != nullptr) {
+      collector_->Finish();
+      if (!prom_path_.empty()) {
+        std::ofstream prom(prom_path_);
+        if (prom.is_open()) {
+          prom << collector_->ExpositionText();
+        } else {
+          std::cerr << "warning: --prom: cannot open " << prom_path_ << "\n";
+        }
+      }
+      // Embed the phase/lane wall-time summary in the run report.
+      has_fields_ = true;
+      report_.SetField("perf", collector_->PerfJson());
+    }
     // Write when the bench reported anything at all — labeled runs OR
     // top-level fields. Benches that key per-cell rows by field name
     // (bench_scale_nodes, bench_shard_scale) never call Add, and gating on
@@ -118,6 +161,15 @@ class Telemetry {
   /// run) so parallel grid execution stays race-free.
   void Trace(exec::RunSpec& spec) { spec.config.recorder = recorder_.get(); }
 
+  /// Null when neither --metrics nor --prom was given.
+  obs::metrics::Collector* collector() { return collector_.get(); }
+
+  /// Attaches the metrics collector to `spec`. Same single-writer contract
+  /// as Trace: one spec per binary.
+  void Metrics(exec::RunSpec& spec) {
+    spec.config.metrics = collector_.get();
+  }
+
   /// Adds one labeled SimMetrics row to the run report.
   void Report(const std::string& label, const sim::SimMetrics& metrics) {
     report_.Add(label, sim::MetricsToJson(metrics));
@@ -132,9 +184,11 @@ class Telemetry {
 
  private:
   std::string report_path_;
+  std::string prom_path_;
   obs::RunReport report_;
   bool has_fields_ = false;
   std::unique_ptr<obs::Recorder> recorder_;
+  std::unique_ptr<obs::metrics::Collector> collector_;
 };
 
 /// Builds the standard grid cell shared by the figure benches.

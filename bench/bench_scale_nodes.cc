@@ -14,16 +14,15 @@
 // 100 to 10,000 nodes) while d=16 stays near-flat (<= 1.2x), with
 // completed queries within 10% of broadcast.
 
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "util/monotonic_clock.h"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 
 struct Policy {
   std::string label;
@@ -101,10 +100,10 @@ int main(int argc, char** argv) {
     // wall-clock rate, so cells must not share the CPU.
     auto run_cell = [&](const std::string& label,
                         const exec::RunSpec& spec) {
-      Clock::time_point start = Clock::now();
+      int64_t start = util::MonotonicClock::NowNanos();
       sim::SimMetrics m = exec::RunSpecOnce(spec).metrics;
       double wall_s =
-          std::chrono::duration<double>(Clock::now() - start).count();
+          util::MonotonicClock::SecondsSince(start);
       double queries = static_cast<double>(trace.size());
       double msgs_per_query =
           queries > 0 ? static_cast<double>(m.messages) / queries : 0.0;

@@ -10,32 +10,49 @@
 // completed/messages/events_dispatched across shard counts exits nonzero,
 // which is the fixed-seed CI smoke (`--quick --shards=4`).
 //
-// Rows land in BENCH_shard.json: events_per_sec, msgs_per_query and
-// speedup_vs_1shard per shard count. On a single-core runner the speedup
-// column hovers around 1.0 (the fork-join drains serialize); the
-// interesting gate there is that shards=1 stays within noise of the
-// unsharded BENCH_scale.json baseline, i.e. the sharded core's bookkeeping
-// is free when unused.
+// Rows land in BENCH_shard.json: events_per_sec, msgs_per_query,
+// speedup_vs_1shard, and measured per-phase wall time (lane drain, merge,
+// mediator dispatch, market tick, allocate) plus the lane-imbalance factor
+// per shard count — so the scaling curve is phase-attributed, not just a
+// single throughput number. On a single-core runner the speedup column
+// hovers around 1.0 (the fork-join drains serialize); the interesting
+// gates there are that shards=1 stays within noise of the unsharded
+// BENCH_scale.json baseline (the sharded core's bookkeeping is free when
+// unused) and that drain/merge overhead stays a small share of the wall
+// time.
 
-#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "util/monotonic_clock.h"
 #include "exec/thread_pool.h"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
 
 struct Cell {
   int shards = 1;
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   qa::sim::SimMetrics metrics;
+  /// Per-phase wall time (ms) from the run's metrics collector.
+  double drain_ms = 0.0;
+  double merge_ms = 0.0;
+  double dispatch_ms = 0.0;
+  double tick_ms = 0.0;
+  double allocate_ms = 0.0;
+  /// max/mean of per-lane drain time: 1.0 = perfectly balanced shards.
+  double lane_imbalance = 0.0;
 };
+
+/// Total milliseconds spent in one phase histogram.
+double PhaseMs(const qa::obs::metrics::Collector& collector, int metric) {
+  return static_cast<double>(collector.registry().histogram(metric).sum) *
+         1e-6;
+}
 
 }  // namespace
 
@@ -95,7 +112,9 @@ int main(int argc, char** argv) {
   telemetry.ReportField("nodes", static_cast<int64_t>(num_nodes));
   telemetry.ReportField("threads", static_cast<int64_t>(threads));
   util::TableWriter table({"Shards", "Wall (s)", "Events/sec", "Msgs/query",
-                           "Completed", "Mean (ms)", "Speedup vs 1"});
+                           "Completed", "Mean (ms)", "Speedup vs 1",
+                           "Drain (ms)", "Merge (ms)", "Disp (ms)",
+                           "Imbal"});
 
   std::vector<Cell> cells;
   for (int shards : shard_counts) {
@@ -106,12 +125,26 @@ int main(int argc, char** argv) {
     spec.config.solicitation = solicitation;
     spec.config.shards = shards;
     if (shards > 1 || threads > 1) spec.config.runner = &runner;
-    Clock::time_point start = Clock::now();
+    // A collect-only collector per cell: phase wall-time attribution with
+    // no sink I/O in the timed region. Attached to every cell — including
+    // the 1-shard reference — so the determinism cross-check below also
+    // certifies that profiling never perturbs results.
+    obs::metrics::Collector collector;
+    spec.config.metrics = &collector;
+    int64_t start = util::MonotonicClock::NowNanos();
     Cell cell;
     cell.shards = shards;
     cell.metrics = exec::RunSpecOnce(spec).metrics;
     cell.wall_s =
-        std::chrono::duration<double>(Clock::now() - start).count();
+        util::MonotonicClock::SecondsSince(start);
+    cell.drain_ms = PhaseMs(collector, obs::metrics::kPhaseLaneDrain);
+    cell.merge_ms = PhaseMs(collector, obs::metrics::kPhaseMerge);
+    cell.dispatch_ms =
+        PhaseMs(collector, obs::metrics::kPhaseMediatorDispatch);
+    cell.tick_ms = PhaseMs(collector, obs::metrics::kPhaseMarketTick);
+    cell.allocate_ms = PhaseMs(collector, obs::metrics::kPhaseAllocate);
+    cell.lane_imbalance =
+        collector.PerfJson().GetDouble("lane_imbalance", 0.0);
     cell.events_per_sec =
         cell.wall_s > 0
             ? static_cast<double>(cell.metrics.events_dispatched) /
@@ -150,7 +183,8 @@ int main(int argc, char** argv) {
     double speedup = base_eps > 0 ? cell.events_per_sec / base_eps : 0.0;
     table.AddRow(cell.shards, cell.wall_s, cell.events_per_sec,
                  msgs_per_query, cell.metrics.completed,
-                 cell.metrics.MeanResponseMs(), speedup);
+                 cell.metrics.MeanResponseMs(), speedup, cell.drain_ms,
+                 cell.merge_ms, cell.dispatch_ms, cell.lane_imbalance);
     obs::Json row = sim::MetricsToJson(cell.metrics);
     row.Set("shards", static_cast<int64_t>(cell.shards));
     row.Set("threads", static_cast<int64_t>(threads));
@@ -158,6 +192,12 @@ int main(int argc, char** argv) {
     row.Set("events_per_sec", cell.events_per_sec);
     row.Set("msgs_per_query", msgs_per_query);
     row.Set("speedup_vs_1shard", speedup);
+    row.Set("phase_lane_drain_ms", cell.drain_ms);
+    row.Set("phase_merge_ms", cell.merge_ms);
+    row.Set("phase_mediator_dispatch_ms", cell.dispatch_ms);
+    row.Set("phase_market_tick_ms", cell.tick_ms);
+    row.Set("phase_allocate_ms", cell.allocate_ms);
+    row.Set("lane_imbalance", cell.lane_imbalance);
     telemetry.ReportField("S" + std::to_string(cell.shards),
                           std::move(row));
   }

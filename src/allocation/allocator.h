@@ -5,11 +5,16 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "obs/metrics/market_probe.h"
 #include "obs/snapshot.h"
 #include "query/cost_model.h"
 #include "util/task_runner.h"
 #include "util/vtime.h"
 #include "workload/trace.h"
+
+namespace qa::obs::metrics {
+class Collector;
+}  // namespace qa::obs::metrics
 
 namespace qa::allocation {
 
@@ -118,6 +123,26 @@ class Allocator {
   /// outlive the allocator or be reset first.
   virtual void SetTaskRunner(const util::TaskRunner* runner) {
     (void)runner;
+  }
+
+  /// Offers the mechanism a metrics collector for wall-clock phase
+  /// profiling of its internal stages (QA-NT times its period rollover and
+  /// bid scan). Same side-channel contract as the collector itself:
+  /// readings must never influence the decision stream. nullptr (the
+  /// default state) disables the probes; the collector must outlive the
+  /// allocator or be reset first.
+  virtual void SetMetricsCollector(obs::metrics::Collector* collector) {
+    (void)collector;
+  }
+
+  /// Fast-path cousin of Snapshot() for the per-period health watchdogs:
+  /// refills `probe` in place with per-agent prices and earnings (see
+  /// obs::metrics::MarketProbe for the layout and the why). Mechanisms
+  /// without market state leave the probe cleared — the watchdogs then
+  /// skip their price-based detectors. Called every global period, so
+  /// implementations must not allocate in steady state.
+  virtual void FillMarketProbe(obs::metrics::MarketProbe* probe) const {
+    probe->Clear();
   }
 
   /// Introspection for the telemetry layer: what this mechanism can show

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics/collector.h"
+
 namespace qa::allocation {
 
 QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
@@ -99,6 +101,15 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
 
   offers_.clear();
   int asked = 0;
+  [[maybe_unused]] int64_t scan_start = 0;
+  QA_METRICS(metrics_) {
+    // Chain from the federation's allocate-start reading (the
+    // solicitation sampling above then counts as part of the scan — it
+    // is the fan-out decision of the same stage). An absent mark means
+    // this allocation fell outside the deterministic probe sample (see
+    // kAllocProbeStride) and the scan goes untimed.
+    scan_start = metrics_->TakePhaseMark();
+  }
   if (runner_ != nullptr && runner_->concurrency() > 1 &&
       solicited_.size() >= kParallelScanThreshold) {
     // Chunked parallel bid scan. SolicitNodes fills solicited_ in
@@ -142,6 +153,13 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
       if (!context.NodeOnline(j)) continue;
       ++asked;
       if (EnsureAgent(j).OnRequest(k)) offers_.push_back(j);
+    }
+  }
+  QA_METRICS(metrics_) {
+    if (scan_start != 0) {
+      metrics_->RecordPhase(obs::metrics::Phase::kBidScan,
+                            util::MonotonicClock::NowNanos() - scan_start,
+                            obs::metrics::kAllocProbeStride);
     }
   }
   // Request + offer/decline reply per asked node, plus the final accept.
@@ -221,7 +239,24 @@ obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
   return snapshot;
 }
 
+void QaNtAllocator::FillMarketProbe(obs::metrics::MarketProbe* probe) const {
+  probe->Clear();
+  probe->num_classes = cost_model_->num_classes();
+  for (const auto& agent : agents_) {
+    if (agent == nullptr) continue;  // never contacted: no market state yet
+    const auto& prices = agent->prices().values();
+    probe->prices.insert(probe->prices.end(), prices.begin(), prices.end());
+    probe->earnings.push_back(agent->earnings());
+  }
+}
+
 void QaNtAllocator::OnPeriodStart(util::VTime now) {
+  // Chain from the federation's tick-start reading; an absent mark means
+  // this tick fell outside the deterministic probe sample (see
+  // kTickProbeStride) and the rollover goes untimed. OnPeriodEnd is a
+  // no-op, so the chained start matches the rollover's real start.
+  [[maybe_unused]] int64_t roll_start = 0;
+  QA_METRICS(metrics_) { roll_start = metrics_->TakePhaseMark(); }
   // Record the tick *before* rolling: EnsureAgent replays rollovers for
   // lazily built agents up to exactly this time.
   last_rollover_now_ = now;
@@ -251,6 +286,13 @@ void QaNtAllocator::OnPeriodStart(util::VTime now) {
     });
   } else {
     roll_range(0, agents_.size());
+  }
+  QA_METRICS(metrics_) {
+    if (roll_start != 0) {
+      metrics_->RecordPhase(obs::metrics::Phase::kRollover,
+                            util::MonotonicClock::NowNanos() - roll_start,
+                            obs::metrics::kTickProbeStride);
+    }
   }
 }
 

@@ -55,6 +55,13 @@ class QaNtAllocator : public Allocator {
   /// request/offer/decline counters.
   obs::AllocatorSnapshot Snapshot() const override;
 
+  /// Watchdog feed: prices and earnings of every instantiated agent, in
+  /// node-id order (the population Snapshot() reports, minus the clones
+  /// of the supply vectors that make Snapshot() too heavy for a
+  /// per-period cadence). Steady-state allocation-free: the probe's
+  /// buffers are cleared and refilled in place.
+  void FillMarketProbe(obs::metrics::MarketProbe* probe) const override;
+
   /// Market refresh hook. The nodes are autonomous, so their periods are
   /// *staggered*: agent i's boundaries sit at phase (i/N)*T within the
   /// global period. Each call rolls over every instantiated agent whose
@@ -81,6 +88,14 @@ class QaNtAllocator : public Allocator {
   /// sequential left-to-right order byte for byte at any concurrency.
   void SetTaskRunner(const util::TaskRunner* runner) override {
     runner_ = runner;
+  }
+
+  /// Wall-clock phase profiling of the mechanism's two internal stages:
+  /// the staggered period rollover (OnPeriodStart) and the solicited-agent
+  /// bid scan (Allocate). Side channel only — readings never influence the
+  /// decision stream.
+  void SetMetricsCollector(obs::metrics::Collector* collector) override {
+    metrics_ = collector;
   }
 
   int num_nodes() const { return static_cast<int>(agents_.size()); }
@@ -125,6 +140,8 @@ class QaNtAllocator : public Allocator {
   std::vector<util::VTime> next_refresh_;
   /// Fork-join runner for the bid scan / rollover (null = sequential).
   const util::TaskRunner* runner_ = nullptr;
+  /// Phase-profiling collector (null = no probes).
+  obs::metrics::Collector* metrics_ = nullptr;
   /// Scratch buffers reused across arrivals (no hot-path allocation).
   std::vector<catalog::NodeId> solicited_;
   std::vector<catalog::NodeId> offers_;

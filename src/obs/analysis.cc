@@ -86,10 +86,12 @@ std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace) {
       case EventRecord::Kind::kAssign:
         ++load.assigns;
         load.messages += e.messages;
+        load.solicited += e.solicited;
         break;
       case EventRecord::Kind::kReject:
         ++load.rejects;
         load.messages += e.messages;
+        load.solicited += e.solicited;
         break;
       case EventRecord::Kind::kDrop:
         ++load.drops;

@@ -43,6 +43,7 @@ struct PeriodLoad {
   int64_t losses = 0;     // queries/messages lost in flight (faults)
   int64_t completes = 0;
   int64_t messages = 0;   // allocation messages spent this period
+  int64_t solicited = 0;  // nodes solicited for offers this period (v3)
 
   /// Observable excess demand: the fraction of allocation attempts this
   /// period that no server was willing to take.

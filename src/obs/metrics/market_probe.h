@@ -1,0 +1,47 @@
+#ifndef QAMARKET_OBS_METRICS_MARKET_PROBE_H_
+#define QAMARKET_OBS_METRICS_MARKET_PROBE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qa::obs::metrics {
+
+/// The minimal per-period market view the health watchdogs consume:
+/// per-agent per-class prices and per-agent cumulative earnings, flat.
+///
+/// This exists so the watchdog feed stays off the allocation fast path's
+/// cost ledger: materializing a full obs::AllocatorSnapshot every period
+/// clones each agent's price and supply vectors (dozens of heap
+/// allocations per period), which measurably drags the whole federation
+/// run when metrics are attached. A MarketProbe instead is refilled in
+/// place each period — the owner keeps one instance alive and the
+/// steady-state fill costs no allocation at all.
+///
+/// Layout: `prices` is agent-major (`agent * num_classes + class_id`);
+/// `earnings` has one entry per agent. Agents appear in node-id order —
+/// the same order AllocatorSnapshot::agents uses — so the watchdog sees
+/// an identical statistical population either way.
+struct MarketProbe {
+  int num_classes = 0;
+  std::vector<double> prices;
+  std::vector<double> earnings;
+
+  size_t num_agents() const { return earnings.size(); }
+  bool has_agents() const { return !earnings.empty(); }
+  double price(size_t agent, int class_id) const {
+    return prices[agent * static_cast<size_t>(num_classes) +
+                  static_cast<size_t>(class_id)];
+  }
+
+  /// Resets to the no-market-state shape (what non-market mechanisms
+  /// report); keeps capacity so the next fill does not reallocate.
+  void Clear() {
+    num_classes = 0;
+    prices.clear();
+    earnings.clear();
+  }
+};
+
+}  // namespace qa::obs::metrics
+
+#endif  // QAMARKET_OBS_METRICS_MARKET_PROBE_H_

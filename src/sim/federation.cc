@@ -242,6 +242,30 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
     config_.recorder->Count("snapshots");
   }
 
+  watchdogs_.reset();
+  QA_METRICS(config_.metrics) {
+    obs::metrics::RunMeta mmeta;
+    mmeta.mechanism = allocator_->name();
+    mmeta.nodes = num_nodes();
+    mmeta.shards = sharded_ ? plan_.shards() : 1;
+    mmeta.threads =
+        config_.runner != nullptr ? config_.runner->concurrency() : 1;
+    mmeta.seed = static_cast<uint64_t>(config_.seed);
+    mmeta.period_us = config_.period;
+    config_.metrics->BeginRun(mmeta);
+    config_.metrics->SetNumLanes(lanes_.size());
+    watchdogs_ = std::make_unique<obs::metrics::WatchdogSuite>(
+        config_.watchdogs, config_.period);
+  }
+  // The allocator's internal phase probes share the run's collector; reset
+  // on every run so a collector-less rerun of the same allocator carries no
+  // stale pointer.
+  allocator_->SetMetricsCollector(config_.metrics);
+  [[maybe_unused]] int64_t run_start = 0;
+  QA_METRICS(config_.metrics) {
+    run_start = util::MonotonicClock::NowNanos();
+  }
+
   // All arrivals live in the heap at once, plus one in-flight
   // deliver/complete event per node, the market tick, and the fault
   // plan's transitions: reserving here makes steady-state scheduling
@@ -286,12 +310,27 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
     metrics_.node_last_idle.push_back(pool_.last_idle_at(j));
     metrics_.node_completed.push_back(pool_.completed(j));
   }
+  QA_METRICS(config_.metrics) {
+    // One final sample so short runs (fewer ticks than a global period)
+    // still close with their end-state counters on record.
+    EmitMetricsSample();
+    config_.metrics->RecordPhase(obs::metrics::Phase::kRunTotal,
+                                 util::MonotonicClock::NowNanos() - run_start);
+  }
   return metrics_;
 }
 
 void Federation::RunSharded() {
   constexpr util::VTime kEndTime = std::numeric_limits<util::VTime>::max();
   constexpr uint64_t kEndStamp = std::numeric_limits<uint64_t>::max();
+  // The mediator-dispatch phase is the fence-to-fence window: everything
+  // the mediator does while running ahead of the shard lanes. Measured as
+  // the wall time between fences (two clock reads per fence) rather than
+  // per event — the dispatch hot path stays clock-free.
+  [[maybe_unused]] int64_t window_start = 0;
+  QA_METRICS(config_.metrics) {
+    window_start = util::MonotonicClock::NowNanos();
+  }
   for (;;) {
     while (!events_.empty()) {
       if (events_.Peek().kind == SimEvent::Kind::kMarketTick) {
@@ -303,7 +342,15 @@ void Federation::RunSharded() {
         // Nothing the merge schedules can precede the tick: loss
         // resubmissions land at tick times with node-lane stamps, which
         // sort after the tick's mediator stamp.
+        QA_METRICS(config_.metrics) {
+          config_.metrics->RecordPhase(
+              obs::metrics::Phase::kMediatorDispatch,
+              util::MonotonicClock::NowNanos() - window_start);
+        }
         FenceAndMerge(events_.PeekTime(), events_.PeekStamp());
+        QA_METRICS(config_.metrics) {
+          window_start = util::MonotonicClock::NowNanos();
+        }
       }
       current_time_ = events_.PeekTime();
       current_stamp_ = events_.PeekStamp();
@@ -329,19 +376,43 @@ void Federation::FenceAndMerge(util::VTime fence_time, uint64_t fence_stamp) {
   if (queued > 0) {
     auto drain = [this, fence_time, fence_stamp](int s) {
       ShardLane& lane = lanes_[static_cast<size_t>(s)];
+      // Per-lane wall-time attribution: each worker times its own lane and
+      // writes a distinct slot (the fork-join publishes the writes), so
+      // the shard-imbalance stats need no per-event clock reads and no
+      // histogram sharing across threads.
+      [[maybe_unused]] int64_t lane_start = 0;
+      QA_METRICS(config_.metrics) {
+        lane_start = util::MonotonicClock::NowNanos();
+      }
       lane.dispatched = lane.queue.RunWhileBefore(
           fence_time, fence_stamp,
           [this, &lane](const SimEvent& event, util::VTime when,
                         uint64_t stamp) {
             DispatchShard(&lane, event, when, stamp);
           });
+      QA_METRICS(config_.metrics) {
+        config_.metrics->RecordLaneDrain(
+            static_cast<size_t>(s),
+            util::MonotonicClock::NowNanos() - lane_start, lane.dispatched);
+      }
     };
+    [[maybe_unused]] int64_t drain_start = 0;
+    QA_METRICS(config_.metrics) {
+      drain_start = util::MonotonicClock::NowNanos();
+    }
     // Tiny windows are not worth a fork-join round trip; the drain is
     // byte-equivalent either way (lanes are independent by construction).
     if (config_.runner != nullptr && lanes > 1 && queued >= 64) {
       config_.runner->ParallelFor(static_cast<int>(lanes), drain);
     } else {
       for (size_t s = 0; s < lanes; ++s) drain(static_cast<int>(s));
+    }
+    QA_METRICS(config_.metrics) {
+      // The whole fork-join section, observed once from the mediator
+      // thread (per-lane times above capture the imbalance inside it).
+      config_.metrics->RecordPhase(
+          obs::metrics::Phase::kLaneDrain,
+          util::MonotonicClock::NowNanos() - drain_start);
     }
     for (ShardLane& lane : lanes_) {
       metrics_.events_dispatched +=
@@ -358,6 +429,10 @@ void Federation::FenceAndMerge(util::VTime fence_time, uint64_t fence_stamp) {
   // reproduces the inline dispatch order exactly — including the
   // floating-point accumulation order of the metrics and the byte order
   // of the trace.
+  [[maybe_unused]] int64_t merge_start = 0;
+  QA_METRICS(config_.metrics) {
+    merge_start = util::MonotonicClock::NowNanos();
+  }
   size_t med_index = 0;
   std::vector<size_t> out_index(lanes, 0);
   for (;;) {
@@ -401,6 +476,11 @@ void Federation::FenceAndMerge(util::VTime fence_time, uint64_t fence_stamp) {
   }
   med_items_.clear();
   for (ShardLane& lane : lanes_) lane.outcomes.clear();
+  QA_METRICS(config_.metrics) {
+    config_.metrics->RecordPhase(obs::metrics::Phase::kMerge,
+                                 util::MonotonicClock::NowNanos() -
+                                     merge_start);
+  }
 }
 
 void Federation::Dispatch(const SimEvent& event) {
@@ -501,8 +581,28 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     link_mask_active_ = true;
   }
 
+  [[maybe_unused]] int64_t alloc_start = 0;
+  QA_METRICS(config_.metrics) {
+    // Sampled probe: one in kAllocProbeStride allocations is timed (the
+    // sequence counter makes the choice deterministic). The reading is
+    // deposited for the mechanism's own inner-stage probe — QA-NT's bid
+    // scan chains from it rather than reading the clock again, and an
+    // absent mark tells it this allocation is unsampled.
+    if (alloc_probe_seq_++ % obs::metrics::kAllocProbeStride == 0) {
+      alloc_start = util::MonotonicClock::NowNanos();
+      config_.metrics->MarkPhaseStart(alloc_start);
+    }
+  }
   allocation::AllocationDecision decision =
       allocator_->Allocate(pending.arrival, *this);
+  QA_METRICS(config_.metrics) {
+    if (alloc_start != 0) {
+      config_.metrics->RecordPhase(obs::metrics::Phase::kAllocate,
+                                   util::MonotonicClock::NowNanos() -
+                                       alloc_start,
+                                   obs::metrics::kAllocProbeStride);
+    }
+  }
   metrics_.messages += decision.messages;
   metrics_.solicited += decision.solicited;
 
@@ -531,6 +631,12 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
 
   if (decision.node == allocation::kNoNode) {
     ++tick_rejects_;
+    QA_METRICS(config_.metrics) {
+      // Starvation-watchdog feed: how long this query has been waiting
+      // since its original arrival. Virtual-time input — deterministic.
+      watchdogs_->ObserveRejectSojourn(pending.arrival.class_id,
+                                       events_.now() - pending.arrival.time);
+    }
     ++pending.attempts;
     if (pending.attempts > config_.max_retries) {
       DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
@@ -946,6 +1052,17 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
 }
 
 void Federation::MarketTick() {
+  [[maybe_unused]] int64_t tick_start = 0;
+  QA_METRICS(config_.metrics) {
+    // Sampled like the allocate probe (kTickProbeStride). The reading is
+    // deposited so the mechanism's period hook can time its rollover
+    // stage without another clock read; an absent mark marks the tick
+    // unsampled.
+    if (tick_probe_seq_++ % obs::metrics::kTickProbeStride == 0) {
+      tick_start = util::MonotonicClock::NowNanos();
+      config_.metrics->MarkPhaseStart(tick_start);
+    }
+  }
   allocator_->OnPeriodEnd(events_.now());
   allocator_->OnPeriodStart(events_.now());
   ++ticks_;
@@ -970,6 +1087,25 @@ void Federation::MarketTick() {
     // wants to see.
     if (ticks_ % std::max(config_.market_tick_divisor, 1) == 0) {
       EmitSnapshot();
+    }
+  }
+  QA_METRICS(config_.metrics) {
+    // The tick phase is the allocator's period hooks plus bookkeeping;
+    // sampling and watchdog evaluation is attributed separately below.
+    if (tick_start != 0) {
+      config_.metrics->RecordPhase(obs::metrics::Phase::kMarketTick,
+                                   util::MonotonicClock::NowNanos() -
+                                       tick_start,
+                                   obs::metrics::kTickProbeStride);
+    }
+    // Sample once per global period (every divisor-th tick), after the
+    // period hooks: the barrier before this tick applied every outcome
+    // with an earlier key, so the cumulative counters here are the inline
+    // mode's counters byte for byte.
+    if (ticks_ % std::max(config_.market_tick_divisor, 1) == 0) {
+      obs::metrics::ScopedPhaseTimer timer(config_.metrics,
+                                           obs::metrics::Phase::kSnapshot);
+      EmitMetricsSample();
     }
   }
   // The barrier before this tick applied every completion and drop with
@@ -1015,6 +1151,42 @@ void Federation::EmitSnapshot() {
       med_items_.push_back(std::move(item));
     }
     config_.recorder->Count("snapshots");
+  }
+}
+
+void Federation::EmitMetricsSample() {
+  // Call sites are inside QA_METRICS gates already; gating again keeps the
+  // snapshot walk compiled away under -DQA_METRICS_DISABLED.
+  QA_METRICS(config_.metrics) {
+    int divisor = std::max(config_.market_tick_divisor, 1);
+    obs::metrics::SampleRow row;
+    row.t_us = events_.now();
+    row.period = ticks_ / divisor;
+    row.ticks = ticks_;
+    row.events_dispatched = metrics_.events_dispatched;
+    row.assigned = metrics_.assigned;
+    row.completed = metrics_.completed;
+    row.dropped = metrics_.dropped;
+    row.expired = metrics_.expired;
+    row.bounced = metrics_.bounced;
+    row.lost = metrics_.lost;
+    row.retries = metrics_.retries;
+    row.messages = metrics_.messages;
+    row.solicited = metrics_.solicited;
+    row.outstanding = outstanding_;
+    // Watchdogs first: alarms precede the sample that carries the gauges
+    // they fired on, so the stream reads cause-before-effect.
+    allocator_->FillMarketProbe(&market_probe_);
+    std::vector<obs::metrics::AlarmRecord> alarms =
+        watchdogs_->EvaluatePeriod(row.period, events_.now(), market_probe_);
+    for (const obs::metrics::AlarmRecord& alarm : alarms) {
+      config_.metrics->Alarm(alarm);
+    }
+    row.log_price_variance = watchdogs_->log_price_variance();
+    row.osc_flip_rate = watchdogs_->osc_flip_rate();
+    row.max_reject_age_ms = watchdogs_->max_reject_age_ms();
+    row.earnings_cv = watchdogs_->earnings_cv();
+    config_.metrics->Sample(row);
   }
 }
 

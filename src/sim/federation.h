@@ -8,6 +8,8 @@
 
 #include "allocation/allocator.h"
 #include "allocation/solicitation.h"
+#include "obs/metrics/collector.h"
+#include "obs/metrics/watchdog.h"
 #include "obs/recorder.h"
 #include "obs/snapshot.h"
 #include "query/cost_model.h"
@@ -78,6 +80,16 @@ struct FederationConfig {
   /// the federation streams event spans, per-period allocator snapshots and
   /// run counters into it; when null every probe is a single branch.
   obs::Recorder* recorder = nullptr;
+  /// Optional metrics collector (not owned; must outlive the run). When
+  /// set, the federation streams deterministic per-period samples and
+  /// watchdog alarms into it and attributes wall-clock time to run phases.
+  /// Wall time is a side channel only: it never feeds simulation state or
+  /// trace bytes, so attaching a collector cannot perturb a run
+  /// (DESIGN.md §9). Null = every probe is a single branch.
+  obs::metrics::Collector* metrics = nullptr;
+  /// Watchdog thresholds for the market-health detectors evaluated each
+  /// global period (only when `metrics` is set).
+  obs::metrics::WatchdogConfig watchdogs;
   /// Allocator RNG seed, recorded in the trace meta line for provenance.
   /// Also the default seed of the fault injector's message-loss RNG (see
   /// faults::FaultPlan::seed).
@@ -346,6 +358,11 @@ class Federation : public allocation::AllocationContext {
   /// Streams the allocator's Snapshot() into the recorder (traced runs
   /// only; called once per global market period plus once at t=0).
   void EmitSnapshot();
+  /// Evaluates the market-health watchdogs against the allocator snapshot
+  /// and emits one deterministic msample (plus any alarms) into the
+  /// collector. Global-market-period cadence, plus one final sample when
+  /// the run ends.
+  void EmitMetricsSample();
   util::VTime NextMarketTick() const;
   /// First market tick strictly after `t` (shard lanes compute their loss
   /// resubmission times against their own event clock, not the
@@ -406,6 +423,17 @@ class Federation : public allocation::AllocationContext {
   query::QueryId next_query_id_ = 0;
   /// Market ticks run so far (drives the snapshot cadence of traced runs).
   int64_t ticks_ = 0;
+  /// Market-health detectors (built per run when a collector is attached).
+  std::unique_ptr<obs::metrics::WatchdogSuite> watchdogs_;
+  /// Reusable watchdog-feed buffer, refilled by the allocator each global
+  /// period (steady state allocates nothing; see MarketProbe).
+  obs::metrics::MarketProbe market_probe_;
+  /// Allocation sequence number driving the sampled allocate/bid-scan
+  /// phase probes (see obs::metrics::kAllocProbeStride).
+  uint64_t alloc_probe_seq_ = 0;
+  /// Tick sequence number driving the sampled tick/rollover phase probes
+  /// (see obs::metrics::kTickProbeStride).
+  uint64_t tick_probe_seq_ = 0;
   /// Best-case cost per class, precomputed for work-unit accounting.
   std::vector<double> best_cost_;
   /// Flattened (class x node) execution-cost matrix, precomputed once so

@@ -1,0 +1,52 @@
+#include "util/monotonic_clock.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace qa::util::clock_detail {
+
+int64_t ChronoNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace qa::util::clock_detail
+
+namespace qa::util {
+
+int64_t MonotonicClock::ProcessCpuNanos() {
+#if defined(__unix__) || defined(__APPLE__)
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return int64_t{ts.tv_sec} * 1000000000 + ts.tv_nsec;
+#else
+  return clock_detail::ChronoNanos();
+#endif
+}
+
+}  // namespace qa::util
+
+namespace qa::util::clock_detail {
+
+#if defined(__x86_64__)
+TscScale CalibrateTsc() {
+  const int64_t t0 = ChronoNanos();
+  const uint64_t c0 = __rdtsc();
+  const int64_t target = t0 + 2000000;  // ~2ms window, once per process
+  int64_t t1;
+  do {
+    t1 = ChronoNanos();
+  } while (t1 < target);
+  const uint64_t c1 = __rdtsc();
+  TscScale scale;
+  const double ns_per_tick =
+      static_cast<double>(t1 - t0) / static_cast<double>(c1 - c0);
+  scale.mult = static_cast<uint64_t>(ns_per_tick * 4294967296.0);
+  scale.anchor_ns = t1;
+  scale.anchor_ticks = c1;
+  return scale;
+}
+#endif  // defined(__x86_64__)
+
+}  // namespace qa::util::clock_detail

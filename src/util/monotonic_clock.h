@@ -1,0 +1,79 @@
+#ifndef QAMARKET_UTIL_MONOTONIC_CLOCK_H_
+#define QAMARKET_UTIL_MONOTONIC_CLOCK_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace qa::util {
+
+namespace clock_detail {
+
+/// std::chrono::steady_clock reading; the only place the project touches
+/// the chrono clocks (lint rule QA-DET-001 whitelists this file pair).
+int64_t ChronoNanos();
+
+#if defined(__x86_64__)
+/// TSC fast path. The phase probes sit on per-allocation paths where a
+/// ~25ns std::chrono read (vDSO clock_gettime) is a measurable fraction of
+/// the work being timed; an inlined rdtsc plus a fixed-point scale is ~3x
+/// cheaper. The scale is calibrated once per process against the chrono
+/// clock over a short spin, then ns = anchor + (delta_ticks * mult) >> 32.
+/// Readings are observability side-channel only (DESIGN.md §9), so the
+/// ~0.1% calibration error and theoretical cross-socket skew on pre-
+/// invariant-TSC hardware cannot perturb simulation results.
+struct TscScale {
+  uint64_t mult;  // ns per tick, 32.32 fixed point
+  int64_t anchor_ns;
+  uint64_t anchor_ticks;
+};
+
+TscScale CalibrateTsc();
+#endif  // defined(__x86_64__)
+
+}  // namespace clock_detail
+
+/// The project's only legal wall-clock call site (lint rule QA-DET-001).
+///
+/// The simulator runs on virtual time (util::VTime); wall time exists
+/// purely as an observability side channel — phase profiling, bench
+/// throughput figures — and must never feed simulation state, trace bytes
+/// or anything else a seeded rerun is expected to reproduce (DESIGN.md §9,
+/// the determinism side-channel rule). Funneling every reading through
+/// this shim makes that auditable: qa_lint flags any other use of the
+/// std::chrono clocks, so a wall-clock value leaking into the sim layer
+/// cannot land silently.
+class MonotonicClock {
+ public:
+  /// Nanoseconds on a monotonic clock with an arbitrary epoch. Only
+  /// differences are meaningful. Defined inline so hot probe sites pay an
+  /// rdtsc plus a multiply, not a cross-TU call.
+  static int64_t NowNanos() {
+#if defined(__x86_64__)
+    static const clock_detail::TscScale scale = clock_detail::CalibrateTsc();
+    const uint64_t delta = __rdtsc() - scale.anchor_ticks;
+    return scale.anchor_ns +
+           static_cast<int64_t>(
+               (static_cast<unsigned __int128>(delta) * scale.mult) >> 32);
+#else
+    return clock_detail::ChronoNanos();
+#endif
+  }
+
+  /// Seconds elapsed since a NowNanos() reading — the bench-loop idiom.
+  static double SecondsSince(int64_t start_nanos) {
+    return static_cast<double>(NowNanos() - start_nanos) * 1e-9;
+  }
+
+  /// Nanoseconds of CPU time this process has consumed. For A/B overhead
+  /// ratios: on a shared box, wall-clock ratios are dominated by scheduler
+  /// preemption noise, which CPU time does not see. Coarser and slower to
+  /// read than NowNanos — benchmark-loop use only, never per-event.
+  static int64_t ProcessCpuNanos();
+};
+
+}  // namespace qa::util
+
+#endif  // QAMARKET_UTIL_MONOTONIC_CLOCK_H_

@@ -23,6 +23,7 @@
 #include "allocation/solicitation.h"
 #include "exec/experiment_runner.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics/collector.h"
 #include "obs/recorder.h"
 #include "obs/trace_reader.h"
 #include "sim/metrics_json.h"
@@ -257,12 +258,41 @@ TEST(FederationPropertyTest, InvariantsHoldOnRandomScenarios) {
   }
 }
 
+/// What one replay produces: everything that must be byte-identical
+/// across shard/thread layouts.
+struct ReplayResult {
+  std::string metrics_json;  // final SimMetrics as JSON
+  std::string trace_bytes;   // full JSONL trace
+  /// The deterministic lines of the metrics stream (msample + alarm).
+  /// mmeta carries the layout by design, and mstat/mshards carry
+  /// wall-clock values, so those are compared by record count instead.
+  std::string deterministic_metrics;
+  size_t mstat_lines = 0;
+};
+
+/// Splits the collector's JSONL stream into the deterministic byte-compare
+/// half and the record-count half.
+void SplitMetricsStream(const std::string& stream, ReplayResult* out) {
+  std::istringstream lines(stream);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"type\":\"msample\"") != std::string::npos ||
+        line.find("\"type\":\"alarm\"") != std::string::npos) {
+      out->deterministic_metrics += line;
+      out->deterministic_metrics += '\n';
+    } else if (line.find("\"type\":\"mstat\"") != std::string::npos) {
+      ++out->mstat_lines;
+    }
+  }
+}
+
 /// Replays one fuzz case end to end under the given shard/thread layout
-/// and returns (metrics-as-json, trace bytes). shards == 1 leaves
+/// — trace recorder AND metrics collector attached, so the byte-identity
+/// contract covers both observability streams. shards == 1 leaves
 /// config.runner unset and takes the inline path.
-std::pair<std::string, std::string> ReplayCase(const FuzzCase& c, int index,
-                                               int shards, int threads,
-                                               const std::string& tag) {
+ReplayResult ReplayCase(const FuzzCase& c, int index,
+                        int shards, int threads,
+                        const std::string& tag) {
   util::Rng rng(c.seed);
   TwoClassConfig scenario;
   scenario.num_nodes = c.num_nodes;
@@ -273,13 +303,15 @@ std::pair<std::string, std::string> ReplayCase(const FuzzCase& c, int index,
 
   std::string path = ::testing::TempDir() + "/federation_shard_" +
                      std::to_string(index) + "_" + tag + ".jsonl";
-  std::string metrics_json;
+  ReplayResult result;
+  std::ostringstream metrics_stream;
   {
     exec::ThreadPool pool(threads);
     exec::PoolRunner runner(&pool);
     util::StatusOr<std::unique_ptr<obs::Recorder>> recorder =
         obs::Recorder::OpenFile(path);
     EXPECT_TRUE(recorder.ok()) << recorder.status();
+    obs::metrics::Collector collector(&metrics_stream);
     exec::RunSpec spec;
     spec.cost_model = model.get();
     spec.mechanism = c.mechanism;
@@ -288,24 +320,33 @@ std::pair<std::string, std::string> ReplayCase(const FuzzCase& c, int index,
     spec.seed = c.seed;
     spec.config = c.config;
     spec.config.recorder = recorder.value().get();
+    spec.config.metrics = &collector;
     spec.config.shards = shards;
     if (shards > 1) spec.config.runner = &runner;
-    metrics_json = MetricsToJson(exec::RunSpecOnce(spec).metrics).Dump();
+    result.metrics_json =
+        MetricsToJson(exec::RunSpecOnce(spec).metrics).Dump();
     recorder.value()->Finish();
+    collector.Finish();
   }
   std::ifstream in(path, std::ios::binary);
   std::ostringstream bytes;
   bytes << in.rdbuf();
-  return {std::move(metrics_json), std::move(bytes).str()};
+  result.trace_bytes = std::move(bytes).str();
+  SplitMetricsStream(metrics_stream.str(), &result);
+  return result;
 }
 
 // The sharded-core contract over the whole fuzz corpus: every scenario —
 // every mechanism, fault plan, deadline, and solicitation policy the
-// corpus generates — must come back byte-identical (metrics AND trace
-// bytes) when the run is split over 4 shards on an 8-thread pool, and
-// again on a 1-thread pool (same partition, different interleaving of the
-// drains). This is the strongest statement the repo can make that the
-// conservative-window merge reproduces the inline event order exactly.
+// corpus generates — must come back byte-identical (metrics, trace bytes,
+// AND the deterministic half of the metrics stream: every msample and
+// alarm line) when the run is split over 4 shards on an 8-thread pool,
+// and again on a 1-thread pool (same partition, different interleaving of
+// the drains). The wall-clock mstat block only has to keep its record
+// count (one line per catalog metric, every layout). This is the
+// strongest statement the repo can make that the conservative-window
+// merge reproduces the inline event order exactly — and that profiling
+// rides along without perturbing it.
 TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
   constexpr int kCases = 30;
   for (int i = 0; i < kCases; ++i) {
@@ -316,13 +357,16 @@ TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
                  std::to_string(c.config.faults.crashes.size() +
                                 c.config.faults.partitions.size() +
                                 c.config.faults.degrades.size()));
-    auto [inline_metrics, inline_trace] = ReplayCase(c, i, 1, 1, "inline");
+    ReplayResult inline_run = ReplayCase(c, i, 1, 1, "inline");
     for (int threads : {1, 8}) {
       SCOPED_TRACE("shards 4 threads " + std::to_string(threads));
-      auto [sharded_metrics, sharded_trace] =
+      ReplayResult sharded =
           ReplayCase(c, i, 4, threads, "s4t" + std::to_string(threads));
-      EXPECT_EQ(inline_metrics, sharded_metrics);
-      EXPECT_EQ(inline_trace, sharded_trace);
+      EXPECT_EQ(inline_run.metrics_json, sharded.metrics_json);
+      EXPECT_EQ(inline_run.trace_bytes, sharded.trace_bytes);
+      EXPECT_EQ(inline_run.deterministic_metrics,
+                sharded.deterministic_metrics);
+      EXPECT_EQ(inline_run.mstat_lines, sharded.mstat_lines);
     }
   }
 }

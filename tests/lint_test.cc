@@ -92,6 +92,40 @@ TEST(QaDet001Test, AllowDirectiveSuppresses) {
                   "QA-DET-001"));
 }
 
+TEST(QaDet001Test, FlagsChronoClocksOutsideMonotonicClock) {
+  std::vector<Finding> findings =
+      Lint("bench/fixture.cc",
+           "#include <chrono>\n"
+           "int64_t Now() {\n"
+           "  return std::chrono::steady_clock::now().time_since_epoch()"
+           ".count();\n"
+           "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-001");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_TRUE(Has(Lint("src/sim/f.cc",
+                       "auto T() { return std::chrono::system_clock::now(); "
+                       "}\n"),
+                  "QA-DET-001"));
+  EXPECT_TRUE(
+      Has(Lint("tools/f.cc",
+               "using C = std::chrono::high_resolution_clock;\n"),
+          "QA-DET-001"));
+}
+
+TEST(QaDet001Test, MonotonicClockIsTheWhitelistedClockSite) {
+  std::string fixture =
+      "int64_t MonotonicClock::NowNanos() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch()"
+      ".count();\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/util/monotonic_clock.cc", fixture).empty());
+  EXPECT_TRUE(Lint("src/util/monotonic_clock.h", fixture).empty());
+  // ...and only that site: the same code anywhere else in util is flagged.
+  EXPECT_TRUE(Has(Lint("src/util/other_clock.cc", fixture), "QA-DET-001"));
+}
+
 // ---------------------------------------------------------------------------
 // QA-DET-002
 // ---------------------------------------------------------------------------
@@ -314,6 +348,53 @@ TEST(QaObs002Test, NonRecorderObjectsAreNotProbes) {
 }
 
 // ---------------------------------------------------------------------------
+// QA-OBS-003
+// ---------------------------------------------------------------------------
+
+TEST(QaObs003Test, FlagsUnregisteredMetricName) {
+  Options options;
+  options.metrics_catalog =
+      "{\"qa_messages_total\", Kind::kCounter, \"messages\"},\n";
+  std::vector<Finding> findings =
+      Lint("src/sim/fixture.cc",
+           "int Id() {\n"
+           "  return obs::metrics::MetricId(\"qa_msgs_total\");\n"
+           "}\n",
+           options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-OBS-003");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("qa_msgs_total"), std::string::npos);
+}
+
+TEST(QaObs003Test, RegisteredNamesVariablesAndCatalogItselfAreClean) {
+  Options options;
+  options.metrics_catalog =
+      "{\"qa_messages_total\", Kind::kCounter, \"messages\"},\n";
+  // A registered literal is clean.
+  EXPECT_TRUE(
+      Lint("src/sim/fixture.cc",
+           "int Id() { return MetricId(\"qa_messages_total\"); }\n", options)
+          .empty());
+  // A runtime name cannot be checked statically.
+  EXPECT_TRUE(Lint("src/sim/fixture.cc",
+                   "int Id(std::string_view name) { return MetricId(name); "
+                   "}\n",
+                   options)
+                  .empty());
+  // The catalog's own implementation of MetricId() is the definition site.
+  EXPECT_TRUE(Lint("src/obs/metrics/catalog.cc",
+                   "int MetricId(std::string_view name) { return -1; }\n",
+                   options)
+                  .empty());
+  // Without the catalog text the rule is skipped, like QA-OBS-001.
+  EXPECT_TRUE(
+      Lint("src/sim/fixture.cc",
+           "int Id() { return MetricId(\"qa_bogus_total\"); }\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
 // QA-HOT-001
 // ---------------------------------------------------------------------------
 
@@ -457,9 +538,9 @@ TEST(LintSelfCheckTest, RealTreeHasZeroFindings) {
 /// catalog grows without coverage).
 TEST(LintSelfCheckTest, CatalogMatchesCoveredRules) {
   std::vector<std::string> covered = {
-      "QA-DET-001", "QA-DET-002", "QA-DET-003",
-      "QA-NUM-001", "QA-NUM-002", "QA-OBS-001",
-      "QA-OBS-002", "QA-HOT-001", "QA-SHD-001"};
+      "QA-DET-001", "QA-DET-002", "QA-DET-003", "QA-NUM-001",
+      "QA-NUM-002", "QA-OBS-001", "QA-OBS-002", "QA-OBS-003",
+      "QA-HOT-001", "QA-SHD-001"};
   ASSERT_EQ(AllRules().size(), covered.size());
   for (const Rule& rule : AllRules()) {
     EXPECT_NE(std::find(covered.begin(), covered.end(), rule.id),

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Perf-smoke gate: compare a freshly generated BENCH_runner.json against
+# the committed baseline and fail on a real throughput regression.
+#
+# Usage: tools/check_perf.sh FRESH.json [BASELINE.json]
+#
+# FRESH.json is the report a just-finished `bench_perf_runner --quick`
+# run wrote to its working directory; BASELINE.json defaults to the
+# BENCH_runner.json committed at the repo root. Two checks:
+#
+#   1. Throughput. When both reports ran the same operating point
+#      (equal events_total), events_per_sec_tagged must not drop more
+#      than 10% below the committed number — the tagged event queue is
+#      the simulator's hot loop, and 10% sits well above run-to-run
+#      noise (best-of-trials inside the bench already absorbs most
+#      jitter). When the modes differ — CI runs --quick against a
+#      committed full-run baseline, whose longer runs and extra trials
+#      systematically raise its best-of — the absolute numbers are not
+#      comparable, so the gate falls back to event_queue_speedup
+#      (tagged/callback, measured within one process and one mode): a
+#      self-normalized ratio that cancels machine and mode speed, floor
+#      85% of baseline.
+#   2. metrics_overhead_pct, when present in the fresh report, must stay
+#      at or under 5% — the acceptance bound for the metrics subsystem's
+#      probe cost on the federation hot path.
+#
+# The committed baseline and the fresh run may come from different
+# hardware; the speedup fallback is also what keeps a cross-machine
+# comparison meaningful. Locally, treat a failure as a prompt to look,
+# not proof of a regression.
+set -eu
+
+if [ $# -lt 1 ]; then
+  echo "usage: tools/check_perf.sh FRESH.json [BASELINE.json]" >&2
+  exit 2
+fi
+
+fresh=$1
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+baseline=${2:-$repo_root/BENCH_runner.json}
+
+for f in "$fresh" "$baseline"; do
+  if [ ! -f "$f" ]; then
+    echo "error: report '$f' not found" >&2
+    exit 2
+  fi
+done
+
+python3 - "$fresh" "$baseline" <<'EOF'
+import json
+import sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+status = 0
+
+base_eps = baseline.get("events_per_sec_tagged")
+fresh_eps = fresh.get("events_per_sec_tagged")
+if not base_eps or not fresh_eps:
+    print("error: events_per_sec_tagged missing from a report", file=sys.stderr)
+    sys.exit(2)
+if fresh.get("events_total") == baseline.get("events_total"):
+    # Same operating point: absolute throughput is comparable.
+    ratio = fresh_eps / base_eps
+    print(f"events_per_sec_tagged: fresh {fresh_eps:.3g} vs baseline "
+          f"{base_eps:.3g} ({100.0 * ratio:.1f}% of baseline, floor 90%)")
+    if ratio < 0.90:
+        print(f"FAIL: tagged event throughput regressed more than 10% "
+              f"({100.0 * (1.0 - ratio):.1f}% below baseline)",
+              file=sys.stderr)
+        status = 1
+else:
+    # Different operating points (--quick vs full): compare the
+    # self-normalized tagged/callback speedup instead.
+    base_speedup = baseline.get("event_queue_speedup")
+    fresh_speedup = fresh.get("event_queue_speedup")
+    if not base_speedup or not fresh_speedup:
+        print("error: event_queue_speedup missing from a report",
+              file=sys.stderr)
+        sys.exit(2)
+    ratio = fresh_speedup / base_speedup
+    print(f"events_total differs (fresh {fresh.get('events_total')} vs "
+          f"baseline {baseline.get('events_total')}); comparing "
+          f"event_queue_speedup: fresh {fresh_speedup:.3f}x vs baseline "
+          f"{base_speedup:.3f}x ({100.0 * ratio:.1f}% of baseline, "
+          f"floor 85%)")
+    if ratio < 0.85:
+        print(f"FAIL: event-queue speedup regressed more than 15% "
+              f"({100.0 * (1.0 - ratio):.1f}% below baseline)",
+              file=sys.stderr)
+        status = 1
+
+overhead = fresh.get("metrics_overhead_pct")
+if overhead is not None:
+    print(f"metrics_overhead_pct: {overhead:.2f}% (ceiling 5%)")
+    if overhead > 5.0:
+        print(f"FAIL: metrics collector overhead {overhead:.2f}% exceeds "
+              f"the 5% acceptance bound", file=sys.stderr)
+        status = 1
+else:
+    print("note: fresh report predates metrics_overhead_pct; overhead "
+          "check skipped")
+
+if not fresh.get("deterministic", False):
+    print("FAIL: fresh report says deterministic=false — the bench saw "
+          "diverging results", file=sys.stderr)
+    status = 1
+
+sys.exit(status)
+EOF

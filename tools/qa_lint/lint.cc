@@ -18,8 +18,10 @@ namespace {
 
 const Rule kRules[] = {
     {"QA-DET-001", "banned wall-clock / libc RNG call",
-     "rand()/srand()/time()/clock() are unseeded global state; seeded runs "
-     "must draw everything from util::Rng"},
+     "rand()/srand()/time()/clock() and the std::chrono clocks are "
+     "nondeterministic global state; seeded runs draw randomness from "
+     "util::Rng, and wall-clock reads go through util::MonotonicClock — the "
+     "project's only whitelisted clock call site"},
     {"QA-DET-002", "RNG engine constructed outside src/util/rng.*",
      "std::mt19937 / std::random_device outside util::Rng forks the seed "
      "discipline and breaks byte-identical reruns"},
@@ -40,6 +42,10 @@ const Rule kRules[] = {
     {"QA-OBS-002", "Recorder probe not gated by QA_OBS",
      "a bare recorder call keeps costing when telemetry is off and does not "
      "compile away under -DQA_OBS_DISABLED"},
+    {"QA-OBS-003", "unregistered metric name at a MetricId() call site",
+     "every metric a run can emit is declared once in "
+     "src/obs/metrics/catalog.cc; a name looked up anywhere else that is "
+     "not in the catalog is a typo the registry can only report at runtime"},
     {"QA-HOT-001", "std::function in an event-queue consumer",
      "type-erased callbacks heap-allocate per event; the PR 1 hot-path "
      "rewrite exists precisely to keep EventQueue users allocation-free"},
@@ -406,6 +412,7 @@ class Linter {
     RuleFloatDeclaration();
     RuleSchemaDoc();
     RuleUngatedProbe();
+    RuleMetricCatalog();
     RuleStdFunctionInQueueConsumer();
     RuleMutableSharedState();
     std::sort(findings_.begin(), findings_.end(),
@@ -494,6 +501,12 @@ class Linter {
 
   // QA-DET-001 — calls into libc randomness / wall clocks.
   void RuleBannedCalls() {
+    // The whitelisted call site itself: MonotonicClock wraps the chrono
+    // clocks and (for CPU-time A/B ratios) clock_gettime.
+    if (PathIs(path_, "src/util/monotonic_clock.h") ||
+        PathIs(path_, "src/util/monotonic_clock.cc")) {
+      return;
+    }
     static const std::set<std::string> kBanned = {
         "rand",   "srand", "drand48", "lrand48",      "mrand48",
         "random", "time",  "clock",   "gettimeofday", "clock_gettime"};
@@ -527,6 +540,20 @@ class Linter {
       Report(t, "QA-DET-001",
              Cat({"call to '", t.text,
                   "(' — unseeded global randomness/clock"}));
+    }
+    // std::chrono clock types: any mention outside util::MonotonicClock's
+    // own implementation (excluded above) is a wall-clock read bypassing
+    // the whitelisted call site (DESIGN.md §9 — wall time is a side
+    // channel, never sim input).
+    static const std::set<std::string> kChronoClocks = {
+        "steady_clock", "high_resolution_clock", "system_clock"};
+    for (const Token& t : toks()) {
+      if (t.kind == TokKind::kIdent && kChronoClocks.count(t.text) > 0) {
+        Report(t, "QA-DET-001",
+               Cat({"'", t.text,
+                    "' outside src/util/monotonic_clock.* — wall-clock "
+                    "reads go through util::MonotonicClock"}));
+      }
     }
   }
 
@@ -721,6 +748,30 @@ class Linter {
                  Cat({"'", t.text, toks()[i + 1].text, toks()[i + 2].text,
                       "(' outside a QA_OBS(...) gate"}));
         }
+      }
+    }
+  }
+
+  // QA-OBS-003 — a metric-name string literal passed to MetricId() must be
+  // registered in src/obs/metrics/catalog.cc (whose full text arrives via
+  // Options::metrics_catalog; every registered name appears there quoted).
+  void RuleMetricCatalog() {
+    if (!options_.metrics_catalog) return;
+    if (PathIs(path_, "src/obs/metrics/catalog.cc")) return;
+    const std::string& catalog = *options_.metrics_catalog;
+    for (size_t i = 0; i + 2 < toks().size(); ++i) {
+      if (toks()[i].kind != TokKind::kIdent ||
+          toks()[i].text != "MetricId" || !TextAt(i + 1, "(")) {
+        continue;
+      }
+      const Token& arg = toks()[i + 2];
+      if (arg.kind != TokKind::kString) continue;  // variable names resolve
+                                                   // at runtime; only
+                                                   // literals are checkable
+      if (catalog.find(Cat({"\"", arg.value, "\""})) == std::string::npos) {
+        Report(arg, "QA-OBS-003",
+               Cat({"metric name \"", arg.value,
+                    "\" is not registered in src/obs/metrics/catalog.cc"}));
       }
     }
   }
@@ -950,6 +1001,28 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
   }
   std::sort(files.begin(), files.end());
 
+  // QA-OBS-003 needs the metric catalog's text for every file, not just
+  // one (any file may look a metric up). Load it once when the catalog is
+  // among the linted files; callers linting a subtree without it simply
+  // skip the rule, same as an unset schema_doc skips QA-OBS-001.
+  Options shared = options;
+  if (!shared.metrics_catalog) {
+    for (const std::string& file : files) {
+      if (!PathIs(NormalizePath(file), "src/obs/metrics/catalog.cc")) {
+        continue;
+      }
+      std::ifstream catalog_in(file, std::ios::binary);
+      if (catalog_in) {
+        std::ostringstream catalog_buffer;
+        catalog_buffer << catalog_in.rdbuf();
+        shared.metrics_catalog = catalog_buffer.str();
+      } else {
+        note_error(Cat({file, ": cannot open (needed for QA-OBS-003)"}));
+      }
+      break;
+    }
+  }
+
   std::vector<Finding> findings;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
@@ -959,7 +1032,7 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    Options per_file = options;
+    Options per_file = shared;
     if (!per_file.schema_doc &&
         PathIs(NormalizePath(file), "src/obs/trace_schema.cc")) {
       fs::path doc = fs::path(file).parent_path() / "SCHEMA.md";

@@ -39,6 +39,14 @@ struct Options {
   /// must supply it. Unset => QA-OBS-001 is skipped.
   std::optional<std::string> schema_doc;
 
+  /// Contents of src/obs/metrics/catalog.cc for the QA-OBS-003
+  /// cross-check: a metric-name string literal at a MetricId() call site
+  /// must appear (quoted) in the catalog. LintPaths fills this in
+  /// automatically when catalog.cc is among the linted files; LintFile
+  /// callers that want the rule must supply it. Unset => QA-OBS-003 is
+  /// skipped.
+  std::optional<std::string> metrics_catalog;
+
   /// When non-empty, only these rule IDs fire.
   std::vector<std::string> only_rules;
 };

@@ -11,11 +11,14 @@
 //   * Fig. 5c-style tracking error (arrivals vs completions per bucket);
 //   * with --faults: a per-fault recovery table (crash/restart/degrade
 //     transitions, price dispersion before/after, reconvergence time) plus
-//     the observed fault damage (bounces, lost shipments, drops).
+//     the observed fault damage (bounces, lost shipments, drops);
+//   * with --alarms=METRICS.jsonl: the watchdog alarm table from a
+//     --metrics run of the same experiment (see src/obs/SCHEMA.md), so the
+//     trace's period rows and the health alarms line up side by side.
 //
 // Usage:
 //   qa_trace TRACE.jsonl [--band=0.1] [--window=4] [--bucket-ms=2000]
-//            [--periods=N] [--csv] [--faults]
+//            [--periods=N] [--csv] [--faults] [--alarms=METRICS.jsonl]
 //
 // All analysis goes through the same parser the tests use
 // (obs::ParsedTrace), so anything this tool prints is covered by the
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "obs/analysis.h"
+#include "obs/metrics/metrics_reader.h"
 #include "obs/trace_reader.h"
 #include "util/table_writer.h"
 #include "util/vtime.h"
@@ -46,12 +50,14 @@ struct Options {
   int max_periods = 0;      // 0 = print all period rows
   bool csv = false;
   bool faults = false;      // fault-recovery summary
+  std::string alarms_path;  // metrics JSONL to read watchdog alarms from
 };
 
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " TRACE.jsonl [--band=B] [--window=W] [--bucket-ms=MS]"
-               " [--periods=N] [--csv] [--faults]\n";
+               " [--periods=N] [--csv] [--faults]"
+               " [--alarms=METRICS.jsonl]\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options* opts) {
@@ -69,6 +75,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->csv = true;
     } else if (arg == "--faults") {
       opts->faults = true;
+    } else if (arg.rfind("--alarms=", 0) == 0) {
+      opts->alarms_path = arg.substr(9);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -143,9 +151,9 @@ int Run(const Options& opts) {
     num_classes = std::max(num_classes, d.class_id + 1);
   }
 
-  std::vector<std::string> header = {"Period", "Arrivals", "Assigns",
-                                     "Rejects", "Drops",   "Messages",
-                                     "Excess"};
+  std::vector<std::string> header = {"Period",   "Arrivals", "Assigns",
+                                     "Rejects",  "Drops",    "Messages",
+                                     "Solicited", "Excess"};
   // Log-variance is the scale-free dispersion (see PriceDispersion in
   // obs/analysis.h): 0 = all nodes quote the same price.
   for (int c = 0; c < num_classes; ++c) {
@@ -163,6 +171,7 @@ int Run(const Options& opts) {
     period_table.AddCell(load.rejects);
     period_table.AddCell(load.drops);
     period_table.AddCell(load.messages);
+    period_table.AddCell(load.solicited);
     period_table.AddCell(Fmt(load.ExcessRatio()));
     for (int c = 0; c < num_classes; ++c) {
       auto it = by_cell.find({load.period, c});
@@ -307,6 +316,37 @@ int Run(const Options& opts) {
     }
     std::cout << "fault damage: " << bounces << " bounce(s), " << losses
               << " lost shipment(s), " << drops << " abandoned queries\n";
+  }
+
+  // ---- Watchdog alarms (--alarms=METRICS.jsonl; metrics sidecar file).
+  if (!opts.alarms_path.empty()) {
+    util::StatusOr<obs::metrics::ParsedMetrics> metrics =
+        obs::metrics::ParsedMetrics::Load(opts.alarms_path);
+    if (!metrics.ok()) {
+      std::cerr << "error: --alarms: " << metrics.status() << "\n";
+      return 1;
+    }
+    const std::vector<obs::metrics::AlarmRecord>& alarms =
+        metrics.value().alarms;
+    std::cout << "\nalarms: " << alarms.size()
+              << " watchdog alarm(s) in " << opts.alarms_path << "\n";
+    if (!alarms.empty()) {
+      util::TableWriter alarm_table({"Watchdog", "Class", "t (ms)", "Period",
+                                     "Value", "Threshold", "Detail"});
+      for (const obs::metrics::AlarmRecord& alarm : alarms) {
+        alarm_table.BeginRow();
+        alarm_table.AddCell(alarm.watchdog);
+        alarm_table.AddCell(alarm.class_id >= 0
+                                ? std::to_string(alarm.class_id)
+                                : std::string("-"));
+        alarm_table.AddCell(alarm.t_us / util::kMillisecond);
+        alarm_table.AddCell(alarm.period);
+        alarm_table.AddCell(Fmt(alarm.value));
+        alarm_table.AddCell(Fmt(alarm.threshold));
+        alarm_table.AddCell(alarm.detail);
+      }
+      Emit(alarm_table, opts.csv);
+    }
   }
 
   // ---- Umpire iterations (tatonnement traces only).
