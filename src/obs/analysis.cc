@@ -102,6 +102,9 @@ std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace) {
       case EventRecord::Kind::kLost:
         ++load.losses;
         break;
+      case EventRecord::Kind::kShed:
+        ++load.sheds;
+        break;
       case EventRecord::Kind::kComplete:
         ++load.completes;
         break;
@@ -110,6 +113,7 @@ std::vector<PeriodLoad> LoadByPeriod(const ParsedTrace& trace) {
       case EventRecord::Kind::kCrash:
       case EventRecord::Kind::kRestart:
       case EventRecord::Kind::kDegrade:
+      case EventRecord::Kind::kSurge:
         break;
     }
   }
@@ -193,7 +197,8 @@ std::vector<FaultRecovery> FaultRecoveryReport(const ParsedTrace& trace) {
   for (const EventRecord& e : trace.events) {
     if (e.kind != EventRecord::Kind::kCrash &&
         e.kind != EventRecord::Kind::kRestart &&
-        e.kind != EventRecord::Kind::kDegrade) {
+        e.kind != EventRecord::Kind::kDegrade &&
+        e.kind != EventRecord::Kind::kSurge) {
       continue;
     }
     FaultRecovery r;

@@ -41,6 +41,7 @@ struct PeriodLoad {
   int64_t drops = 0;
   int64_t bounces = 0;
   int64_t losses = 0;     // queries/messages lost in flight (faults)
+  int64_t sheds = 0;      // overload drops: bounded queues / admission (v4)
   int64_t completes = 0;
   int64_t messages = 0;   // allocation messages spent this period
   int64_t solicited = 0;  // nodes solicited for offers this period (v3)
@@ -85,7 +86,7 @@ std::vector<TrackingSeries> ComputeTracking(const ParsedTrace& trace,
                                             util::VDuration bucket_us);
 
 /// Recovery behaviour around one injected fault transition (a crash,
-/// restart or degrade event in the trace): did the market's price
+/// restart, degrade or surge event in the trace): did the market's price
 /// dispersion return below its pre-fault level, and how long did that
 /// take? This reuses the log-price-variance convergence analysis — the
 /// dispersion is collapsed to its max over classes, the scalar "how much
@@ -94,7 +95,7 @@ struct FaultRecovery {
   EventRecord::Kind kind = EventRecord::Kind::kCrash;
   int node = -1;
   int64_t t_us = 0;       // when the fault transition fired
-  double factor = 0.0;    // degrade transitions only
+  double factor = 0.0;    // degrade (speed) / surge (rate) transitions
   int fault_period = 0;
 
   /// True when this row carries a degrade factor. 0.0 is the "unset"
@@ -112,7 +113,9 @@ struct FaultRecovery {
   double recovery_ms = 0.0;  // recovery_period start minus fault time
 };
 
-/// One row per crash/restart/degrade event in the trace, in trace order.
+/// One row per crash/restart/degrade/surge event in the trace, in trace
+/// order. Surge rows measure reconvergence of the price dispersion after a
+/// flash crowd the same way degrade rows do after a speed change.
 std::vector<FaultRecovery> FaultRecoveryReport(const ParsedTrace& trace);
 
 }  // namespace qa::obs

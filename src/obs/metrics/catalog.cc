@@ -31,6 +31,10 @@ const std::vector<MetricDef>& Catalog() {
       {"qa_ticks_total", Kind::kCounter, "market ticks run"},
       {"qa_alarms_total", Kind::kCounter,
        "market-health watchdog alarms raised"},
+      {"qa_queries_shed_total", Kind::kCounter,
+       "queries shed by bounded queues or admission control (⊆ dropped)"},
+      {"qa_admission_rejects_total", Kind::kCounter,
+       "queries turned away by the admission gate (⊆ shed)"},
       // ---- gauges (deterministic, per global period) ----
       {"qa_market_log_price_variance", Kind::kGauge,
        "max over classes of the cross-node variance of ln(price)"},
@@ -43,6 +47,8 @@ const std::vector<MetricDef>& Catalog() {
        "coefficient of variation of per-node cumulative earnings"},
       {"qa_market_outstanding", Kind::kGauge,
        "queries in flight (arrived, neither completed nor dropped)"},
+      {"qa_admission_brownout_level", Kind::kGauge,
+       "query classes currently browned out (most expensive first)"},
       // ---- histograms (wall-clock side channel, nanoseconds) ----
       {"qa_phase_run_total_ns", Kind::kHistogram,
        "whole Federation::Run wall time"},
@@ -62,6 +68,9 @@ const std::vector<MetricDef>& Catalog() {
        "per-period market probe + sample + watchdog evaluation"},
       {"qa_phase_mediator_dispatch_ns", Kind::kHistogram,
        "per-window mediator run-ahead between fences (sharded mode)"},
+      {"qa_node_queue_depth", Kind::kHistogram,
+       "per-node waiting-queue length observed each global period "
+       "(deterministic: virtual state, not wall clock)"},
   };
   return kCatalog;
 }

@@ -37,6 +37,8 @@ enum Metric : int {
   kSolicited,
   kTicks,
   kAlarms,
+  kQueriesShed,
+  kAdmissionRejects,
   // Gauges — deterministic market-health signals the watchdogs evaluate
   // each global period.
   kLogPriceVariance,
@@ -44,8 +46,14 @@ enum Metric : int {
   kMaxRejectAgeMs,
   kEarningsCv,
   kOutstanding,
+  kBrownoutLevel,
   // Histograms — wall-clock phase timings in nanoseconds (log-bucketed).
   // Side channel only: these never feed simulation state or trace bytes.
+  // kNodeQueueDepth is the one deterministic histogram: per-node queue
+  // lengths observed at every global period fence (virtual state, so it
+  // stays byte-identical like the counters and gauges). It sits after the
+  // phase block because Collector::PhaseMetric requires the phase
+  // histograms contiguous from kPhaseRunTotal.
   kPhaseRunTotal,
   kPhaseLaneDrain,
   kPhaseMerge,
@@ -55,6 +63,7 @@ enum Metric : int {
   kPhaseBidScan,
   kPhaseSnapshot,
   kPhaseMediatorDispatch,
+  kNodeQueueDepth,
   kMetricCount,
 };
 

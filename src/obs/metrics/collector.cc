@@ -81,11 +81,15 @@ void Collector::Sample(const SampleRow& row) {
   registry_.SetCounter(kMessages, row.messages);
   registry_.SetCounter(kSolicited, row.solicited);
   registry_.SetCounter(kTicks, row.ticks);
+  registry_.SetCounter(kQueriesShed, row.shed);
+  registry_.SetCounter(kAdmissionRejects, row.admission_rejects);
   registry_.SetGauge(kLogPriceVariance, row.log_price_variance);
   registry_.SetGauge(kOscFlipRate, row.osc_flip_rate);
   registry_.SetGauge(kMaxRejectAgeMs, row.max_reject_age_ms);
   registry_.SetGauge(kEarningsCv, row.earnings_cv);
   registry_.SetGauge(kOutstanding, static_cast<double>(row.outstanding));
+  registry_.SetGauge(kBrownoutLevel,
+                     static_cast<double>(row.brownout_level));
 
   // Collect-only collectors (no sink) stop here: building the Json line
   // costs ~two dozen node allocations per period, which a collector that
@@ -108,6 +112,9 @@ void Collector::Sample(const SampleRow& row) {
   line.Set("messages", row.messages);
   line.Set("solicited", row.solicited);
   line.Set("outstanding", row.outstanding);
+  line.Set("shed", row.shed);
+  line.Set("admission_rejects", row.admission_rejects);
+  line.Set("brownout", row.brownout_level);
   line.Set("log_price_var", row.log_price_variance);
   line.Set("osc_flip_rate", row.osc_flip_rate);
   line.Set("max_reject_age_ms", row.max_reject_age_ms);

@@ -79,6 +79,9 @@ struct SampleRow {
   int64_t messages = 0;
   int64_t solicited = 0;
   int64_t outstanding = 0;
+  int64_t shed = 0;
+  int64_t admission_rejects = 0;
+  int64_t brownout_level = 0;
   double log_price_variance = 0.0;
   double osc_flip_rate = 0.0;
   double max_reject_age_ms = 0.0;

@@ -37,6 +37,8 @@ const char* WatchdogSuite::WatchdogName(Watchdog watchdog) {
       return "oscillation";
     case kNonconvergence:
       return "nonconvergence";
+    case kOverload:
+      return "overload";
     case kWatchdogCount:
       break;
   }
@@ -86,6 +88,30 @@ std::vector<AlarmRecord> WatchdogSuite::EvaluatePeriod(
   }
   max_reject_age_ms_ = worst_ms;
   worst_sojourn_us_.clear();
+
+  // --- Overload: queries were shed this period, or a brownout is in
+  // force. Evaluated before the probe check below — overload is not a
+  // price-only phenomenon, so it must fire for probe-less mechanisms
+  // (Random, RoundRobin) too. Market-wide (class -1). ---
+  const int64_t shed_delta = shed_total_ - prev_shed_total_;
+  prev_shed_total_ = shed_total_;
+  if (shed_delta >= config_.overload_min_shed || brownout_level_ > 0) {
+    if (TryLatch(kOverload, -1)) {
+      AlarmRecord alarm;
+      alarm.t_us = now;
+      alarm.period = period;
+      alarm.watchdog = WatchdogName(kOverload);
+      alarm.class_id = -1;
+      alarm.value = static_cast<double>(shed_delta);
+      alarm.threshold = static_cast<double>(config_.overload_min_shed);
+      alarm.detail = "shed " + std::to_string(shed_delta) +
+                     " queries this period, brownout level " +
+                     std::to_string(brownout_level_);
+      alarms.push_back(std::move(alarm));
+    }
+  } else {
+    ClearLatch(kOverload, -1);
+  }
 
   // --- Price-based detectors need per-agent market state. ---
   log_price_variance_ = 0.0;

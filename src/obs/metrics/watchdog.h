@@ -19,7 +19,8 @@ namespace qa::obs::metrics {
 struct AlarmRecord {
   util::VTime t_us = 0;
   int64_t period = 0;
-  std::string watchdog;  // oscillation | starvation | nonconvergence
+  std::string watchdog;  // oscillation | starvation | nonconvergence |
+                         // overload
   int class_id = -1;     // -1 = market-wide
   double value = 0.0;
   double threshold = 0.0;
@@ -48,6 +49,9 @@ struct WatchdogConfig {
   /// function of the population size, so sampled gauge and alarm streams
   /// stay byte-identical across shard/thread layouts.
   int max_sampled_agents = 32;
+  /// Overload: alarm when at least this many queries were shed in one
+  /// global period (or a brownout is in force).
+  int64_t overload_min_shed = 1;
 };
 
 /// Online market-health detectors, evaluated once per global period from
@@ -62,6 +66,15 @@ class WatchdogSuite {
   /// Feed from the arrival reject path: `sojourn_us` is how long the query
   /// has been waiting since its original arrival.
   void ObserveRejectSojourn(int class_id, util::VTime sojourn_us);
+
+  /// Feed for the overload detector, called once before each
+  /// EvaluatePeriod: the run's cumulative shed counter and the admission
+  /// controller's current brownout level. The detector fires on the
+  /// per-period shed delta, so cumulative feeds are the natural interface.
+  void ObserveOverload(int64_t shed_total, int brownout_level) {
+    shed_total_ = shed_total;
+    brownout_level_ = brownout_level;
+  }
 
   /// Run all detectors against this period's market probe (see
   /// MarketProbe for why the allocator fills a flat reusable buffer
@@ -91,6 +104,7 @@ class WatchdogSuite {
     kStarvation = 0,
     kOscillation,
     kNonconvergence,
+    kOverload,
     kWatchdogCount,
   };
   static const char* WatchdogName(Watchdog watchdog);
@@ -114,6 +128,12 @@ class WatchdogSuite {
   double osc_flip_rate_ = 0.0;
   double max_reject_age_ms_ = 0.0;
   double earnings_cv_ = 0.0;
+
+  /// Overload-detector feed (ObserveOverload) and its previous-period
+  /// cursor for the delta.
+  int64_t shed_total_ = 0;
+  int64_t prev_shed_total_ = 0;
+  int brownout_level_ = 0;
 };
 
 }  // namespace qa::obs::metrics

@@ -75,6 +75,10 @@ std::string_view EventKindName(EventRecord::Kind kind) {
       return "degrade";
     case EventRecord::Kind::kLost:
       return "lost";
+    case EventRecord::Kind::kShed:
+      return "shed";
+    case EventRecord::Kind::kSurge:
+      return "surge";
   }
   return "?";
 }
@@ -86,7 +90,8 @@ bool ParseEventKind(std::string_view name, EventRecord::Kind* kind) {
         EventRecord::Kind::kBounce, EventRecord::Kind::kDeliver,
         EventRecord::Kind::kComplete, EventRecord::Kind::kTick,
         EventRecord::Kind::kCrash, EventRecord::Kind::kRestart,
-        EventRecord::Kind::kDegrade, EventRecord::Kind::kLost}) {
+        EventRecord::Kind::kDegrade, EventRecord::Kind::kLost,
+        EventRecord::Kind::kShed, EventRecord::Kind::kSurge}) {
     if (EventKindName(k) == name) {
       *kind = k;
       return true;

@@ -19,7 +19,11 @@ namespace qa::obs {
 /// v3: meta records gained `solicitation` + `fanout` (the QA-NT
 /// offer-solicitation policy of the run); assign/reject event records
 /// gained `solicited` (nodes asked for offers on that attempt).
-inline constexpr int kTraceSchemaVersion = 3;
+/// v4: event records gained the overload kinds `shed` (a bounded queue or
+/// the admission gate dropped the query; shed ⊆ dropped) and `surge` (a
+/// fault-plan arrival-rate window opened/closed; `factor` carries the
+/// multiplier, `class` the scope, -1 = all classes).
+inline constexpr int kTraceSchemaVersion = 4;
 
 /// The typed records of the trace. Every record serializes to one JSON
 /// object per line with a "type" discriminator; fields holding their
@@ -62,6 +66,10 @@ struct EventRecord {
     kRestart,   // crashed node came back; its agent re-learns from defaults
     kDegrade,   // node speed changed to `factor` (1.0 = back to full speed)
     kLost,      // a query/message was lost in flight (crash or lossy link)
+    kShed,      // overload shedding dropped the query (bounded queue or
+                // admission gate); every shed query is also dropped
+    kSurge,     // arrival-rate surge window edge; `factor` = multiplier
+                // (1.0 on the closing edge), `class` = scope (-1 = all)
   };
 
   Kind kind = Kind::kTick;
@@ -79,7 +87,8 @@ struct EventRecord {
   int attempts = 0;
   /// Response time, complete records only.
   double response_ms = 0.0;
-  /// Execution speed multiplier, degrade records only (0 < factor <= 1).
+  /// Execution speed multiplier (degrade records, 0 < factor <= 1) or
+  /// arrival-rate multiplier (surge records, factor > 0).
   double factor = 0.0;
 
   bool operator==(const EventRecord&) const = default;

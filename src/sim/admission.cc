@@ -1,0 +1,174 @@
+#include "sim/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace qa::sim {
+
+util::Status AdmissionConfig::Validate() const {
+  if (policy == AdmissionPolicy::kOff) return util::Status::OK();
+  if (max_outstanding < 0) {
+    return util::Status::InvalidArgument(
+        "admission: max_outstanding " + std::to_string(max_outstanding) +
+        " is negative");
+  }
+  if (policy == AdmissionPolicy::kStatic && max_outstanding == 0) {
+    return util::Status::InvalidArgument(
+        "admission: static policy needs max_outstanding > 0");
+  }
+  if (policy == AdmissionPolicy::kPriceSignal) {
+    if (!(exit_ratio > 0.0) || !(enter_ratio > exit_ratio)) {
+      return util::Status::InvalidArgument(
+          "admission: need enter_ratio > exit_ratio > 0, got enter=" +
+          std::to_string(enter_ratio) + " exit=" +
+          std::to_string(exit_ratio));
+    }
+    if (warmup_periods < 1) {
+      return util::Status::InvalidArgument(
+          "admission: warmup_periods " + std::to_string(warmup_periods) +
+          " must be >= 1");
+    }
+    if (!(baseline_alpha >= 0.0) || baseline_alpha >= 1.0) {
+      return util::Status::InvalidArgument(
+          "admission: baseline_alpha " + std::to_string(baseline_alpha) +
+          " must be in [0, 1)");
+    }
+  }
+  return util::Status::OK();
+}
+
+AdmissionController::AdmissionController(
+    const AdmissionConfig& config, const std::vector<double>& class_costs)
+    : config_(config), num_classes_(static_cast<int>(class_costs.size())) {
+  // Expensive-first brownout order; stable so equal-cost classes brown
+  // out in class-id order, deterministically.
+  std::vector<int> order(class_costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return class_costs[static_cast<size_t>(a)] >
+           class_costs[static_cast<size_t>(b)];
+  });
+  brownout_rank_.assign(class_costs.size(), 0);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    brownout_rank_[static_cast<size_t>(order[rank])] =
+        static_cast<int>(rank);
+  }
+}
+
+void AdmissionController::OnPeriod(const obs::metrics::MarketProbe& probe) {
+  if (config_.policy != AdmissionPolicy::kPriceSignal) return;
+  probe_has_market_ = probe.has_agents() && probe.num_classes > 0;
+  if (!probe_has_market_) {
+    // No price signal this period (non-market mechanism, or no agents
+    // yet): decay toward full admission and rely on the static fallback.
+    brownout_level_ = std::max(brownout_level_ - 1, 0);
+    price_ratio_ = 1.0;
+    return;
+  }
+  // Scarcity index: mean log price over every (agent, class) cell with a
+  // positive price. The log keeps a single runaway class from dominating
+  // and makes the enter/exit band multiplicative.
+  double sum = 0.0;
+  int64_t cells = 0;
+  for (size_t agent = 0; agent < probe.num_agents(); ++agent) {
+    for (int c = 0; c < probe.num_classes; ++c) {
+      double p = probe.price(agent, c);
+      if (p > 0.0) {
+        sum += std::log(p);
+        ++cells;
+      }
+    }
+  }
+  if (cells == 0) {
+    brownout_level_ = std::max(brownout_level_ - 1, 0);
+    price_ratio_ = 1.0;
+    return;
+  }
+  double index = sum / static_cast<double>(cells);
+  if (!baseline_frozen_) {
+    ++periods_seen_;
+    if (config_.baseline_alpha > 0.0) {
+      // Tracking mode: the baseline starts exactly where the index
+      // stands when warmup ends, so the gate's first ratio is 1 by
+      // construction. Any average (window or EMA) over the warmup lags
+      // the cold-start discovery ramp, and a lag above ln(enter_ratio)
+      // at the handoff deadlocks the outlier-rejected tracking below —
+      // the ratio would sit permanently above the band. Handoff noise
+      // self-corrects: the EMA keeps tracking in both directions.
+      baseline_ = index;
+    } else if (periods_seen_ > config_.warmup_periods / 2) {
+      // Frozen mode: only the back half of the warmup window feeds the
+      // baseline — the leading periods carry the discovery ramp, which
+      // would drag the baseline below the steady level and make normal
+      // load read as scarcity forever after.
+      baseline_sum_ += index;
+      ++baseline_periods_;
+    }
+    if (periods_seen_ >= config_.warmup_periods) {
+      if (!(config_.baseline_alpha > 0.0)) {
+        baseline_ = baseline_sum_ / static_cast<double>(baseline_periods_);
+      }
+      baseline_frozen_ = true;
+    }
+    prev_index_ = index;
+    price_ratio_ = 1.0;
+    return;
+  }
+  price_ratio_ = std::exp(index - baseline_);
+  // Slow baseline tracking (see AdmissionConfig::baseline_alpha): follow
+  // gradual drift so the ratio measures *sudden* scarcity, but never
+  // learn from periods the band already considers overloaded.
+  if (config_.baseline_alpha > 0.0 && price_ratio_ < config_.enter_ratio) {
+    baseline_ += config_.baseline_alpha * (index - baseline_);
+  }
+  bool cooling = index < prev_index_;
+  prev_index_ = index;
+  // Hysteresis on level and trend, one step per period. QA-NT's price
+  // moves are asymmetric — decline-driven bumps are multiplicative and
+  // fast, the per-period decay is slow — so a flash crowd lifts the index
+  // several log-units in a couple of periods while the way back down takes
+  // the rest of the run. Gating the exit on the *level* alone would
+  // therefore lock the brownout in long after the crowd is gone. The
+  // trend breaks that deadlock: a falling index means no one is being
+  // declined any more — the market is clearing — so the gate steps down
+  // even while the level is still far above the band; a rising index
+  // above the band means scarcity is still building, so it steps up.
+  if (price_ratio_ >= config_.enter_ratio && !cooling) {
+    brownout_level_ = std::min(brownout_level_ + 1, num_classes_);
+  } else if (price_ratio_ <= config_.exit_ratio || cooling) {
+    brownout_level_ = std::max(brownout_level_ - 1, 0);
+  }
+}
+
+AdmissionController::Decision AdmissionController::Admit(
+    int class_id, int64_t outstanding) const {
+  switch (config_.policy) {
+    case AdmissionPolicy::kOff:
+      return Decision::kAdmit;
+    case AdmissionPolicy::kStatic:
+      return outstanding > config_.max_outstanding ? Gate()
+                                                   : Decision::kAdmit;
+    case AdmissionPolicy::kPriceSignal: {
+      if (probe_has_market_) {
+        if (class_id >= 0 && class_id < num_classes_ &&
+            brownout_rank_[static_cast<size_t>(class_id)] <
+                brownout_level_) {
+          return Gate();
+        }
+        return Decision::kAdmit;
+      }
+      // Probe-less fallback: behave like the static threshold (a no-op
+      // when max_outstanding is 0).
+      if (config_.max_outstanding > 0 &&
+          outstanding > config_.max_outstanding) {
+        return Gate();
+      }
+      return Decision::kAdmit;
+    }
+  }
+  return Decision::kAdmit;
+}
+
+}  // namespace qa::sim

@@ -1,0 +1,144 @@
+#ifndef QAMARKET_SIM_ADMISSION_H_
+#define QAMARKET_SIM_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics/market_probe.h"
+#include "util/status.h"
+
+namespace qa::sim {
+
+/// What the federation does with queued work when a shed bound trips.
+enum class ShedPolicy : uint8_t {
+  /// Shed the arriving task; everything already queued keeps its place.
+  kNewestFirst = 0,
+  /// Evict the queued task of the most expensive class (highest advertised
+  /// best cost; newest among ties) when it is strictly more expensive than
+  /// the arriving one, otherwise shed the arrival. Under brownout-style
+  /// load this preferentially completes cheap queries.
+  kLowestPriorityFirst = 1,
+};
+
+/// How the mediator gates fresh work ahead of solicitation.
+enum class AdmissionPolicy : uint8_t {
+  /// No gate: every arrival goes to market (the pre-overload behavior).
+  kOff = 0,
+  /// Shed arrivals while more than `max_outstanding` queries are in
+  /// flight. Load-blind but mechanism-agnostic.
+  kStatic = 1,
+  /// Price-signaled: the market's own scarcity signal (mean log price
+  /// across agents and classes, read from the allocator's MarketProbe)
+  /// drives a brownout level with hysteresis. Level k sheds the k most
+  /// expensive query classes; level 0 admits everything. Mechanisms that
+  /// expose no prices (Random, RoundRobin) fall back to the static
+  /// `max_outstanding` threshold.
+  kPriceSignal = 2,
+};
+
+/// Admission-control knobs, embedded in FederationConfig.
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kOff;
+  /// kStatic threshold, and the probe-less fallback for kPriceSignal.
+  /// 0 disables the outstanding-count gate entirely.
+  int64_t max_outstanding = 0;
+  /// kPriceSignal hysteresis band, as price ratios over the post-warmup
+  /// baseline: the brownout level rises while the ratio is >= enter_ratio
+  /// and the index is not falling, and falls while the ratio is
+  /// <= exit_ratio or the index declined this period (a falling price
+  /// means the market is clearing — see AdmissionController::OnPeriod).
+  /// Requires enter_ratio > exit_ratio > 0.
+  double enter_ratio = 3.0;
+  double exit_ratio = 1.5;
+  /// Number of leading global periods before the gate starts acting
+  /// (>= 1). Everything is admitted during warmup. With baseline_alpha
+  /// == 0 the baseline freezes at the mean index over the back half of
+  /// the window (the front half carries the cold-start price-discovery
+  /// ramp); with baseline_alpha > 0 warmup is simply the time the
+  /// tracking EMA gets to converge before its ratio has consequences.
+  int warmup_periods = 2;
+  /// Baseline tracking rate, in [0, 1). 0 = frozen baseline. A positive
+  /// alpha makes the baseline an EMA of the index — seeded on the first
+  /// priced period, moved by `alpha * (index - baseline)` each period.
+  /// After warmup the update is skipped while the ratio is at or above
+  /// enter_ratio, so slow price drift (QA-NT's index creeps upward even
+  /// at constant load: decline-driven bumps are multiplicative, the
+  /// decay is slow) reads as normal while a flash crowd, which outruns
+  /// the tracking rate, still explodes the ratio — and cannot redefine
+  /// "normal" while the gate considers it scarcity.
+  double baseline_alpha = 0.0;
+  /// When true, gated arrivals are deferred to the next market tick (one
+  /// retry attempt consumed) instead of shed outright.
+  bool defer = false;
+
+  util::Status Validate() const;
+};
+
+/// Per-run admission state machine. The federation constructs one per Run,
+/// feeds it the allocator's MarketProbe once per global period (from the
+/// market tick, never gated on whether a metrics collector is attached —
+/// admission is simulation behavior, not observability), and consults
+/// Admit() for every query it is about to solicit for.
+///
+/// Everything here is a pure function of the probe sequence, so runs stay
+/// byte-identical across shard/thread layouts.
+class AdmissionController {
+ public:
+  enum class Decision : uint8_t { kAdmit = 0, kDefer = 1, kShed = 2 };
+
+  AdmissionController() = default;
+  /// `class_costs[c]` is the cheapest advertised cost of class c (the
+  /// federation's best_cost_ table); it fixes the brownout order —
+  /// expensive classes brown out first.
+  AdmissionController(const AdmissionConfig& config,
+                      const std::vector<double>& class_costs);
+
+  bool enabled() const { return config_.policy != AdmissionPolicy::kOff; }
+  bool wants_probe() const {
+    return config_.policy == AdmissionPolicy::kPriceSignal;
+  }
+
+  /// Advances one global period: folds the probe's mean log price into the
+  /// warmup baseline or, after warmup, moves the brownout level one step
+  /// through the hysteresis band. A probe without market state (non-price
+  /// mechanisms) leaves the level at 0 and arms the static fallback.
+  void OnPeriod(const obs::metrics::MarketProbe& probe);
+
+  /// The fate of a not-yet-admitted query of `class_id`, evaluated before
+  /// solicitation. `outstanding` is the caller's admitted-in-flight count
+  /// (queries past this gate that have not yet terminated), refreshed at
+  /// market-tick granularity so decisions are layout-invariant. Never
+  /// returns kDefer unless the config asks for deferral.
+  Decision Admit(int class_id, int64_t outstanding) const;
+
+  /// Current brownout level: number of (most expensive first) classes
+  /// currently being gated. 0 = everything admitted.
+  int brownout_level() const { return brownout_level_; }
+  /// Last observed price ratio over the (frozen or slow-tracking)
+  /// baseline (1.0 until the baseline exists).
+  double price_ratio() const { return price_ratio_; }
+
+ private:
+  Decision Gate() const {
+    return config_.defer ? Decision::kDefer : Decision::kShed;
+  }
+
+  AdmissionConfig config_;
+  /// brownout_rank_[c] = position of class c in the expensive-first order;
+  /// class c is gated while brownout_rank_[c] < brownout_level_.
+  std::vector<int> brownout_rank_;
+  int num_classes_ = 0;
+  int periods_seen_ = 0;
+  int baseline_periods_ = 0;
+  double baseline_sum_ = 0.0;
+  double baseline_ = 0.0;
+  double prev_index_ = 0.0;
+  bool baseline_frozen_ = false;
+  bool probe_has_market_ = false;
+  double price_ratio_ = 1.0;
+  int brownout_level_ = 0;
+};
+
+}  // namespace qa::sim
+
+#endif  // QAMARKET_SIM_ADMISSION_H_

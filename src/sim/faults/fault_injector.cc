@@ -27,6 +27,14 @@ FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t default_seed)
     transitions_.emplace_back(
         f.until, Transition{Transition::Kind::kDegradeEnd, f.node, 1.0});
   }
+  for (const SurgeFault& f : plan_.surges) {
+    transitions_.emplace_back(
+        f.from, Transition{Transition::Kind::kSurgeStart, /*node=*/-1,
+                           f.multiplier, f.class_id});
+    transitions_.emplace_back(
+        f.until, Transition{Transition::Kind::kSurgeEnd, /*node=*/-1, 1.0,
+                            f.class_id});
+  }
   // Time-ordered, stable so simultaneous transitions keep plan order.
   std::stable_sort(transitions_.begin(), transitions_.end(),
                    [](const auto& a, const auto& b) {
@@ -60,6 +68,16 @@ double FaultInjector::SpeedFactor(catalog::NodeId node,
     }
   }
   return factor;
+}
+
+double FaultInjector::ArrivalMultiplier(int class_id, util::VTime now) const {
+  for (const SurgeFault& f : plan_.surges) {
+    if (f.class_id != SurgeFault::kAllClasses && f.class_id != class_id) {
+      continue;
+    }
+    if (InWindow(f.from, f.until, now)) return f.multiplier;
+  }
+  return 1.0;
 }
 
 bool FaultInjector::AnyLinkFaultActive(util::VTime now) const {

@@ -31,10 +31,13 @@ class FaultInjector {
       kRestart,       // node back up, allocator re-learns it
       kDegradeStart,  // node slows to `factor` of normal speed
       kDegradeEnd,    // node back to full speed
+      kSurgeStart,    // arrival rate of `class_id` multiplied by `factor`
+      kSurgeEnd,      // arrival rate back to normal
     };
     Kind kind = Kind::kCrash;
-    catalog::NodeId node = -1;
-    double factor = 1.0;  // degrade transitions only
+    catalog::NodeId node = -1;  // -1 for the node-less surge transitions
+    double factor = 1.0;   // degrade / surge transitions only
+    int class_id = -1;     // surge transitions only (-1 = all classes)
   };
 
   /// `plan` must already be validated. `default_seed` is used when the
@@ -61,6 +64,12 @@ class FaultInjector {
   /// Execution speed multiplier in (0, 1]; 1.0 = full speed. Overlapping
   /// degrade windows compound.
   double SpeedFactor(catalog::NodeId node, util::VTime now) const;
+
+  /// Arrival-rate multiplier for `class_id` at `now`: the matching surge
+  /// window's multiplier, 1.0 outside every window. Validation forbids
+  /// overlapping matching windows, so at most one applies.
+  double ArrivalMultiplier(int class_id, util::VTime now) const;
+  bool AnySurge() const { return !plan_.surges.empty(); }
 
   /// True when some link fault window covers `now` (fast-path gate: when
   /// false, no draw is consumed anywhere).

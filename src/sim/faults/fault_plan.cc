@@ -67,6 +67,37 @@ util::Status FaultPlan::Validate(int num_nodes) const {
           "links[" + std::to_string(i) + "]: negative extra_latency");
     }
   }
+  for (size_t i = 0; i < surges.size(); ++i) {
+    const SurgeFault& f = surges[i];
+    if (f.class_id < SurgeFault::kAllClasses) {
+      return util::Status::InvalidArgument(
+          "surges[" + std::to_string(i) + "]: class " +
+          std::to_string(f.class_id) + " invalid (use kAllClasses = -1)");
+    }
+    if (f.from < 0 || f.until <= f.from) {
+      return BadWindow("surges", i, f.from, f.until);
+    }
+    if (!(f.multiplier > 0.0)) {
+      return util::Status::InvalidArgument(
+          "surges[" + std::to_string(i) + "]: multiplier " +
+          std::to_string(f.multiplier) + " must be positive");
+    }
+    // Overlapping windows with overlapping class scope would make the
+    // effective multiplier depend on declaration order; reject instead of
+    // silently compounding.
+    for (size_t j = 0; j < i; ++j) {
+      const SurgeFault& g = surges[j];
+      bool classes_overlap = f.class_id == SurgeFault::kAllClasses ||
+                             g.class_id == SurgeFault::kAllClasses ||
+                             f.class_id == g.class_id;
+      bool windows_overlap = f.from < g.until && g.from < f.until;
+      if (classes_overlap && windows_overlap) {
+        return util::Status::InvalidArgument(
+            "surges[" + std::to_string(i) + "] overlaps surges[" +
+            std::to_string(j) + "] in both time and class scope");
+      }
+    }
+  }
   for (size_t i = 0; i < partitions.size(); ++i) {
     const PartitionFault& f = partitions[i];
     if (f.nodes.empty()) {

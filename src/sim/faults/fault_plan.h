@@ -52,6 +52,22 @@ struct LinkFault {
   util::VDuration extra_latency = 0;
 };
 
+/// Flash crowd: during [from, until) the arrival rate of `class_id`
+/// (kAllClasses = every class) is multiplied by `multiplier`. The demand-
+/// side counterpart of the supply-side faults above: the federation clones
+/// each matching trace arrival `multiplier`x (fractional parts resolved by
+/// a seeded Bernoulli draw), so a 10x surge is a declarative chaos-plan
+/// citizen like a crash — same plan, same seed, byte-identical run at any
+/// shard/thread layout. Multipliers below 1 model demand droughts.
+struct SurgeFault {
+  static constexpr int kAllClasses = -1;
+
+  int class_id = kAllClasses;
+  util::VTime from = 0;
+  util::VTime until = 0;
+  double multiplier = 2.0;
+};
+
 /// Network partition: during [from, until) the listed node set is mutually
 /// unreachable from the rest of the federation (and from the mediators,
 /// which live on the majority side). State stays intact: queries already
@@ -72,18 +88,22 @@ struct FaultPlan {
   std::vector<DegradeFault> degrades;
   std::vector<LinkFault> links;
   std::vector<PartitionFault> partitions;
+  std::vector<SurgeFault> surges;
   /// Seed of the injector's message-loss RNG. 0 derives the seed from the
   /// federation's own seed (FederationConfig::seed).
   uint64_t seed = 0;
 
   bool empty() const {
     return crashes.empty() && degrades.empty() && links.empty() &&
-           partitions.empty();
+           partitions.empty() && surges.empty();
   }
 
   /// Rejects malformed plans: nodes outside [0, num_nodes), inverted or
   /// empty windows, degrade factors outside (0, 1], drop probabilities
-  /// outside [0, 1), negative extra latency, empty partition sets.
+  /// outside [0, 1), negative extra latency, empty partition sets,
+  /// non-positive surge multipliers, and surge windows that overlap in
+  /// both time and class scope (overlap would make the effective rate
+  /// multiplier order-dependent; split the windows instead).
   util::Status Validate(int num_nodes) const;
 };
 

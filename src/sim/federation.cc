@@ -40,8 +40,9 @@ faults::FaultPlan EffectivePlan(const FederationConfig& config) {
 /// barrier merge; only pre-registration makes creation order invariant).
 constexpr const char* kCounterNames[] = {
     "arrivals", "assigns",  "rejects",  "bounces",  "drops",
-    "expired",  "deliveries", "completions", "losses", "crashes",
-    "restarts", "degrades", "ticks",    "snapshots",
+    "expired",  "shed",     "admission_rejects", "deliveries",
+    "completions", "losses", "crashes",
+    "restarts", "degrades", "surges", "ticks", "snapshots",
 };
 
 }  // namespace
@@ -80,6 +81,18 @@ util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
     return util::Status::InvalidArgument(
         "shards must be >= 1, got " + std::to_string(config.shards));
   }
+  if (config.max_node_queue < 1) {
+    return util::Status::InvalidArgument(
+        "max_node_queue (shed bound) must be >= 1, got " +
+        std::to_string(config.max_node_queue));
+  }
+  if (config.max_retry_backlog < 1) {
+    return util::Status::InvalidArgument(
+        "max_retry_backlog (shed bound) must be >= 1, got " +
+        std::to_string(config.max_retry_backlog));
+  }
+  util::Status admission = config.admission.Validate();
+  if (!admission.ok()) return admission;
   for (size_t i = 0; i < config.outages.size(); ++i) {
     const Outage& outage = config.outages[i];
     if (outage.node < 0 || outage.node >= num_nodes) {
@@ -130,6 +143,12 @@ std::string DescribeEvent(const SimEvent& event) {
         case Kind::kDegradeEnd:
           what = "fault-degrade-end";
           break;
+        case Kind::kSurgeStart:
+          return "fault-surge-start class=" +
+                 std::to_string(event.transition.class_id);
+        case Kind::kSurgeEnd:
+          return "fault-surge-end class=" +
+                 std::to_string(event.transition.class_id);
       }
       return std::string(what) + " node=" + std::to_string(event.node);
     }
@@ -207,8 +226,9 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
   metrics_.completions_per_class.resize(num_classes);
   metrics_.dropped_per_class.resize(num_classes);
   metrics_.retries_per_class.resize(num_classes);
-  outstanding_ = static_cast<int64_t>(trace.size());
   ticks_ = 0;
+  retry_backlog_ = 0;
+  admission_ = AdmissionController(config_.admission, best_cost_);
 
   // While this run is active, log lines on this thread carry the current
   // virtual time (interleaved parallel runs stay attributable).
@@ -274,17 +294,53 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
   // the order sharded runs reproduce.
   events_.Reserve(trace.size() + static_cast<size_t>(num_nodes_) + 1 +
                   injector_.transitions().size());
+  // Surge windows expand (or thin) the trace at schedule time: each
+  // matching arrival is scheduled `multiplier` times — the integer part
+  // guaranteed, the fractional part by one seeded Bernoulli draw per
+  // arrival. The draw stream is a pure function of (plan, trace), never of
+  // execution layout, so surged runs stay byte-identical across shard and
+  // thread counts. Plans without surges consume no draws, so pre-surge
+  // scenarios reproduce their old traces exactly.
+  const bool surging = injector_.AnySurge();
+  util::Rng surge_rng((config_.faults.seed != 0
+                           ? config_.faults.seed
+                           : static_cast<uint64_t>(config_.seed)) ^
+                      0xc2b2ae3d27d4eb4full);
+  int64_t arrivals_scheduled = 0;
   for (const workload::Arrival& arrival : trace.arrivals()) {
-    events_.Schedule(
-        arrival.time, NextMediatorStamp(),
-        SimEvent::MakeArrival({arrival, next_query_id_++, /*attempts=*/0}));
+    int copies = 1;
+    if (surging) {
+      double multiplier =
+          injector_.ArrivalMultiplier(arrival.class_id, arrival.time);
+      // qa-lint: allow(QA-NUM-001) exact 1.0 = "no surge window matched"
+      if (multiplier != 1.0) {
+        copies = static_cast<int>(multiplier);
+        double frac = multiplier - static_cast<double>(copies);
+        if (frac > 0.0 && surge_rng.Bernoulli(frac)) ++copies;
+      }
+    }
+    for (int c = 0; c < copies; ++c) {
+      events_.Schedule(
+          arrival.time, NextMediatorStamp(),
+          SimEvent::MakeArrival({arrival, next_query_id_++, /*attempts=*/0,
+                                 /*admitted=*/false}));
+    }
+    arrivals_scheduled += copies;
   }
+  metrics_.arrivals = arrivals_scheduled;
+  outstanding_ = arrivals_scheduled;
+  admitted_in_flight_ = 0;
+  admission_load_ = 0;
   for (const auto& [when, transition] : injector_.transitions()) {
-    // Restarts are mediator-lane (the allocator re-learns the node);
+    // Restarts are mediator-lane (the allocator re-learns the node), and
+    // so are the node-less surge edges (informational trace markers);
     // crash and degrade edges act on node state and belong to the node's
     // own lane. Stamp allocation order here is the injector's transition
     // order in both modes — the counters stay mode-invariant.
-    if (transition.kind == faults::FaultInjector::Transition::Kind::kRestart) {
+    using TKind = faults::FaultInjector::Transition::Kind;
+    if (transition.kind == TKind::kRestart ||
+        transition.kind == TKind::kSurgeStart ||
+        transition.kind == TKind::kSurgeEnd) {
       events_.Schedule(when, NextMediatorStamp(),
                        SimEvent::MakeFault(transition));
     } else {
@@ -500,15 +556,19 @@ void Federation::Dispatch(const SimEvent& event) {
     case SimEvent::Kind::kMarketTick:
       MarketTick();
       break;
-    case SimEvent::Kind::kFault:
-      if (event.transition.kind ==
-          faults::FaultInjector::Transition::Kind::kRestart) {
+    case SimEvent::Kind::kFault: {
+      using TKind = faults::FaultInjector::Transition::Kind;
+      if (event.transition.kind == TKind::kRestart) {
         HandleRestart(event.transition);
+      } else if (event.transition.kind == TKind::kSurgeStart ||
+                 event.transition.kind == TKind::kSurgeEnd) {
+        HandleSurge(event.transition);
       } else {
         HandleShardFault(nullptr, event.transition, events_.now(),
                          /*stamp=*/0);
       }
       break;
+    }
   }
 }
 
@@ -556,15 +616,65 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     }
   }
 
+  // A retry/defer attempt leaving the heap frees its backlog slot (the
+  // bound counts scheduled future attempts, not attempts being served).
+  if (pending.attempts > 0) --retry_backlog_;
+
   // The client abandons a query whose sojourn has reached its response
   // deadline instead of renegotiating it: a placement that cannot possibly
   // answer in time is not worth another market round. Fresh arrivals
   // (attempts == 0) are never expired — their sojourn is zero.
   if (config_.query_deadline > 0 && pending.attempts > 0 &&
       events_.now() - pending.arrival.time >= config_.query_deadline) {
+    if (admission_.enabled() && pending.admitted) {
+      --admitted_in_flight_;
+      --admission_load_;
+    }
     DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
               /*expired=*/true);
     return;
+  }
+
+  // The admission gate runs ahead of solicitation: a gated query never
+  // reaches the market — no messages, no link-fault draws, no allocator
+  // state change. Deferral re-queues it for the next market tick at the
+  // price of one retry attempt; shedding drops it on the spot. Already-
+  // admitted retries skip the gate — admission decides who enters the
+  // market, not who may finish — and the gate's load signal is the
+  // tick-refreshed admitted-in-flight view (admission_load_), never the
+  // raw outstanding count: gating on "everything still unfinished" would
+  // count the deferred queries against the very threshold they wait on.
+  if (admission_.enabled() && !pending.admitted) {
+    AdmissionController::Decision fate =
+        admission_.Admit(pending.arrival.class_id, admission_load_);
+    if (fate == AdmissionController::Decision::kShed) {
+      ShedQuery(pending.id, pending.arrival.class_id, pending.attempts,
+                /*admission=*/true);
+      return;
+    }
+    if (fate == AdmissionController::Decision::kDefer) {
+      ++pending.attempts;
+      if (pending.attempts > config_.max_retries) {
+        DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
+                  /*expired=*/false);
+        return;
+      }
+      if (retry_backlog_ >= config_.max_retry_backlog) {
+        ShedQuery(pending.id, pending.arrival.class_id, pending.attempts,
+                  /*admission=*/true);
+        return;
+      }
+      ++retry_backlog_;
+      ++metrics_.retries;
+      ++metrics_.retries_per_class[static_cast<size_t>(
+          pending.arrival.class_id)];
+      events_.Schedule(NextMarketTick(), NextMediatorStamp(),
+                       SimEvent::MakeArrival(pending));
+      return;
+    }
+    pending.admitted = true;
+    ++admitted_in_flight_;
+    ++admission_load_;
   }
 
   // Under an active link fault, draw the fate of this attempt's message
@@ -639,10 +749,28 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     }
     ++pending.attempts;
     if (pending.attempts > config_.max_retries) {
+      if (admission_.enabled() && pending.admitted) {
+        --admitted_in_flight_;
+        --admission_load_;
+      }
       DropQuery(pending.id, pending.arrival.class_id, pending.attempts,
                 /*expired=*/false);
       return;
     }
+    // Bounded retry backlog: the escalating backoff below caps each
+    // query's *delay*, but only this bound caps how many queries can sit
+    // backed off at once — past it, overflow is shed instead of queued,
+    // so a long outage costs O(bound) retry state, not O(arrivals).
+    if (retry_backlog_ >= config_.max_retry_backlog) {
+      if (admission_.enabled() && pending.admitted) {
+        --admitted_in_flight_;
+        --admission_load_;
+      }
+      ShedQuery(pending.id, pending.arrival.class_id, pending.attempts,
+                /*admission=*/false);
+      return;
+    }
+    ++retry_backlog_;
     ++metrics_.retries;
     ++metrics_.retries_per_class[static_cast<size_t>(
         pending.arrival.class_id)];
@@ -751,6 +879,26 @@ void Federation::DropQuery(query::QueryId id, query::QueryClassId class_id,
   }
 }
 
+void Federation::ShedQuery(query::QueryId id, query::QueryClassId class_id,
+                           int attempts, bool admission) {
+  ++metrics_.shed;
+  if (admission) ++metrics_.admission_rejects;
+  ++metrics_.dropped;
+  ++metrics_.dropped_per_class[static_cast<size_t>(class_id)];
+  --outstanding_;
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kShed;
+    event.t_us = events_.now();
+    event.query = id;
+    event.class_id = class_id;
+    event.attempts = attempts;
+    EmitRecord(event);
+    config_.recorder->Count("shed");
+    if (admission) config_.recorder->Count("admission_rejects");
+  }
+}
+
 void Federation::LoseTaskMediator(const QueryTask& task,
                                   catalog::NodeId node_id) {
   ++metrics_.lost;
@@ -765,6 +913,20 @@ void Federation::LoseTaskMediator(const QueryTask& task,
     EmitRecord(event);
     config_.recorder->Count("losses");
   }
+  // A resubmission is retry backlog like any other; past the bound the
+  // client gives up instead of queueing (accounted as shed, not retried).
+  if (retry_backlog_ >= config_.max_retry_backlog) {
+    if (admission_.enabled()) {
+      // Tasks exist only past the admission gate; this is a mediator-lane
+      // event, so the gate's view updates too.
+      --admitted_in_flight_;
+      --admission_load_;
+    }
+    ShedQuery(task.query_id, task.class_id, task.attempts + 1,
+              /*admission=*/false);
+    return;
+  }
+  ++retry_backlog_;
   // Reconstruct the client's pending query (original arrival time — the
   // loss inflates its response time, which is the point) and resubmit it
   // at the next market tick, one retry poorer. The tick event for that
@@ -776,6 +938,7 @@ void Federation::LoseTaskMediator(const QueryTask& task,
   pending.arrival.cost_jitter = task.cost_jitter;
   pending.id = task.query_id;
   pending.attempts = task.attempts + 1;
+  pending.admitted = true;  // a task is past the gate by construction
   events_.Schedule(NextMarketTick(), NextMediatorStamp(),
                    SimEvent::MakeArrival(pending));
 }
@@ -821,6 +984,30 @@ void Federation::DeliverTask(ShardLane* lane, catalog::NodeId node_id,
             static_cast<double>(delivered.exec_time) / speed),
         1);
   }
+  // Bounded node queue: a delivery that would leave more than
+  // max_node_queue tasks waiting sheds one task instead of growing the
+  // queue. Newest-first sheds the arriving task; lowest-priority-first
+  // evicts the most expensive queued task when the arrival is strictly
+  // cheaper (so cheap work still completes under pressure) and otherwise
+  // sheds the arrival. Pure node-lane state — deterministic in both
+  // execution modes, and never gated on observability.
+  if (pool_.QueueLength(node_id) >= config_.max_node_queue) {
+    if (config_.shed_policy == ShedPolicy::kLowestPriorityFirst) {
+      QueryTask victim;
+      if (pool_.EvictWorseQueued(
+              node_id, best_cost_,
+              best_cost_[static_cast<size_t>(delivered.class_id)],
+              &victim)) {
+        ShedTaskShard(lane, victim, node_id, now, stamp);
+      } else {
+        ShedTaskShard(lane, delivered, node_id, now, stamp);
+        return;
+      }
+    } else {
+      ShedTaskShard(lane, delivered, node_id, now, stamp);
+      return;
+    }
+  }
   QA_OBS(config_.recorder) {
     ShardOutcome outcome;
     outcome.kind = ShardOutcome::Kind::kDeliverRecord;
@@ -833,6 +1020,18 @@ void Federation::DeliverTask(ShardLane* lane, catalog::NodeId node_id,
   if (pool_.Enqueue(node_id, delivered)) {
     StartTask(node_id, now);
   }
+}
+
+void Federation::ShedTaskShard(ShardLane* lane, const QueryTask& task,
+                               catalog::NodeId node_id, util::VTime now,
+                               uint64_t stamp) {
+  ShardOutcome outcome;
+  outcome.kind = ShardOutcome::Kind::kShed;
+  outcome.node = node_id;
+  outcome.time = now;
+  outcome.stamp = stamp;
+  outcome.task = task;
+  Emit(lane, std::move(outcome));
 }
 
 void Federation::StartTask(catalog::NodeId node_id, util::VTime now) {
@@ -890,6 +1089,22 @@ void Federation::HandleRestart(
   }
 }
 
+void Federation::HandleSurge(
+    const faults::FaultInjector::Transition& transition) {
+  // The arrival-rate change was already applied when the trace was
+  // expanded at schedule time; this transition exists so traced runs carry
+  // a `surge` marker (analysis tools anchor recovery windows on it).
+  QA_OBS(config_.recorder) {
+    obs::EventRecord event;
+    event.kind = obs::EventRecord::Kind::kSurge;
+    event.t_us = events_.now();
+    event.class_id = transition.class_id;
+    event.factor = transition.factor;
+    EmitRecord(event);
+    config_.recorder->Count("surges");
+  }
+}
+
 void Federation::HandleShardFault(
     ShardLane* lane, const faults::FaultInjector::Transition& transition,
     util::VTime now, uint64_t stamp) {
@@ -914,7 +1129,9 @@ void Federation::HandleShardFault(
       break;
     }
     case Kind::kRestart:
-      assert(false && "restarts are mediator-lane events");
+    case Kind::kSurgeStart:
+    case Kind::kSurgeEnd:
+      assert(false && "restart/surge transitions are mediator-lane events");
       break;
     case Kind::kDegradeStart:
     case Kind::kDegradeEnd:
@@ -978,6 +1195,11 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
           outcome.task.class_id)].Add(outcome.time, 1.0);
       ++metrics_.completed;
       --outstanding_;
+      // Node-side terminations update only the exact in-flight count, not
+      // the gate's view: inline mode applies this immediately, sharded
+      // mode at the next fence, and the gate may run in between. The view
+      // resyncs at the tick (see admission_load_).
+      if (admission_.enabled()) --admitted_in_flight_;
       break;
     }
     case ShardOutcome::Kind::kExpired: {
@@ -986,6 +1208,7 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
           outcome.task.class_id)];
       ++metrics_.expired;
       --outstanding_;
+      if (admission_.enabled()) --admitted_in_flight_;
       QA_OBS(config_.recorder) {
         obs::EventRecord event;
         event.kind = obs::EventRecord::Kind::kDrop;
@@ -1011,6 +1234,29 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
         config_.recorder->Record(event);
         config_.recorder->Count("losses");
       }
+      // Bounded retry backlog, exactly like the mediator-side loss path:
+      // past the bound the client gives up (shed) instead of queueing.
+      if (retry_backlog_ >= config_.max_retry_backlog) {
+        ++metrics_.shed;
+        ++metrics_.dropped;
+        ++metrics_.dropped_per_class[static_cast<size_t>(
+            outcome.task.class_id)];
+        --outstanding_;
+        if (admission_.enabled()) --admitted_in_flight_;
+        QA_OBS(config_.recorder) {
+          obs::EventRecord event;
+          event.kind = obs::EventRecord::Kind::kShed;
+          event.t_us = outcome.time;
+          event.query = outcome.task.query_id;
+          event.class_id = outcome.task.class_id;
+          event.node = outcome.node;
+          event.attempts = outcome.task.attempts + 1;
+          config_.recorder->Record(event);
+          config_.recorder->Count("shed");
+        }
+        break;
+      }
+      ++retry_backlog_;
       // Reconstruct the client's pending query (original arrival time —
       // the loss inflates its response time, which is the point) and
       // resubmit it with the time and stamp the losing lane fixed.
@@ -1021,6 +1267,7 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
       pending.arrival.cost_jitter = outcome.task.cost_jitter;
       pending.id = outcome.task.query_id;
       pending.attempts = outcome.task.attempts + 1;
+      pending.admitted = true;  // a task is past the gate by construction
       events_.Schedule(outcome.resubmit_time, outcome.resubmit_stamp,
                        SimEvent::MakeArrival(pending));
       break;
@@ -1045,6 +1292,28 @@ void Federation::ApplyOutcome(const ShardOutcome& outcome) {
         event.factor = outcome.factor;
         config_.recorder->Record(event);
         config_.recorder->Count("degrades");
+      }
+      break;
+    }
+    case ShardOutcome::Kind::kShed: {
+      // A bounded node queue turned the task away (or evicted it):
+      // shed ⊆ dropped, so conservation still closes the run.
+      ++metrics_.shed;
+      ++metrics_.dropped;
+      ++metrics_.dropped_per_class[static_cast<size_t>(
+          outcome.task.class_id)];
+      --outstanding_;
+      if (admission_.enabled()) --admitted_in_flight_;
+      QA_OBS(config_.recorder) {
+        obs::EventRecord event;
+        event.kind = obs::EventRecord::Kind::kShed;
+        event.t_us = outcome.time;
+        event.query = outcome.task.query_id;
+        event.class_id = outcome.task.class_id;
+        event.node = outcome.node;
+        event.attempts = outcome.task.attempts;
+        config_.recorder->Record(event);
+        config_.recorder->Count("shed");
       }
       break;
     }
@@ -1076,6 +1345,24 @@ void Federation::MarketTick() {
   }
   tick_assigns_ = 0;
   tick_rejects_ = 0;
+  // Admission-control update, once per global period. Deliberately NOT
+  // inside a QA_METRICS gate: admission changes which queries run, so it
+  // must behave identically with and without a collector attached (the
+  // collector-never-perturbs invariant, DESIGN.md §9). The controller
+  // keeps its own probe for the same reason.
+  if (admission_.enabled()) {
+    // The fence has run (sharded mode merges every lane before a market
+    // tick dispatches), so admitted_in_flight_ is exact in both modes
+    // here: resync the gate's view so node-side completions since the
+    // last tick free admission slots.
+    admission_load_ = admitted_in_flight_;
+    if (ticks_ % std::max(config_.market_tick_divisor, 1) == 0) {
+      if (admission_.wants_probe()) {
+        allocator_->FillMarketProbe(&admission_probe_);
+      }
+      admission_.OnPeriod(admission_probe_);
+    }
+  }
   QA_OBS(config_.recorder) {
     obs::EventRecord event;
     event.kind = obs::EventRecord::Kind::kTick;
@@ -1174,8 +1461,19 @@ void Federation::EmitMetricsSample() {
     row.messages = metrics_.messages;
     row.solicited = metrics_.solicited;
     row.outstanding = outstanding_;
+    row.shed = metrics_.shed;
+    row.admission_rejects = metrics_.admission_rejects;
+    row.brownout_level = admission_.brownout_level();
+    // Queue-depth histogram: per-node waiting-queue lengths at the period
+    // fence. Virtual state, so the histogram is as deterministic as the
+    // counters (the one histogram that is not a wall-clock side channel).
+    for (catalog::NodeId j = 0; j < num_nodes_; ++j) {
+      config_.metrics->registry().Observe(obs::metrics::kNodeQueueDepth,
+                                          pool_.QueueLength(j));
+    }
     // Watchdogs first: alarms precede the sample that carries the gauges
     // they fired on, so the stream reads cause-before-effect.
+    watchdogs_->ObserveOverload(metrics_.shed, admission_.brownout_level());
     allocator_->FillMarketProbe(&market_probe_);
     std::vector<obs::metrics::AlarmRecord> alarms =
         watchdogs_->EvaluatePeriod(row.period, events_.now(), market_probe_);

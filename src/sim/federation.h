@@ -13,6 +13,7 @@
 #include "obs/recorder.h"
 #include "obs/snapshot.h"
 #include "query/cost_model.h"
+#include "sim/admission.h"
 #include "sim/event_queue.h"
 #include "sim/faults/fault_injector.h"
 #include "sim/faults/fault_plan.h"
@@ -76,6 +77,25 @@ struct FederationConfig {
   /// queries count as dropped (plus SimMetrics::expired), so conservation
   /// still holds: arrivals == completed + dropped.
   util::VDuration query_deadline = 0;
+  /// Per-node queue bound: a delivery that would leave more than this many
+  /// tasks waiting at a node sheds one task instead (which one is decided
+  /// by `shed_policy`), accounted as SimMetrics::shed ⊆ dropped with a
+  /// schema-v4 `shed` trace event. The default is effectively unbounded —
+  /// the pre-overload behavior; ValidateConfig rejects values < 1.
+  int max_node_queue = 1 << 30;
+  /// Mediator retry-backlog bound: at most this many queries may sit in
+  /// backed-off retry/defer state at once. Overflow is shed instead of
+  /// rescheduled, so the retry set stays O(bound) rather than O(arrivals)
+  /// during an outage. ValidateConfig rejects values < 1.
+  int max_retry_backlog = 1 << 30;
+  /// Which task loses when a shed bound trips.
+  ShedPolicy shed_policy = ShedPolicy::kNewestFirst;
+  /// Admission-control gate evaluated ahead of solicitation (off by
+  /// default). The price-signal policy reads the allocator's MarketProbe
+  /// once per global period — unconditionally, never gated on whether a
+  /// metrics collector is attached, because admission changes simulation
+  /// behavior.
+  AdmissionConfig admission;
   /// Optional telemetry sink (not owned; must outlive the run). When set,
   /// the federation streams event spans, per-period allocator snapshots and
   /// run counters into it; when null every probe is a single branch.
@@ -116,8 +136,9 @@ struct FederationConfig {
 
 /// Rejects misconfigured runs before they produce silent nonsense:
 /// non-positive period, market_tick_divisor < 1, negative message latency
-/// or retry budget, max_backoff_periods < 1, shards < 1, malformed outage
-/// windows, and anything FaultPlan::Validate rejects. Federation::Run
+/// or retry budget, max_backoff_periods < 1, shards < 1, shed bounds < 1,
+/// malformed admission bands, malformed outage windows, and anything
+/// FaultPlan::Validate rejects. Federation::Run
 /// calls this at entry and aborts on error; callers building configs from
 /// external input should call it themselves and surface the Status.
 util::Status ValidateConfig(const FederationConfig& config, int num_nodes);
@@ -139,7 +160,8 @@ struct SimEvent {
     kComplete,
     /// Periodic market driver (allocator period hooks, retry clock).
     kMarketTick,
-    /// A fault-plan transition fires (crash / restart / degrade edge).
+    /// A fault-plan transition fires (crash / restart / degrade or surge
+    /// edge).
     kFault,
   };
 
@@ -148,6 +170,11 @@ struct SimEvent {
     workload::Arrival arrival;
     query::QueryId id;
     int attempts;
+    /// True once the query passed the admission gate (or was reconstructed
+    /// from a lost task — tasks exist only past the gate). Admitted queries
+    /// skip the gate on retries: admission decides who *enters* the market,
+    /// not who may finish. Union member — every creation site must set it.
+    bool admitted;
   };
 
   Kind kind;
@@ -260,6 +287,7 @@ class Federation : public allocation::AllocationContext {
       kLost,           // in-flight loss: accounting + resubmission
       kCrashRecord,    // trace only (losses arrive as kLost outcomes)
       kDegradeRecord,  // trace only
+      kShed,           // bounded node queue shed: drop accounting
     };
     Kind kind;
     catalog::NodeId node = -1;
@@ -304,6 +332,9 @@ class Federation : public allocation::AllocationContext {
   void MarketTick();
   /// Mediator-side fault transition (restart: allocator re-learns).
   void HandleRestart(const faults::FaultInjector::Transition& transition);
+  /// Mediator-side surge edge: the rate change itself was applied when the
+  /// arrivals were scheduled; this emits the informational trace marker.
+  void HandleSurge(const faults::FaultInjector::Transition& transition);
   /// Shard-side fault transition (crash flush / degrade edges).
   void HandleShardFault(ShardLane* lane,
                         const faults::FaultInjector::Transition& transition,
@@ -321,6 +352,18 @@ class Federation : public allocation::AllocationContext {
   /// Mediator-side only; the shard-side equivalent is a kExpired outcome.
   void DropQuery(query::QueryId id, query::QueryClassId class_id,
                  int attempts, bool expired);
+  /// Accounts one query as shed on the mediator side (admission gate or
+  /// retry-backlog overflow): SimMetrics::shed ⊆ dropped, plus
+  /// admission_rejects when the admission gate did it, and the schema-v4
+  /// `shed` trace record.
+  void ShedQuery(query::QueryId id, query::QueryClassId class_id,
+                 int attempts, bool admission);
+  /// Sheds `task` at a full node queue (the incoming task, or the evicted
+  /// queued victim under kLowestPriorityFirst): buffers a kShed outcome in
+  /// sharded mode, applies it on the spot inline.
+  void ShedTaskShard(ShardLane* lane, const QueryTask& task,
+                     catalog::NodeId node_id, util::VTime now,
+                     uint64_t stamp);
 
   // ---- sharded-mode machinery ----
   /// Runs the mediator lane with a barrier before every market tick.
@@ -420,6 +463,32 @@ class Federation : public allocation::AllocationContext {
   /// Queries in flight (arrived, not yet completed or dropped); the
   /// periodic market event keeps rescheduling itself while this is > 0.
   int64_t outstanding_ = 0;
+  /// Queries currently scheduled for a future retry/defer attempt
+  /// (attempts > 0 arrivals in the queue); bounded by
+  /// config_.max_retry_backlog.
+  int64_t retry_backlog_ = 0;
+  /// Queries that passed the admission gate and have not yet terminated
+  /// (completed, dropped, or shed). Exact at market ticks in both execution
+  /// modes; between ticks the sharded merge defers node-side terminations
+  /// to the next fence, so the gate must never read this directly.
+  int64_t admitted_in_flight_ = 0;
+  /// The admission gate's view of admitted_in_flight_: refreshed from it at
+  /// every market tick (post-fence, where inline and sharded state agree)
+  /// and tracked between ticks by mediator-lane events only. Node-side
+  /// completions become visible at the next tick — the gate reads node
+  /// state at market granularity, exactly like the market itself does.
+  /// Reading the live counter instead would make admission decisions
+  /// depend on the execution layout (inline applies shard outcomes
+  /// immediately; sharded applies them at the fence).
+  int64_t admission_load_ = 0;
+  /// Admission-control state machine, rebuilt per Run from the config and
+  /// the per-class best costs.
+  AdmissionController admission_;
+  /// The admission controller's own market view, refilled every global
+  /// period when the price-signal policy is active. Separate from
+  /// market_probe_ (the watchdog feed) so admission works identically with
+  /// and without a metrics collector attached.
+  obs::metrics::MarketProbe admission_probe_;
   query::QueryId next_query_id_ = 0;
   /// Market ticks run so far (drives the snapshot cadence of traced runs).
   int64_t ticks_ = 0;

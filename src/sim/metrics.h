@@ -19,9 +19,21 @@ struct SimMetrics {
   stats::TimeSeries completions;
   /// Completion events per class (index = class id).
   std::vector<stats::TimeSeries> completions_per_class;
+  /// Queries that entered the system. Under arrival-rate surges this is
+  /// not the configured trace length: surge windows clone (or thin)
+  /// scheduled arrivals, so conservation checks must use this counter,
+  /// never the input trace size. Invariant: arrivals == completed + dropped.
+  int64_t arrivals = 0;
   /// Queries abandoned: retry budget exhausted, or the client's response
   /// deadline passed (`expired` counts the latter subset).
   int64_t dropped = 0;
+  /// Queries dropped by overload protection — a bounded node queue, the
+  /// bounded mediator retry backlog, or the admission gate (subset of
+  /// `dropped`).
+  int64_t shed = 0;
+  /// Queries turned away by the admission controller specifically (subset
+  /// of `shed`).
+  int64_t admission_rejects = 0;
   /// Queries abandoned because FederationConfig::query_deadline passed
   /// before a usable answer arrived (subset of `dropped`).
   int64_t expired = 0;

@@ -4,10 +4,13 @@ namespace qa::sim {
 
 obs::Json MetricsToJson(const SimMetrics& metrics) {
   obs::Json json = obs::Json::MakeObject();
+  json.Set("arrivals", metrics.arrivals);
   json.Set("completed", metrics.completed);
   json.Set("assigned", metrics.assigned);
   json.Set("dropped", metrics.dropped);
   json.Set("expired", metrics.expired);
+  json.Set("shed", metrics.shed);
+  json.Set("admission_rejects", metrics.admission_rejects);
   json.Set("retries", metrics.retries);
   json.Set("bounced", metrics.bounced);
   json.Set("lost", metrics.lost);

@@ -181,6 +181,46 @@ void NodePool::Crash(catalog::NodeId node, util::VTime now,
   ++epoch_[i];
 }
 
+bool NodePool::EvictWorseQueued(catalog::NodeId node,
+                                const std::vector<double>& class_cost,
+                                double incoming_cost, QueryTask* victim) {
+  size_t i = static_cast<size_t>(node);
+  int shard = shard_of_[i];
+  Arena& arena = arenas_[static_cast<size_t>(shard)];
+  int32_t best = -1;
+  int32_t best_prev = -1;
+  double best_cost = incoming_cost;
+  int32_t prev = -1;
+  for (int32_t slot = queue_head_[i]; slot >= 0;
+       prev = slot, slot = arena.slots[static_cast<size_t>(slot)].next) {
+    const QueryTask& task = arena.slots[static_cast<size_t>(slot)].task;
+    double cost = class_cost[static_cast<size_t>(task.class_id)];
+    // `>=` so the newest among equally expensive queued tasks loses;
+    // strictly `>` against the incoming cost (seeded via best_cost).
+    if (cost > incoming_cost && cost >= best_cost) {
+      best = slot;
+      best_prev = prev;
+      best_cost = cost;
+    }
+  }
+  if (best < 0) return false;
+  *victim = arena.slots[static_cast<size_t>(best)].task;
+  int32_t next = arena.slots[static_cast<size_t>(best)].next;
+  if (best_prev >= 0) {
+    arena.slots[static_cast<size_t>(best_prev)].next = next;
+  } else {
+    queue_head_[i] = next;
+  }
+  if (queue_tail_[i] == best) queue_tail_[i] = best_prev;
+  ReleaseSlot(shard, best);
+  --queue_len_[i];
+  queued_work_[i] -= victim->work_units;
+  if (queued_work_[i] < 0.0) queued_work_[i] = 0.0;
+  // cumulative_work_ deliberately keeps the shed task's units, matching
+  // Crash(): it tracks work ever assigned here, not work retained.
+  return true;
+}
+
 util::VDuration NodePool::Backlog(catalog::NodeId node,
                                   util::VTime now) const {
   size_t i = static_cast<size_t>(node);

@@ -156,6 +156,20 @@ class NodePool {
   int64_t epoch(catalog::NodeId node) const {
     return epoch_[static_cast<size_t>(node)];
   }
+  /// Number of tasks waiting in the FIFO (excludes the running task).
+  int32_t QueueLength(catalog::NodeId node) const {
+    return queue_len_[static_cast<size_t>(node)];
+  }
+
+  /// Lowest-priority-first shedding support: unlinks the queued task whose
+  /// class has the highest `class_cost` (the newest one among equals) into
+  /// `*victim` — but only when that cost strictly exceeds `incoming_cost`,
+  /// so an eviction never replaces a cheap task with an expensive one.
+  /// Returns false (queue untouched) when nothing queued is strictly more
+  /// expensive than the incoming task.
+  bool EvictWorseQueued(catalog::NodeId node,
+                        const std::vector<double>& class_cost,
+                        double incoming_cost, QueryTask* victim);
 
  private:
   /// One arena slot: a queued task plus the intrusive FIFO link (index of

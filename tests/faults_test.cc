@@ -165,6 +165,111 @@ TEST(ValidateConfigTest, RejectsMisconfiguredSolicitation) {
   EXPECT_TRUE(ValidateConfig(config, 2).ok());
 }
 
+TEST(FaultPlanTest, RejectsBadSurges) {
+  faults::FaultPlan plan;
+  plan.surges.push_back(
+      {faults::SurgeFault::kAllClasses, kSecond, 2 * kSecond, 3.0});
+  EXPECT_TRUE(plan.Validate(4).ok());
+
+  // Multipliers must be strictly positive (0.5 is legal — a lull).
+  plan.surges[0].multiplier = 0.0;
+  util::Status s = plan.Validate(4);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("multiplier"), std::string::npos);
+  plan.surges[0].multiplier = -2.0;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.surges[0].multiplier = 0.5;
+  EXPECT_TRUE(plan.Validate(4).ok());
+
+  // Empty or backwards windows.
+  plan.surges[0].until = plan.surges[0].from;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.surges[0].until = 2 * kSecond;
+
+  // Class ids below the kAllClasses sentinel are nonsense.
+  plan.surges[0].class_id = -2;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.surges[0].class_id = 1;
+  EXPECT_TRUE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RejectsOverlappingSurgeWindows) {
+  faults::FaultPlan plan;
+  plan.surges.push_back({/*class_id=*/1, kSecond, 2 * kSecond, 3.0});
+  plan.surges.push_back(
+      {/*class_id=*/1, kSecond + 500 * kMillisecond, 3 * kSecond, 2.0});
+  util::Status s = plan.Validate(4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("overlaps"), std::string::npos);
+
+  // Same window on a different class is fine...
+  plan.surges[1].class_id = 0;
+  EXPECT_TRUE(plan.Validate(4).ok());
+  // ...but a global surge overlaps every class.
+  plan.surges[1].class_id = faults::SurgeFault::kAllClasses;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  // Back-to-back windows on the same class do not overlap ([1s,2s) then
+  // [2s,3s)).
+  plan.surges[1].class_id = 1;
+  plan.surges[1].from = 2 * kSecond;
+  plan.surges[1].until = 3 * kSecond;
+  EXPECT_TRUE(plan.Validate(4).ok());
+}
+
+TEST(ValidateConfigTest, RejectsBadShedBoundsAndAdmission) {
+  FederationConfig config;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // Shed bounds below 1 would shed everything on arrival.
+  config.max_node_queue = 0;
+  util::Status s = ValidateConfig(config, 2);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("max_node_queue"), std::string::npos);
+  config.max_node_queue = -3;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.max_node_queue = 1;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  config.max_retry_backlog = 0;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.max_retry_backlog = 64;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // Static admission needs a positive threshold.
+  config.admission.policy = AdmissionPolicy::kStatic;
+  config.admission.max_outstanding = 0;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.max_outstanding = 100;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // Price-signal admission needs a sane hysteresis band and warmup.
+  config.admission.policy = AdmissionPolicy::kPriceSignal;
+  config.admission.enter_ratio = 1.2;
+  config.admission.exit_ratio = 1.5;  // inverted band
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.enter_ratio = 3.0;
+  config.admission.exit_ratio = 0.0;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.exit_ratio = 1.5;
+  config.admission.warmup_periods = 0;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.warmup_periods = 2;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // The baseline tracking rate must stay inside [0, 1): 1 would snap the
+  // baseline to the index every period and the ratio could never leave 1.
+  config.admission.baseline_alpha = 1.0;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.baseline_alpha = -0.1;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+  config.admission.baseline_alpha = 0.05;
+  EXPECT_TRUE(ValidateConfig(config, 2).ok());
+
+  // Negative static threshold is rejected for every policy.
+  config.admission.max_outstanding = -1;
+  EXPECT_FALSE(ValidateConfig(config, 2).ok());
+}
+
 TEST(ValidateConfigDeathTest, RunAbortsOnInvalidConfig) {
   auto model = BuildFig1CostModel();
   allocation::AllocatorParams params;
@@ -548,6 +653,321 @@ TEST(DeadlineTest, RetryingClientGivesUpAtTheDeadline) {
   EXPECT_EQ(m.completed, 0);
   EXPECT_EQ(m.dropped, 1);
   EXPECT_EQ(m.expired, 1);
+}
+
+// ---------------------------------------------------------------- Overload
+
+TEST(SurgeTest, IntegerMultiplierClonesArrivalsExactly) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  // 10 arrivals at 0..900 ms, all inside the surge window: an integer 3x
+  // multiplier needs no Bernoulli draw, so the count is exact.
+  faults::SurgeFault surge;
+  surge.from = 0;
+  surge.until = kSecond;
+  surge.multiplier = 3.0;
+  config.faults.surges.push_back(surge);
+  Federation fed(model.get(), alloc.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(10, 100 * kMillisecond, 0));
+  EXPECT_EQ(m.arrivals, 30);
+  EXPECT_EQ(m.completed + m.dropped, m.arrivals);
+}
+
+TEST(SurgeTest, PerClassWindowOnlySurgesThatClass) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  faults::SurgeFault surge;
+  surge.class_id = 1;  // q2 doubles; the q1 stream is untouched
+  surge.from = 0;
+  surge.until = kSecond;
+  surge.multiplier = 2.0;
+  config.faults.surges.push_back(surge);
+  Federation fed(model.get(), alloc.get(), config);
+  workload::Trace trace = workload::Trace::Merge(
+      MakeTrace(5, 100 * kMillisecond, 0), MakeTrace(5, 100 * kMillisecond, 1));
+  SimMetrics m = fed.Run(trace);
+  EXPECT_EQ(m.arrivals, 5 + 10);
+}
+
+TEST(SurgeTest, FractionalMultiplierIsSeededAndReproducible) {
+  auto run_once = [](uint64_t fault_seed) {
+    auto model = BuildFig1CostModel();
+    allocation::AllocatorParams params;
+    params.cost_model = model.get();
+    auto alloc = allocation::CreateAllocator("Greedy", params);
+    FederationConfig config;
+    config.faults.seed = fault_seed;
+    faults::SurgeFault surge;
+    surge.from = 0;
+    surge.until = 10 * kSecond;
+    surge.multiplier = 2.5;
+    config.faults.surges.push_back(surge);
+    Federation fed(model.get(), alloc.get(), config);
+    return fed.Run(MakeTrace(40, 100 * kMillisecond, 0));
+  };
+  SimMetrics a = run_once(11);
+  SimMetrics b = run_once(11);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  // The fractional part is a per-arrival Bernoulli: the total sits
+  // strictly between the 2x floor and the 3x ceiling with overwhelming
+  // probability at 40 draws, and exactly within it always.
+  EXPECT_GE(a.arrivals, 80);
+  EXPECT_LE(a.arrivals, 120);
+}
+
+TEST(ShedTest, BoundedNodeQueueShedsAndConserves) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  std::ostringstream sink;
+  obs::Recorder recorder(&sink);
+  FederationConfig config;
+  config.recorder = &recorder;
+  config.max_node_queue = 2;
+  Federation fed(model.get(), alloc.get(), config);
+  // Burst of 20 q2 at t=0: Greedy piles them onto node 0, whose waiting
+  // queue holds only 2 — the overflow is shed on delivery.
+  SimMetrics m = fed.Run(MakeTrace(20, 0, 1));
+  EXPECT_GT(m.shed, 0);
+  EXPECT_LE(m.shed, m.dropped);
+  EXPECT_EQ(m.completed + m.dropped, m.arrivals);
+  EXPECT_EQ(m.admission_rejects, 0);  // no admission gate in this run
+
+  std::istringstream in(sink.str());
+  util::StatusOr<obs::ParsedTrace> parsed = obs::ParsedTrace::Parse(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  int64_t shed_records = 0;
+  for (const obs::EventRecord& e : parsed->events) {
+    if (e.kind != obs::EventRecord::Kind::kShed) continue;
+    ++shed_records;
+    EXPECT_GE(e.node, 0);  // queue sheds name the overflowing node
+    EXPECT_GE(e.query, 0);
+  }
+  EXPECT_EQ(shed_records, m.shed);
+}
+
+TEST(ShedTest, LowestPriorityPolicyProtectsCheapClasses) {
+  // Same bound, opposite victim selection: under kLowestPriorityFirst an
+  // expensive queued q1 yields its slot to nothing (q1 is the costliest),
+  // but an incoming cheap q2 evicts a queued q1 rather than being shed
+  // itself. Run a mixed burst and compare per-class drop shares.
+  auto run_with = [](ShedPolicy policy) {
+    auto model = BuildFig1CostModel();
+    allocation::AllocatorParams params;
+    params.cost_model = model.get();
+    auto alloc = allocation::CreateAllocator("Greedy", params);
+    FederationConfig config;
+    config.max_node_queue = 2;
+    config.shed_policy = policy;
+    Federation fed(model.get(), alloc.get(), config);
+    workload::Trace trace =
+        workload::Trace::Merge(MakeTrace(10, 0, 0), MakeTrace(10, 0, 1));
+    return fed.Run(trace);
+  };
+  SimMetrics newest = run_with(ShedPolicy::kNewestFirst);
+  SimMetrics priority = run_with(ShedPolicy::kLowestPriorityFirst);
+  EXPECT_EQ(newest.completed + newest.dropped, newest.arrivals);
+  EXPECT_EQ(priority.completed + priority.dropped, priority.arrivals);
+  ASSERT_GT(priority.shed, 0);
+  ASSERT_EQ(priority.dropped_per_class.size(), 2u);
+  // The expensive class (q1 costs more everywhere in the Fig. 1 model)
+  // absorbs at least as much of the shedding as it did newest-first.
+  EXPECT_GE(priority.dropped_per_class[0], newest.dropped_per_class[0]);
+}
+
+TEST(ShedTest, RetryBacklogBoundShedsOverflow) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  config.max_retries = 10;
+  config.max_retry_backlog = 4;
+  // Every node partitioned: all 12 queries can only retry. The backlog
+  // holds 4; the rest are shed instead of joining the retry set.
+  faults::PartitionFault cut;
+  cut.nodes = {0, 1};
+  cut.from = 0;
+  cut.until = 60 * kSecond;
+  config.faults.partitions.push_back(cut);
+  Federation fed(model.get(), alloc.get(), config);
+  SimMetrics m = fed.Run(MakeTrace(12, 0, 0));
+  EXPECT_EQ(m.completed, 0);
+  EXPECT_EQ(m.dropped, 12);
+  EXPECT_GE(m.shed, 8);  // at most 4 ever sit in backed-off state
+  EXPECT_LE(m.shed, m.dropped);
+}
+
+TEST(AdmissionTest, StaticThresholdGatesArrivals) {
+  auto model = BuildFig1CostModel();
+  allocation::AllocatorParams params;
+  params.cost_model = model.get();
+  auto alloc = allocation::CreateAllocator("Greedy", params);
+  FederationConfig config;
+  config.admission.policy = AdmissionPolicy::kStatic;
+  config.admission.max_outstanding = 3;
+  Federation fed(model.get(), alloc.get(), config);
+  // Burst of 20: only the first few are in flight below the threshold;
+  // the rest are turned away at the gate.
+  SimMetrics m = fed.Run(MakeTrace(20, 0, 1));
+  EXPECT_GT(m.admission_rejects, 0);
+  EXPECT_LE(m.admission_rejects, m.shed);
+  EXPECT_LE(m.shed, m.dropped);
+  EXPECT_EQ(m.completed + m.dropped, m.arrivals);
+}
+
+TEST(AdmissionTest, DeferredAdmissionRetriesInsteadOfShedding) {
+  auto run_with = [](bool defer) {
+    auto model = BuildFig1CostModel();
+    allocation::AllocatorParams params;
+    params.cost_model = model.get();
+    auto alloc = allocation::CreateAllocator("Greedy", params);
+    FederationConfig config;
+    config.admission.policy = AdmissionPolicy::kStatic;
+    config.admission.max_outstanding = 3;
+    config.admission.defer = defer;
+    Federation fed(model.get(), alloc.get(), config);
+    return fed.Run(MakeTrace(20, 0, 1));
+  };
+  SimMetrics shed_mode = run_with(false);
+  SimMetrics defer_mode = run_with(true);
+  // Deferral trades immediate sheds for retries: gated queries come back
+  // at the next market tick and complete once the backlog drains.
+  EXPECT_GT(defer_mode.retries, shed_mode.retries);
+  EXPECT_GT(defer_mode.completed, shed_mode.completed);
+  EXPECT_EQ(defer_mode.completed + defer_mode.dropped, defer_mode.arrivals);
+}
+
+TEST(AdmissionTest, PriceSignalHysteresisBrownsOutExpensiveClassFirst) {
+  AdmissionConfig config;
+  config.policy = AdmissionPolicy::kPriceSignal;
+  config.enter_ratio = 3.0;
+  config.exit_ratio = 1.5;
+  config.warmup_periods = 2;
+  // Class 0 is the expensive one: it browns out first.
+  AdmissionController admission(config, {2.0, 1.0});
+
+  obs::metrics::MarketProbe probe;
+  probe.num_classes = 2;
+  auto feed = [&](double price) {
+    probe.prices.assign(4, price);  // 2 agents x 2 classes
+    probe.earnings.assign(2, 0.0);
+    admission.OnPeriod(probe);
+  };
+
+  // Warmup establishes the ln-price baseline; nothing is gated.
+  feed(1.0);
+  feed(1.0);
+  EXPECT_EQ(admission.brownout_level(), 0);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kAdmit);
+
+  // Prices spike to 8x the baseline: ratio >= enter_ratio, the brownout
+  // level climbs one class per period, expensive first.
+  feed(8.0);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kShed);
+  EXPECT_EQ(admission.Admit(1, 0), AdmissionController::Decision::kAdmit);
+  feed(8.0);
+  EXPECT_EQ(admission.brownout_level(), 2);
+  EXPECT_EQ(admission.Admit(1, 0), AdmissionController::Decision::kShed);
+
+  // A falling index steps the level down even while the ratio is still
+  // far above the band: no one is being declined any more, the market is
+  // clearing, and waiting for the slow price decay to cross exit_ratio
+  // would lock the brownout in for the rest of the run.
+  feed(7.0);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  EXPECT_EQ(admission.Admit(1, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kShed);
+  feed(2.0);
+  EXPECT_EQ(admission.brownout_level(), 0);
+
+  // Scarcity building again (rising index above the band) re-engages the
+  // gate one class per period.
+  feed(6.0);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  feed(6.0);  // flat at 6x: still above the band, not cooling
+  EXPECT_EQ(admission.brownout_level(), 2);
+
+  // Inside the hysteresis band with flat prices the level holds; the
+  // first (falling) period steps down, the second (flat) does not.
+  feed(2.0);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  feed(2.0);
+  EXPECT_EQ(admission.brownout_level(), 1);
+
+  // Ratio <= exit_ratio completes the recovery, cheapest class restored
+  // first (it was never gated at level 1).
+  feed(1.0);
+  EXPECT_EQ(admission.brownout_level(), 0);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, TrackingBaselineFollowsDriftButNotSurges) {
+  AdmissionConfig config;
+  config.policy = AdmissionPolicy::kPriceSignal;
+  config.enter_ratio = 3.0;
+  config.exit_ratio = 1.5;
+  config.warmup_periods = 2;
+  config.baseline_alpha = 0.5;
+  AdmissionController admission(config, {2.0, 1.0});
+
+  obs::metrics::MarketProbe probe;
+  probe.num_classes = 2;
+  auto feed = [&](double price) {
+    probe.prices.assign(4, price);  // 2 agents x 2 classes
+    probe.earnings.assign(2, 0.0);
+    admission.OnPeriod(probe);
+  };
+
+  // In tracking mode the baseline starts where the index stands when
+  // warmup ends — the first gated ratio is 1 by construction, however
+  // steep the discovery ramp was.
+  feed(1.0);
+  feed(2.0);
+  EXPECT_EQ(admission.brownout_level(), 0);
+
+  // Sustained drift (~+10%/period) stays inside the band: the EMA chases
+  // the index, so the ratio settles near the per-period growth, not the
+  // cumulative one. Uniform prices make the ratio an exact price ratio.
+  feed(2.2);
+  EXPECT_NEAR(admission.price_ratio(), 1.1000, 1e-3);
+  feed(2.4);
+  EXPECT_NEAR(admission.price_ratio(), 1.1442, 1e-3);
+  feed(2.6);
+  EXPECT_NEAR(admission.price_ratio(), 1.1588, 1e-3);
+  EXPECT_EQ(admission.brownout_level(), 0);
+
+  // A 10x jump outruns any tracking rate: the ratio explodes and the
+  // brownout engages expensive-class first.
+  feed(26.0);
+  EXPECT_NEAR(admission.price_ratio(), 10.7646, 1e-3);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kShed);
+
+  // The unchanged ratio one period later proves the baseline refused to
+  // learn from an overloaded period — a sustained crowd cannot redefine
+  // "normal" and ride the EMA back under the band.
+  feed(26.0);
+  EXPECT_NEAR(admission.price_ratio(), 10.7646, 1e-3);
+  EXPECT_EQ(admission.brownout_level(), 2);
+
+  // Back at the drifted level the ratio is ~1 again (the baseline kept
+  // the pre-surge normal) and the gate reopens.
+  feed(2.6);
+  EXPECT_NEAR(admission.price_ratio(), 1.0765, 1e-3);
+  EXPECT_EQ(admission.brownout_level(), 1);
+  feed(2.6);
+  EXPECT_EQ(admission.brownout_level(), 0);
+  EXPECT_EQ(admission.Admit(0, 0), AdmissionController::Decision::kAdmit);
 }
 
 // Satellite 2: randomized-but-seeded plans across every mechanism, with

@@ -4,7 +4,9 @@
 // configuration:
 //   - conservation: arrivals == completed + dropped (nothing in flight
 //     after Run drains; lost/bounced queries are resubmitted, not leaked)
-//   - expired is a subset of dropped
+//   - expired is a subset of dropped; shed is a subset of dropped and
+//     admission rejects a subset of shed (overload protection never
+//     leaks a query, it accounts it)
 //   - every counter non-negative and internally consistent
 //   - snapshot/price sanity every period (prices positive, supply within
 //     plan, agent counters ordered)
@@ -119,21 +121,69 @@ FuzzCase MakeCase(int index) {
       c.config.faults.degrades.push_back(degrade);
     }
   }
+
+  // Overload dimensions ride along after the original draws so the first
+  // part of every case derivation (and the paths it covers) is unchanged.
+  // Surges: a flash crowd (or a lull — multipliers below 1 thin the
+  // trace), global or confined to one of the two classes.
+  if (rng.Bernoulli(0.4)) {
+    faults::SurgeFault surge;
+    surge.class_id = static_cast<int>(rng.UniformInt(-1, 1));
+    surge.from = rng.UniformInt(0, c.workload.duration / (2 * kSecond)) *
+                 kSecond;
+    surge.until = surge.from + rng.UniformInt(1, 3) * kSecond;
+    surge.multiplier = rng.UniformReal(0.5, 4.0);
+    c.config.faults.surges.push_back(surge);
+  }
+  // Bounded queues + retry backlog with a random shed policy.
+  if (rng.Bernoulli(0.4)) {
+    c.config.max_node_queue = static_cast<int>(rng.UniformInt(2, 30));
+    c.config.max_retry_backlog = static_cast<int>(rng.UniformInt(10, 300));
+    c.config.shed_policy = rng.Bernoulli(0.5)
+                               ? ShedPolicy::kNewestFirst
+                               : ShedPolicy::kLowestPriorityFirst;
+  }
+  // Admission control: static threshold or price-signal, reject or defer.
+  if (rng.Bernoulli(0.4)) {
+    c.config.admission.policy = rng.Bernoulli(0.5)
+                                    ? AdmissionPolicy::kStatic
+                                    : AdmissionPolicy::kPriceSignal;
+    c.config.admission.max_outstanding =
+        rng.UniformInt(5, 50) * static_cast<int64_t>(c.num_nodes);
+    c.config.admission.defer = rng.Bernoulli(0.5);
+    // Half the price-signal draws exercise the slow-tracking baseline.
+    if (rng.Bernoulli(0.5)) c.config.admission.baseline_alpha = 0.05;
+  }
   return c;
 }
 
 void CheckInvariants(const FuzzCase& c, const workload::Trace& trace,
                      const SimMetrics& m, const obs::ParsedTrace& parsed) {
-  int64_t arrivals = static_cast<int64_t>(trace.size());
+  // The simulator's own arrival counter, not the input trace length:
+  // surge windows clone (or thin) scheduled arrivals, so the trace size
+  // only bounds the count when no surge is configured.
+  int64_t arrivals = m.arrivals;
+  if (c.config.faults.surges.empty()) {
+    EXPECT_EQ(arrivals, static_cast<int64_t>(trace.size()));
+  }
 
   // Conservation: Run drains the event loop, so nothing is in flight and
   // every arrival either completed or was dropped. Lost/bounced queries
-  // were resubmitted, never leaked.
+  // were resubmitted, never leaked — and shed queries were accounted as
+  // drops, never leaked either.
   EXPECT_EQ(arrivals, m.completed + m.dropped);
 
-  // Expired queries are a subset of the dropped ones.
+  // Expired queries are a subset of the dropped ones; so are shed
+  // queries, and admission rejects are a subset of the sheds.
   EXPECT_LE(m.expired, m.dropped);
   EXPECT_GE(m.expired, 0);
+  EXPECT_LE(m.shed, m.dropped);
+  EXPECT_GE(m.shed, 0);
+  EXPECT_LE(m.admission_rejects, m.shed);
+  EXPECT_GE(m.admission_rejects, 0);
+  if (c.config.admission.policy == AdmissionPolicy::kOff) {
+    EXPECT_EQ(m.admission_rejects, 0);
+  }
 
   // Non-negative, internally consistent counters.
   EXPECT_GE(m.completed, 0);
@@ -170,6 +220,7 @@ void CheckInvariants(const FuzzCase& c, const workload::Trace& trace,
   // Trace-side conservation: one arrival record per query, completions
   // match, timestamps never run backwards.
   int64_t rec_arrivals = 0, rec_completes = 0, rec_drops = 0;
+  int64_t rec_sheds = 0, rec_surges = 0;
   int64_t last_t = 0;
   for (const obs::EventRecord& event : parsed.events) {
     EXPECT_GE(event.t_us, last_t) << "event time ran backwards";
@@ -185,13 +236,26 @@ void CheckInvariants(const FuzzCase& c, const workload::Trace& trace,
       case obs::EventRecord::Kind::kDrop:
         ++rec_drops;
         break;
+      case obs::EventRecord::Kind::kShed:
+        ++rec_sheds;
+        break;
+      case obs::EventRecord::Kind::kSurge:
+        ++rec_surges;
+        EXPECT_GT(event.factor, 0.0);
+        break;
       default:
         break;
     }
   }
   EXPECT_EQ(rec_arrivals, arrivals);
   EXPECT_EQ(rec_completes, m.completed);
-  EXPECT_EQ(rec_drops, m.dropped);
+  // Shed queries log a `shed` record instead of a `drop` record; together
+  // the two cover every dropped query.
+  EXPECT_EQ(rec_sheds, m.shed);
+  EXPECT_EQ(rec_drops + rec_sheds, m.dropped);
+  // One start + one end marker per configured surge window.
+  EXPECT_EQ(rec_surges,
+            2 * static_cast<int64_t>(c.config.faults.surges.size()));
 
   // Snapshot sanity, every period: prices positive, unsold supply within
   // the period plan, agent counters ordered (requests >= offers >=
@@ -368,6 +432,23 @@ TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
                 sharded.deterministic_metrics);
       EXPECT_EQ(inline_run.mstat_lines, sharded.mstat_lines);
     }
+
+    // Admission snapshot sanity: the brownout level every msample reports
+    // must be a valid class count (0 = no brownout, at most the two
+    // classes of the scenario), and identically zero when admission is
+    // off.
+    std::istringstream lines(inline_run.deterministic_metrics);
+    std::string line;
+    while (std::getline(lines, line)) {
+      size_t pos = line.find("\"brownout\":");
+      if (pos == std::string::npos) continue;
+      int level = std::stoi(line.substr(pos + 11));
+      EXPECT_GE(level, 0) << line;
+      EXPECT_LE(level, 2) << line;
+      if (c.config.admission.policy != AdmissionPolicy::kPriceSignal) {
+        EXPECT_EQ(level, 0) << line;
+      }
+    }
   }
 }
 
@@ -376,17 +457,29 @@ TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
 // fault plans, these canaries fail instead of the coverage quietly rotting.
 TEST(FederationPropertyTest, CorpusCoversTheInterestingPaths) {
   int sampled = 0, faulted = 0, deadlined = 0, qa_nt = 0;
+  int surged = 0, bounded = 0, admitted = 0, deferred = 0;
   for (int i = 0; i < 30; ++i) {
     FuzzCase c = MakeCase(i);
     if (c.solicitation.sampled()) ++sampled;
     if (!c.config.faults.empty()) ++faulted;
     if (c.config.query_deadline > 0) ++deadlined;
     if (c.mechanism == "QA-NT") ++qa_nt;
+    if (!c.config.faults.surges.empty()) ++surged;
+    if (c.config.max_node_queue < (1 << 30)) ++bounded;
+    if (c.config.admission.policy != AdmissionPolicy::kOff) ++admitted;
+    if (c.config.admission.policy != AdmissionPolicy::kOff &&
+        c.config.admission.defer) {
+      ++deferred;
+    }
   }
   EXPECT_GE(sampled, 1);
   EXPECT_GE(faulted, 5);
   EXPECT_GE(deadlined, 3);
   EXPECT_GE(qa_nt, 1);
+  EXPECT_GE(surged, 5);
+  EXPECT_GE(bounded, 5);
+  EXPECT_GE(admitted, 5);
+  EXPECT_GE(deferred, 1);
 }
 
 }  // namespace

@@ -12,13 +12,17 @@
 //   * with --faults: a per-fault recovery table (crash/restart/degrade
 //     transitions, price dispersion before/after, reconvergence time) plus
 //     the observed fault damage (bounces, lost shipments, drops);
+//   * with --shed: a per-period overload table (sheds against arrivals and
+//     completions, schema v4 shed records) plus the trace's surge windows
+//     — the shedding-side companion to bench_overload's goodput grid;
 //   * with --alarms=METRICS.jsonl: the watchdog alarm table from a
 //     --metrics run of the same experiment (see src/obs/SCHEMA.md), so the
 //     trace's period rows and the health alarms line up side by side.
 //
 // Usage:
 //   qa_trace TRACE.jsonl [--band=0.1] [--window=4] [--bucket-ms=2000]
-//            [--periods=N] [--csv] [--faults] [--alarms=METRICS.jsonl]
+//            [--periods=N] [--csv] [--faults] [--shed]
+//            [--alarms=METRICS.jsonl]
 //
 // All analysis goes through the same parser the tests use
 // (obs::ParsedTrace), so anything this tool prints is covered by the
@@ -50,13 +54,14 @@ struct Options {
   int max_periods = 0;      // 0 = print all period rows
   bool csv = false;
   bool faults = false;      // fault-recovery summary
+  bool shed = false;        // per-period overload/shedding table
   std::string alarms_path;  // metrics JSONL to read watchdog alarms from
 };
 
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " TRACE.jsonl [--band=B] [--window=W] [--bucket-ms=MS]"
-               " [--periods=N] [--csv] [--faults]"
+               " [--periods=N] [--csv] [--faults] [--shed]"
                " [--alarms=METRICS.jsonl]\n";
 }
 
@@ -75,6 +80,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->csv = true;
     } else if (arg == "--faults") {
       opts->faults = true;
+    } else if (arg == "--shed") {
+      opts->shed = true;
     } else if (arg.rfind("--alarms=", 0) == 0) {
       opts->alarms_path = arg.substr(9);
     } else if (arg == "--help" || arg == "-h") {
@@ -316,6 +323,58 @@ int Run(const Options& opts) {
     }
     std::cout << "fault damage: " << bounces << " bounce(s), " << losses
               << " lost shipment(s), " << drops << " abandoned queries\n";
+  }
+
+  // ---- Overload summary (--shed; schema v4 shed/surge records).
+  if (opts.shed) {
+    int64_t total_sheds = 0, total_arrivals = 0;
+    for (const obs::PeriodLoad& load : loads) {
+      total_sheds += load.sheds;
+      total_arrivals += load.arrivals;
+    }
+    std::cout << "\nshedding: " << total_sheds << " shed of "
+              << total_arrivals << " arrival(s)";
+    if (total_arrivals > 0) {
+      std::cout << " ("
+                << Fmt(static_cast<double>(total_sheds) /
+                       static_cast<double>(total_arrivals))
+                << " of offered load turned away)";
+    }
+    std::cout << "\n";
+    // Only periods that shed anything make the table: at healthy load it
+    // is empty, and under a flash crowd it shows exactly when the gate
+    // leaned in and how hard.
+    util::TableWriter shed_table({"Period", "Arrivals", "Completes", "Sheds",
+                                  "Drops", "Shed/Arr"});
+    int shed_periods = 0;
+    for (const obs::PeriodLoad& load : loads) {
+      if (load.sheds == 0) continue;
+      ++shed_periods;
+      if (opts.max_periods > 0 && shed_periods > opts.max_periods) continue;
+      shed_table.BeginRow();
+      shed_table.AddCell(load.period);
+      shed_table.AddCell(load.arrivals);
+      shed_table.AddCell(load.completes);
+      shed_table.AddCell(load.sheds);
+      shed_table.AddCell(load.drops);
+      shed_table.AddCell(load.arrivals > 0
+                             ? Fmt(static_cast<double>(load.sheds) /
+                                   static_cast<double>(load.arrivals))
+                             : std::string("-"));
+    }
+    if (shed_periods > 0) {
+      Emit(shed_table, opts.csv);
+      std::cout << shed_periods << " period(s) shed work\n";
+    }
+    // The surge windows that provoked it, straight from the trace.
+    for (const obs::EventRecord& event : trace.events) {
+      if (event.kind != obs::EventRecord::Kind::kSurge) continue;
+      std::cout << "surge edge @ " << event.t_us / util::kMillisecond
+                << "ms: factor " << Fmt(event.factor) << " (class "
+                << (event.class_id < 0 ? std::string("all")
+                                       : std::to_string(event.class_id))
+                << ")\n";
+    }
   }
 
   // ---- Watchdog alarms (--alarms=METRICS.jsonl; metrics sidecar file).
