@@ -86,6 +86,9 @@ class QaNtAllocator : public Allocator {
   /// whole point of the mechanism), chunks are contiguous id ranges, and
   /// chunk results are concatenated in chunk order, reproducing the
   /// sequential left-to-right order byte for byte at any concurrency.
+  /// qa_lint's QA-SHD-002 pass holds the callbacks to that contract: a
+  /// ParallelFor chunk lambda touching a cross-chunk aggregate
+  /// (total_messages_, arrival_seq_, metrics_) is a finding.
   void SetTaskRunner(const util::TaskRunner* runner) override {
     runner_ = runner;
   }

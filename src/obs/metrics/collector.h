@@ -103,6 +103,12 @@ struct SampleRow {
 /// Deterministic record *counts*: everything except the histogram values
 /// inside mstat/mshards is byte-identical across shard/thread counts, and
 /// even those keep a fixed record count (tests/metrics_test.cc pins this).
+///
+/// The collector is the *sidecar* side of the determinism boundary:
+/// qa_lint's QA-DET-004 taint pass whitelists calls into this class (and
+/// anything else defined under src/obs/metrics) as legal consumers of
+/// MonotonicClock readings; the same value flowing anywhere else in a sim
+/// path is a finding.
 class Collector {
  public:
   /// A collect-only collector: no sink; counters, gauges, histograms and

@@ -136,7 +136,10 @@ class EventQueue {
   /// one event past it. Unlike RunOne, the dispatcher receives the popped
   /// entry's key too, `dispatch(event, time, stamp)` — shard handlers use
   /// it to key their buffered effects for the canonical barrier merge.
-  /// Returns the number of events run.
+  /// Returns the number of events run. The dispatcher runs on the shard
+  /// lane: qa_lint's QA-SHD-002 pass treats every lambda handed here as a
+  /// shard-lane entry point and flags mediator-lane state reachable from
+  /// it outside the merge fences.
   template <typename Dispatch>
   uint64_t RunWhileBefore(util::VTime fence_time, uint64_t fence_stamp,
                           Dispatch&& dispatch) {

@@ -421,6 +421,13 @@ class Federation : public allocation::AllocationContext {
                        static_cast<size_t>(node)];
   }
 
+  // Lane partition of the members below (DESIGN.md §8, machine-checked
+  // by qa_lint QA-SHD-002): shard-lane code — DispatchShard and the
+  // RunWhileBefore drain lambdas — may touch only shard-local state
+  // (pool_, lanes_, node_seq_, plan_) and read-only-shared inputs
+  // (config_, cost_model_, injector_, best_cost_, sharded_, num_nodes_).
+  // Everything else is mediator-owned, mutated only between fences or
+  // inside the canonical barrier merge.
   const query::CostModel* cost_model_;
   allocation::Allocator* allocator_;
   FederationConfig config_;

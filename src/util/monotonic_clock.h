@@ -43,8 +43,11 @@ TscScale CalibrateTsc();
 /// or anything else a seeded rerun is expected to reproduce (DESIGN.md §9,
 /// the determinism side-channel rule). Funneling every reading through
 /// this shim makes that auditable: qa_lint flags any other use of the
-/// std::chrono clocks, so a wall-clock value leaking into the sim layer
-/// cannot land silently.
+/// std::chrono clocks (QA-DET-001), and its cross-file taint pass
+/// (QA-DET-004) treats every reader below — and every helper whose
+/// return value chains from one — as a taint source: a reading may flow
+/// into the QA_METRICS-gated metrics sidecar and nowhere else, so a
+/// wall-clock value leaking into the sim layer cannot land silently.
 class MonotonicClock {
  public:
   /// Nanoseconds on a monotonic clock with an arbitrary epoch. Only

@@ -496,6 +496,375 @@ TEST(QaShd001Test, AllowDirectiveSuppresses) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-file passes (QA-ARCH-001/002, QA-DET-004, QA-SHD-002, QA-SUP-001)
+// ---------------------------------------------------------------------------
+
+/// A small layer DAG for the cross-file fixtures, mirroring the shape of
+/// tools/arch_layers.txt.
+constexpr char kManifest[] =
+    "layer util: src/util\n"
+    "layer obs: src/obs\n"
+    "layer allocation: src/allocation\n"
+    "layer sim: src/sim\n"
+    "dep obs: util\n"
+    "dep allocation: util obs\n"
+    "dep sim: util obs allocation\n";
+
+/// Convenience: run the full cross-file analysis over an in-memory file
+/// set with the fixture manifest; hard-fails the test on analysis errors.
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const Options& options = {},
+                             ProjectOptions project = {}) {
+  if (!project.layer_manifest) project.layer_manifest = kManifest;
+  std::vector<std::string> errors;
+  std::vector<Finding> findings =
+      AnalyzeProject(files, options, project, &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  return findings;
+}
+
+TEST(QaArch001Test, FlagsIllegalCrossLayerIncludeWithPosition) {
+  std::vector<Finding> findings = Analyze({
+      {"src/sim/fed.h", "struct Fed {};\n"},
+      {"src/util/helper.cc", "#include \"sim/fed.h\"\nint x = 1;\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-ARCH-001");
+  EXPECT_EQ(findings[0].file, "src/util/helper.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("'util'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'sim'"), std::string::npos);
+}
+
+TEST(QaArch001Test, DeclaredEdgesAndSystemHeadersAreClean) {
+  EXPECT_TRUE(Analyze({
+                  {"src/util/vtime.h", "using VTime = long;\n"},
+                  {"src/sim/fed.cc",
+                   "#include <vector>\n#include \"util/vtime.h\"\n"},
+              })
+                  .empty());
+}
+
+TEST(QaArch001Test, AllowDirectiveSuppresses) {
+  EXPECT_TRUE(Analyze({
+                  {"src/sim/fed.h", "struct Fed {};\n"},
+                  {"src/util/helper.cc",
+                   "// qa-lint: allow(QA-ARCH-001)\n"
+                   "#include \"sim/fed.h\"\n"},
+              })
+                  .empty());
+}
+
+TEST(QaArch001Test, UnmappedSrcFileIsAManifestDriftError) {
+  ProjectOptions project;
+  project.layer_manifest = kManifest;
+  std::vector<std::string> errors;
+  AnalyzeProject({{"src/newdir/x.cc", "int x = 1;\n"}}, Options{}, project,
+                 &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("src/newdir/x.cc"), std::string::npos);
+}
+
+TEST(QaArch002Test, FlagsTwoFileIncludeCycleAtTheClosingEdge) {
+  std::vector<Finding> findings = Analyze({
+      {"src/sim/a.h", "#include \"sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"sim/a.h\"\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-ARCH-002");
+  EXPECT_EQ(findings[0].file, "src/sim/b.h");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("src/sim/a.h -> src/sim/b.h -> "
+                                     "src/sim/a.h"),
+            std::string::npos);
+}
+
+TEST(QaArch002Test, ThreeFileCycleReportedOnce) {
+  std::vector<Finding> findings = Analyze({
+      {"src/sim/a.h", "#include \"sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"sim/c.h\"\n"},
+      {"src/sim/c.h", "#include \"sim/a.h\"\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-ARCH-002");
+  EXPECT_EQ(findings[0].file, "src/sim/c.h");
+}
+
+TEST(QaArch002Test, AcyclicDiamondIsClean) {
+  EXPECT_TRUE(Analyze({
+                  {"src/sim/a.h", "#include \"sim/b.h\"\n#include \"sim/c.h\"\n"},
+                  {"src/sim/b.h", "#include \"sim/d.h\"\n"},
+                  {"src/sim/c.h", "#include \"sim/d.h\"\n"},
+                  {"src/sim/d.h", "struct D {};\n"},
+              })
+                  .empty());
+}
+
+TEST(QaDet004Test, FlagsUngatedClockReadWithPosition) {
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "int64_t Federation::Tick() {\n"
+        "  return util::MonotonicClock::NowNanos();\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-004");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("QA_METRICS"), std::string::npos);
+}
+
+TEST(QaDet004Test, GatedSidecarPhaseTimingIsClean) {
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  EXPECT_TRUE(Analyze(
+                  {{"src/sim/fixture.cc",
+                    "void Federation::Tick() {\n"
+                    "  QA_METRICS(config_.metrics) {\n"
+                    "    const int64_t start = "
+                    "util::MonotonicClock::NowNanos();\n"
+                    "    config_.metrics->RecordPhase(\n"
+                    "        kPhase, util::MonotonicClock::NowNanos() - "
+                    "start);\n"
+                    "  }\n"
+                    "}\n"}},
+                  options)
+                  .empty());
+}
+
+TEST(QaDet004Test, GatedClockReadFeedingDispatchIsCaught) {
+  // The acceptance fixture: a MonotonicClock reading flowing into
+  // Federation::Dispatch state is a finding even inside a gate, with no
+  // suppression involved.
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::Tick() {\n"
+        "  QA_METRICS(config_.metrics) {\n"
+        "    Dispatch(util::MonotonicClock::NowNanos());\n"
+        "  }\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-DET-004");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("Dispatch"), std::string::npos);
+}
+
+TEST(QaDet004Test, MemberStoreIsCaughtEvenGated) {
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::Tick() {\n"
+        "  QA_METRICS(config_.metrics) {\n"
+        "    last_mark_ = util::MonotonicClock::NowNanos();\n"
+        "  }\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("last_mark_"), std::string::npos);
+}
+
+TEST(QaDet004Test, TaintPropagatesThroughLocals) {
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::Tick() {\n"
+        "  QA_METRICS(config_.metrics) {\n"
+        "    const int64_t start = util::MonotonicClock::NowNanos();\n"
+        "    const int64_t elapsed = start / 2;\n"
+        "    Dispatch(elapsed);\n"
+        "  }\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("elapsed"), std::string::npos);
+}
+
+TEST(QaDet004Test, ClockReturningHelpersAreSourcesToo) {
+  // The fixpoint: a helper whose return statement reads the clock makes
+  // its callers clock consumers (TakePhaseMark-style chaining).
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/obs/metrics/fixture.cc",
+        "int64_t Collector::TakeMark() {\n"
+        "  return util::MonotonicClock::NowNanos();\n"
+        "}\n"},
+       {"src/sim/fixture.cc",
+        "void Federation::Tick() {\n"
+        "  const int64_t t = TakeMark();\n"
+        "  Dispatch(t);\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 2u);  // ungated read + ungated tainted use
+  EXPECT_EQ(findings[0].file, "src/sim/fixture.cc");
+  EXPECT_EQ(findings[0].rule, "QA-DET-004");
+}
+
+TEST(QaDet004Test, AllowDirectiveSuppresses) {
+  Options options;
+  options.only_rules = {"QA-DET-004"};
+  EXPECT_TRUE(Analyze(
+                  {{"src/sim/fixture.cc",
+                    "int64_t Federation::Tick() {\n"
+                    "  // qa-lint: allow(QA-DET-004)\n"
+                    "  return util::MonotonicClock::NowNanos();\n"
+                    "}\n"}},
+                  options)
+                  .empty());
+}
+
+TEST(QaShd002Test, LaneLambdaTouchingMediatorMemberIsFlagged) {
+  Options options;
+  options.only_rules = {"QA-SHD-002"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::Drain() {\n"
+        "  queue_.RunWhileBefore(t, s, [this](const SimEvent& e) {\n"
+        "    med_items_.push_back(e);\n"
+        "  });\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-SHD-002");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("med_items_"), std::string::npos);
+}
+
+TEST(QaShd002Test, NamedLambdaHandedToParallelForIsAnEntry) {
+  // The FenceAndMerge shape: `auto drain = [...]` passed by name.
+  Options options;
+  options.only_rules = {"QA-SHD-002"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::FenceAndMerge() {\n"
+        "  auto drain = [this](int s) {\n"
+        "    ticks_ += 1;\n"
+        "  };\n"
+        "  config_.runner->ParallelFor(4, drain);\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("ticks_"), std::string::npos);
+}
+
+TEST(QaShd002Test, ReachabilityThroughHelpersAndFenceCutoff) {
+  Options options;
+  options.only_rules = {"QA-SHD-002"};
+  // A helper called from DispatchShard inherits the lane context...
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc",
+        "void Federation::DispatchShard(ShardLane* lane) {\n"
+        "  Helper(lane);\n"
+        "}\n"
+        "void Federation::Helper(ShardLane* lane) {\n"
+        "  current_time_ = 0;\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("current_time_"), std::string::npos);
+  // ...but the merge fences are the sanctioned exit: traversal stops at
+  // Emit/ScheduleNodeEvent, whose bodies run on the mediator lane.
+  EXPECT_TRUE(Analyze(
+                  {{"src/sim/fixture.cc",
+                    "void Federation::DispatchShard(ShardLane* lane) {\n"
+                    "  Emit(e);\n"
+                    "}\n"
+                    "void Federation::Emit(const SimEvent& e) {\n"
+                    "  med_items_.push_back(e);\n"
+                    "}\n"}},
+                  options)
+                  .empty());
+}
+
+TEST(QaShd002Test, ChunkedAllocatorCallbackIsFlagged) {
+  Options options;
+  options.only_rules = {"QA-SHD-002"};
+  std::vector<Finding> findings = Analyze(
+      {{"src/allocation/fixture.cc",
+        "void QaNtAllocator::Scan() {\n"
+        "  runner_->ParallelFor(4, [&](int chunk) {\n"
+        "    total_messages_ += 1;\n"
+        "  });\n"
+        "}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("total_messages_"), std::string::npos);
+}
+
+TEST(QaShd002Test, ShardLocalStateAndAllowDirectiveAreClean) {
+  Options options;
+  options.only_rules = {"QA-SHD-002"};
+  // pool_/injector_/config_/best_cost_ are shard-local or read-only
+  // shared: lane code may touch them freely.
+  EXPECT_TRUE(Analyze(
+                  {{"src/sim/fixture.cc",
+                    "void Federation::DispatchShard(ShardLane* lane) {\n"
+                    "  pool_.Pop(node);\n"
+                    "  best_cost_[0] = 1.0;\n"
+                    "}\n"}},
+                  options)
+                  .empty());
+  EXPECT_TRUE(Analyze(
+                  {{"src/sim/fixture.cc",
+                    "void Federation::DispatchShard(ShardLane* lane) {\n"
+                    "  // qa-lint: allow(QA-SHD-002)\n"
+                    "  ticks_ += 1;\n"
+                    "}\n"}},
+                  options)
+                  .empty());
+}
+
+TEST(QaSup001Test, StaleDirectiveFlaggedOnlyInAuditMode) {
+  std::vector<SourceFile> files = {
+      {"src/sim/fixture.cc",
+       "void F() {\n"
+       "  int x = 1;  // qa-lint: allow(QA-DET-001)\n"
+       "}\n"}};
+  // Default mode: directives are never audited.
+  EXPECT_TRUE(Analyze(files).empty());
+  // Audit mode: the directive suppresses nothing and is flagged.
+  ProjectOptions project;
+  project.stale_suppressions = true;
+  std::vector<Finding> findings = Analyze(files, Options{}, project);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "QA-SUP-001");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("QA-DET-001"), std::string::npos);
+}
+
+TEST(QaSup001Test, LiveDirectiveIsNotStale) {
+  ProjectOptions project;
+  project.stale_suppressions = true;
+  EXPECT_TRUE(Analyze({{"src/sim/fixture.cc",
+                        "int Draw() {\n"
+                        "  return rand();  // qa-lint: allow(QA-DET-001)\n"
+                        "}\n"}},
+                      Options{}, project)
+                  .empty());
+}
+
+TEST(QaSup001Test, DocCommentMentioningTheSyntaxIsNotADirective) {
+  ProjectOptions project;
+  project.stale_suppressions = true;
+  EXPECT_TRUE(Analyze({{"src/sim/fixture.cc",
+                        "// Suppress with `// qa-lint: allow(QA-XXX-123)` "
+                        "on the line.\n"
+                        "void F() {}\n"}},
+                      Options{}, project)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Formatting
 // ---------------------------------------------------------------------------
 
@@ -518,6 +887,37 @@ TEST(LintFormatTest, JsonIsMachineReadable) {
   EXPECT_EQ(FormatJson({}), "[]\n");
 }
 
+TEST(LintFormatTest, TextCarriesCaretSnippet) {
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc", "int Draw() { return rand(); }\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].snippet, "int Draw() { return rand(); }");
+  std::string text = FormatText(findings);
+  EXPECT_NE(text.find("| int Draw() { return rand(); }"),
+            std::string::npos);
+  // The caret line points at column 21 (the `rand` token).
+  EXPECT_NE(text.find("| " + std::string(20, ' ') + "^"),
+            std::string::npos);
+}
+
+TEST(LintFormatTest, SarifCarriesRulesAndResults) {
+  std::vector<Finding> findings = Analyze(
+      {{"src/sim/fixture.cc", "int Draw() { return rand(); }\n"}});
+  std::string sarif = FormatSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"qa_lint\""), std::string::npos);
+  // Every catalogued rule is in tool.driver.rules, findings or not.
+  for (const Rule& rule : AllRules()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"QA-DET-001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/sim/fixture.cc\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Self-check: the real tree is clean (the in-process twin of the CI
 // invocation `qa_lint src bench tools tests`).
@@ -526,9 +926,14 @@ TEST(LintFormatTest, JsonIsMachineReadable) {
 TEST(LintSelfCheckTest, RealTreeHasZeroFindings) {
   const std::string root = QA_LINT_SOURCE_DIR;
   std::vector<std::string> errors;
-  std::vector<Finding> findings = LintPaths(
+  ProjectOptions project;
+  project.manifest_path = root + "/tools/arch_layers.txt";
+  // Audit mode on: the real tree must be clean under the full cross-file
+  // analysis AND carry no stale allow() directives.
+  project.stale_suppressions = true;
+  std::vector<Finding> findings = AnalyzePaths(
       {root + "/src", root + "/bench", root + "/tools", root + "/tests"},
-      Options{}, &errors);
+      Options{}, project, &errors);
   EXPECT_TRUE(errors.empty()) << errors.front();
   EXPECT_TRUE(findings.empty()) << FormatText(findings);
 }
@@ -538,9 +943,10 @@ TEST(LintSelfCheckTest, RealTreeHasZeroFindings) {
 /// catalog grows without coverage).
 TEST(LintSelfCheckTest, CatalogMatchesCoveredRules) {
   std::vector<std::string> covered = {
-      "QA-DET-001", "QA-DET-002", "QA-DET-003", "QA-NUM-001",
-      "QA-NUM-002", "QA-OBS-001", "QA-OBS-002", "QA-OBS-003",
-      "QA-HOT-001", "QA-SHD-001"};
+      "QA-ARCH-001", "QA-ARCH-002", "QA-DET-001", "QA-DET-002",
+      "QA-DET-003",  "QA-DET-004",  "QA-HOT-001", "QA-NUM-001",
+      "QA-NUM-002",  "QA-OBS-001",  "QA-OBS-002", "QA-OBS-003",
+      "QA-SHD-001",  "QA-SHD-002",  "QA-SUP-001"};
   ASSERT_EQ(AllRules().size(), covered.size());
   for (const Rule& rule : AllRules()) {
     EXPECT_NE(std::find(covered.begin(), covered.end(), rule.id),

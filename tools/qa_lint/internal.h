@@ -1,0 +1,102 @@
+#ifndef QAMARKET_TOOLS_QA_LINT_INTERNAL_H_
+#define QAMARKET_TOOLS_QA_LINT_INTERNAL_H_
+
+// Shared internals of qa_lint: the tokenizer and path helpers used by
+// both the per-file rule engine (lint.cc) and the cross-file analyzer
+// (project.cc). Not part of the public API in lint.h — tests and tools
+// should not depend on token-level details.
+
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qa_lint/lint.h"
+
+namespace qa::lint::internal {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;   // Punct/ident spelling; literals keep their quotes.
+  std::string value;  // Unquoted contents, string literals only.
+  int line = 0;
+  int column = 0;
+};
+
+/// One `#include` directive, with the line it sits on so cross-layer
+/// findings land on the exact edge.
+struct IncludeDirective {
+  std::string target;  // as written inside "" or <>
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::map<int, std::set<std::string>> allow;  // line -> suppressed rule IDs
+  /// Every `allow(ID)` directive at its own comment line, one entry per
+  /// ID — the unit the stale-suppression audit (QA-SUP-001) reasons
+  /// about. `allow` above is the same data spread over the covered
+  /// lines (directive line and the line below).
+  std::vector<std::pair<int, std::string>> allow_sites;
+};
+
+LexedFile Lex(std::string_view src);
+
+/// Concatenation without std::string operator+: GCC 12's -Wrestrict
+/// false-positives (PR105651) on `"lit" + std::string&&` under -O2+,
+/// which -Werror would turn fatal.
+std::string Cat(std::initializer_list<std::string_view> parts);
+
+std::string NormalizePath(std::string_view path);
+
+/// True if `path` lies under directory `dir` (given repo-relative, e.g.
+/// "src/sim"), whether `path` itself is repo-relative or absolute.
+bool PathInDir(const std::string& path, std::string_view dir);
+
+/// True if `path` names exactly the repo-relative file `rel`.
+bool PathIs(const std::string& path, std::string_view rel);
+
+bool InSimPaths(const std::string& path);
+
+/// Repo-relative key for a possibly absolute path: the suffix starting
+/// at the last top-level project directory (src/tools/bench/tests/
+/// examples) found in it, or the normalized path unchanged. All
+/// cross-file graphs are keyed on this so absolute and relative
+/// invocations resolve identically.
+std::string RelKey(const std::string& path);
+
+std::string JsonEscape(const std::string& s);
+
+/// (finding line, rule ID) pairs whose suppression was actually
+/// consulted — the raw material of the stale-suppression audit.
+using UsedAllows = std::map<std::string, std::set<std::pair<int, std::string>>>;
+
+/// Runs every per-file rule over an already-lexed file. When a finding
+/// is swallowed by an allow() directive, the (line, rule) pair — and
+/// the line above, where a directive-on-its-own-line would sit — is
+/// recorded in `used` under `path` (if non-null).
+std::vector<Finding> LintLexed(const std::string& path, const LexedFile& lexed,
+                               const Options& options, UsedAllows* used);
+
+/// True when `rule` passes the Options::only_rules filter.
+bool RuleSelected(const Options& options, std::string_view rule);
+
+/// True when a finding for `rule` at `line` is suppressed by an allow()
+/// directive; records the consultation in `used` (if non-null).
+bool Suppressed(const LexedFile& lexed, const std::string& path, int line,
+                const std::string& rule, UsedAllows* used);
+
+/// Attaches the offending source line to each finding (assumed to all
+/// belong to the file whose text is `content`); findings that already
+/// carry a snippet are left alone.
+void FillSnippets(std::string_view content, std::vector<Finding>* findings);
+
+}  // namespace qa::lint::internal
+
+#endif  // QAMARKET_TOOLS_QA_LINT_INTERNAL_H_

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+
+#include "qa_lint/internal.h"
 
 namespace qa::lint {
 namespace {
@@ -17,6 +20,15 @@ namespace {
 // ---------------------------------------------------------------------------
 
 const Rule kRules[] = {
+    {"QA-ARCH-001", "illegal cross-layer include",
+     "the dependency DAG in tools/arch_layers.txt is the architecture; an "
+     "include edge the manifest does not allow couples layers that must "
+     "stay separable (the market-protocol extraction depends on the "
+     "market/allocation -> sim cut staying clean)"},
+    {"QA-ARCH-002", "include cycle",
+     "a cycle in the include graph means no layer order exists at all; "
+     "every file in the cycle is one layer de facto and none of them can "
+     "be built, tested or extracted alone"},
     {"QA-DET-001", "banned wall-clock / libc RNG call",
      "rand()/srand()/time()/clock() and the std::chrono clocks are "
      "nondeterministic global state; seeded runs draw randomness from "
@@ -29,6 +41,14 @@ const Rule kRules[] = {
      "unordered_map/set iteration order is implementation-defined; iterating "
      "one in src/sim, src/market or src/allocation breaks seeded "
      "reproducibility — use std::map or a sorted snapshot"},
+    {"QA-DET-004", "wall-clock value reaches simulation state",
+     "wall time is an observability side channel (DESIGN.md §9): a "
+     "MonotonicClock reading may flow only into the QA_METRICS sidecar; "
+     "any path into Federation/NodePool/allocator state or a non-sidecar "
+     "call makes byte-identical seeded runs layout-dependent"},
+    {"QA-HOT-001", "std::function in an event-queue consumer",
+     "type-erased callbacks heap-allocate per event; the PR 1 hot-path "
+     "rewrite exists precisely to keep EventQueue users allocation-free"},
     {"QA-NUM-001", "exact ==/!= on floating-point values",
      "bitwise float equality hides accumulated rounding; route the check "
      "through util::Near/RelDiff (src/util/mathutil.h) or suppress with a "
@@ -46,42 +66,28 @@ const Rule kRules[] = {
      "every metric a run can emit is declared once in "
      "src/obs/metrics/catalog.cc; a name looked up anywhere else that is "
      "not in the catalog is a typo the registry can only report at runtime"},
-    {"QA-HOT-001", "std::function in an event-queue consumer",
-     "type-erased callbacks heap-allocate per event; the PR 1 hot-path "
-     "rewrite exists precisely to keep EventQueue users allocation-free"},
     {"QA-SHD-001", "mutable namespace-scope / static state in sharded code",
      "src/sim and src/allocation run on the sharded core's worker threads; "
      "a mutable global or static is shared across shards — a data race "
      "under threads and hidden cross-run state under any layout. Thread "
      "state through Federation/Allocator members instead"},
+    {"QA-SHD-002", "mediator-lane state touched from shard-lane code",
+     "code reachable from a shard-lane entry point (a RunWhileBefore drain "
+     "callback, a chunked ParallelFor callback, DispatchShard) runs on "
+     "worker threads between merge fences (DESIGN.md §8); touching "
+     "mediator-lane members, shared accumulators or cross-shard NodePool "
+     "state there is a data race under threads and a determinism leak "
+     "single-threaded — route effects through Emit()/ScheduleNodeEvent()"},
+    {"QA-SUP-001", "stale qa-lint suppression",
+     "an allow() directive whose rule no longer fires on its line is dead "
+     "weight that will silently swallow the next real finding there; "
+     "delete it (emitted only under --stale-suppressions)"},
 };
 
-// ---------------------------------------------------------------------------
-// Tokenizer: a C++-shaped lexer, just enough structure for the rules.
-// Comments and preprocessor lines never become tokens; string/char
-// literals become single tokens so banned identifiers inside them are
-// inert; `// qa-lint: allow(...)` comments are collected as suppressions.
-// ---------------------------------------------------------------------------
+}  // namespace
 
-enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+namespace internal {
 
-struct Token {
-  TokKind kind;
-  std::string text;   // Punct/ident spelling; literals keep their quotes.
-  std::string value;  // Unquoted contents, string literals only.
-  int line = 0;
-  int column = 0;
-};
-
-struct LexedFile {
-  std::vector<Token> tokens;
-  std::vector<std::string> includes;        // as written inside "" or <>
-  std::map<int, std::set<std::string>> allow;  // line -> suppressed rule IDs
-};
-
-/// Concatenation without std::string operator+: GCC 12's -Wrestrict
-/// false-positives (PR105651) on `"lit" + std::string&&` under -O2+,
-/// which -Werror would turn fatal.
 std::string Cat(std::initializer_list<std::string_view> parts) {
   size_t total = 0;
   for (std::string_view part : parts) total += part.size();
@@ -90,6 +96,8 @@ std::string Cat(std::initializer_list<std::string_view> parts) {
   for (std::string_view part : parts) out.append(part);
   return out;
 }
+
+namespace {
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -101,10 +109,17 @@ bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
 /// Registers `// qa-lint: allow(QA-XXX-123[, ...])` directives. The
 /// suppression covers the comment's own line and the line below it, so it
-/// works both trailing a statement and on its own line above one.
+/// works both trailing a statement and on its own line above one. The
+/// directive must open the comment (only '/', '*' and whitespace before
+/// it) — a doc comment *mentioning* the syntax mid-sentence is not a
+/// suppression, and must not look stale to the QA-SUP-001 audit.
 void ParseAllowDirective(std::string_view comment, int line, LexedFile* out) {
   size_t at = comment.find("qa-lint:");
   if (at == std::string_view::npos) return;
+  for (size_t i = 0; i < at; ++i) {
+    char c = comment[i];
+    if (c != '/' && c != '*' && c != ' ' && c != '\t') return;
+  }
   size_t open = comment.find("allow(", at);
   if (open == std::string_view::npos) return;
   size_t close = comment.find(')', open);
@@ -115,6 +130,7 @@ void ParseAllowDirective(std::string_view comment, int line, LexedFile* out) {
     if (!id.empty()) {
       out->allow[line].insert(id);
       out->allow[line + 1].insert(id);
+      out->allow_sites.emplace_back(line, id);
       id.clear();
     }
   };
@@ -127,6 +143,8 @@ void ParseAllowDirective(std::string_view comment, int line, LexedFile* out) {
   }
   flush();
 }
+
+}  // namespace
 
 LexedFile Lex(std::string_view src) {
   LexedFile out;
@@ -166,7 +184,7 @@ LexedFile Lex(std::string_view src) {
     // Preprocessor directive: consumed whole (with \-continuations), only
     // #include targets are kept. Macro bodies therefore cannot trip rules.
     if (c == '#' && at_line_start) {
-      size_t start = i;
+      int directive_line = line;
       std::string text;
       while (i < n) {
         if (src[i] == '\\' && peek(1) == '\n') {
@@ -177,7 +195,6 @@ LexedFile Lex(std::string_view src) {
         text.push_back(src[i]);
         advance(1);
       }
-      (void)start;
       size_t inc = text.find("include");
       if (inc != std::string::npos) {
         size_t q1 = text.find_first_of("\"<", inc);
@@ -185,7 +202,8 @@ LexedFile Lex(std::string_view src) {
           char closer = text[q1] == '<' ? '>' : '"';
           size_t q2 = text.find(closer, q1 + 1);
           if (q2 != std::string::npos) {
-            out.includes.push_back(text.substr(q1 + 1, q2 - q1 - 1));
+            out.includes.push_back(
+                {text.substr(q1 + 1, q2 - q1 - 1), directive_line});
           }
         }
       }
@@ -362,15 +380,12 @@ std::string NormalizePath(std::string_view path) {
   return p;
 }
 
-/// True if `path` lies under directory `dir` (given repo-relative, e.g.
-/// "src/sim"), whether `path` itself is repo-relative or absolute.
 bool PathInDir(const std::string& path, std::string_view dir) {
   std::string prefix = Cat({dir, "/"});
   if (path.rfind(prefix, 0) == 0) return true;
   return path.find(Cat({"/", prefix})) != std::string::npos;
 }
 
-/// True if `path` names exactly the repo-relative file `rel`.
 bool PathIs(const std::string& path, std::string_view rel) {
   if (path == rel) return true;
   std::string suffix = Cat({"/", rel});
@@ -382,6 +397,84 @@ bool InSimPaths(const std::string& path) {
   return PathInDir(path, "src/sim") || PathInDir(path, "src/market") ||
          PathInDir(path, "src/allocation");
 }
+
+std::string RelKey(const std::string& path) {
+  std::string p = NormalizePath(path);
+  static const char* kRoots[] = {"src", "tools", "bench", "tests", "examples"};
+  for (const char* root : kRoots) {
+    std::string prefix = Cat({root, "/"});
+    if (p.rfind(prefix, 0) == 0) return p;
+  }
+  size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    size_t at = p.rfind(Cat({"/", root, "/"}));
+    if (at != std::string::npos && (best == std::string::npos || at > best)) {
+      best = at;
+    }
+  }
+  return best == std::string::npos ? p : p.substr(best + 1);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool RuleSelected(const Options& options, std::string_view rule) {
+  return options.only_rules.empty() ||
+         std::find(options.only_rules.begin(), options.only_rules.end(),
+                   rule) != options.only_rules.end();
+}
+
+bool Suppressed(const LexedFile& lexed, const std::string& path, int line,
+                const std::string& rule, UsedAllows* used) {
+  auto it = lexed.allow.find(line);
+  if (it == lexed.allow.end() || it->second.count(rule) == 0) return false;
+  if (used != nullptr) {
+    // The directive granting this sits either on the finding's own line
+    // or on the line above; mark both candidate sites live.
+    (*used)[path].insert({line, rule});
+    (*used)[path].insert({line - 1, rule});
+  }
+  return true;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::Cat;
+using internal::LexedFile;
+using internal::PathInDir;
+using internal::PathIs;
+using internal::InSimPaths;
+using internal::TokKind;
+using internal::Token;
 
 bool IsFloatLiteral(const std::string& text) {
   bool hex = text.size() > 1 && text[0] == '0' &&
@@ -395,13 +488,14 @@ bool IsFloatLiteral(const std::string& text) {
 }
 
 // ---------------------------------------------------------------------------
-// Rule engine
+// Rule engine (per-file rules; the cross-file passes live in project.cc)
 // ---------------------------------------------------------------------------
 
 class Linter {
  public:
-  Linter(std::string path, const LexedFile& lexed, const Options& options)
-      : path_(std::move(path)), lexed_(lexed), options_(options) {}
+  Linter(std::string path, const LexedFile& lexed, const Options& options,
+         internal::UsedAllows* used)
+      : path_(std::move(path)), lexed_(lexed), options_(options), used_(used) {}
 
   std::vector<Finding> Run() {
     CollectDeclarations();
@@ -435,17 +529,13 @@ class Linter {
   }
 
   void Report(const Token& at, std::string_view rule, std::string message) {
-    if (!options_.only_rules.empty() &&
-        std::find(options_.only_rules.begin(), options_.only_rules.end(),
-                  rule) == options_.only_rules.end()) {
-      return;
-    }
-    auto it = lexed_.allow.find(at.line);
-    if (it != lexed_.allow.end() && it->second.count(std::string(rule)) > 0) {
+    if (!internal::RuleSelected(options_, rule)) return;
+    if (internal::Suppressed(lexed_, path_, at.line, std::string(rule),
+                             used_)) {
       return;
     }
     findings_.push_back(
-        {path_, at.line, at.column, std::string(rule), std::move(message)});
+        {path_, at.line, at.column, std::string(rule), std::move(message), ""});
   }
 
   /// One pass collecting (a) identifiers declared with an unordered
@@ -779,9 +869,10 @@ class Linter {
   // QA-HOT-001 — std::function in files that include sim/event_queue.h.
   void RuleStdFunctionInQueueConsumer() {
     bool consumer = false;
-    for (const std::string& inc : lexed_.includes) {
-      if (inc.size() >= 13 &&
-          inc.compare(inc.size() - 13, 13, "event_queue.h") == 0) {
+    for (const internal::IncludeDirective& inc : lexed_.includes) {
+      if (inc.target.size() >= 13 &&
+          inc.target.compare(inc.target.size() - 13, 13, "event_queue.h") ==
+              0) {
         consumer = true;
         break;
       }
@@ -900,34 +991,11 @@ class Linter {
   std::string path_;
   const LexedFile& lexed_;
   const Options& options_;
+  internal::UsedAllows* used_;
   std::set<std::string> unordered_names_;
   std::set<std::string> double_names_;
   std::vector<Finding> findings_;
 };
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
-  return out;
-}
 
 bool IsCxxSource(const std::filesystem::path& p) {
   std::string ext = p.extension().string();
@@ -943,6 +1011,39 @@ bool SkipDirectory(const std::filesystem::path& p) {
 
 }  // namespace
 
+namespace internal {
+
+void FillSnippets(std::string_view content, std::vector<Finding>* findings) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    lines.push_back(content.substr(start, end - start));
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  for (Finding& f : *findings) {
+    if (!f.snippet.empty()) continue;
+    if (f.line >= 1 && static_cast<size_t>(f.line) <= lines.size()) {
+      std::string_view text = lines[static_cast<size_t>(f.line) - 1];
+      while (!text.empty() && (text.back() == '\r' || text.back() == ' ' ||
+                               text.back() == '\t')) {
+        text.remove_suffix(1);
+      }
+      f.snippet = std::string(text);
+    }
+  }
+}
+
+std::vector<Finding> LintLexed(const std::string& path, const LexedFile& lexed,
+                               const Options& options, UsedAllows* used) {
+  Linter linter(NormalizePath(path), lexed, options, used);
+  return linter.Run();
+}
+
+}  // namespace internal
+
 const std::vector<Rule>& AllRules() {
   static const std::vector<Rule> rules(std::begin(kRules), std::end(kRules));
   return rules;
@@ -957,14 +1058,15 @@ const char* RuleRationale(std::string_view rule_id) {
 
 std::vector<Finding> LintFile(std::string_view path, std::string_view content,
                               const Options& options) {
-  LexedFile lexed = Lex(content);
-  Linter linter(NormalizePath(path), lexed, options);
-  return linter.Run();
+  internal::LexedFile lexed = internal::Lex(content);
+  std::vector<Finding> findings = internal::LintLexed(
+      internal::NormalizePath(path), lexed, options, nullptr);
+  internal::FillSnippets(content, &findings);
+  return findings;
 }
 
-std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
-                               const Options& options,
-                               std::vector<std::string>* errors) {
+std::vector<SourceFile> LoadFiles(const std::vector<std::string>& paths,
+                                  std::vector<std::string>* errors) {
   namespace fs = std::filesystem;
   auto note_error = [&](const std::string& message) {
     if (errors != nullptr) errors->push_back(message);
@@ -1000,30 +1102,10 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // QA-OBS-003 needs the metric catalog's text for every file, not just
-  // one (any file may look a metric up). Load it once when the catalog is
-  // among the linted files; callers linting a subtree without it simply
-  // skip the rule, same as an unset schema_doc skips QA-OBS-001.
-  Options shared = options;
-  if (!shared.metrics_catalog) {
-    for (const std::string& file : files) {
-      if (!PathIs(NormalizePath(file), "src/obs/metrics/catalog.cc")) {
-        continue;
-      }
-      std::ifstream catalog_in(file, std::ios::binary);
-      if (catalog_in) {
-        std::ostringstream catalog_buffer;
-        catalog_buffer << catalog_in.rdbuf();
-        shared.metrics_catalog = catalog_buffer.str();
-      } else {
-        note_error(Cat({file, ": cannot open (needed for QA-OBS-003)"}));
-      }
-      break;
-    }
-  }
-
-  std::vector<Finding> findings;
+  std::vector<SourceFile> out;
+  out.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -1032,22 +1114,72 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    Options per_file = shared;
-    if (!per_file.schema_doc &&
-        PathIs(NormalizePath(file), "src/obs/trace_schema.cc")) {
-      fs::path doc = fs::path(file).parent_path() / "SCHEMA.md";
+    out.push_back({file, buffer.str()});
+  }
+  return out;
+}
+
+namespace {
+
+/// Fills Options side inputs (metrics catalog from the in-memory file
+/// set; SCHEMA.md from disk next to trace_schema.cc) when unset.
+void FillSideInputs(const std::vector<SourceFile>& files, Options* options,
+                    std::vector<std::string>* errors) {
+  namespace fs = std::filesystem;
+  for (const SourceFile& file : files) {
+    std::string norm = internal::NormalizePath(file.path);
+    if (!options->metrics_catalog &&
+        PathIs(norm, "src/obs/metrics/catalog.cc")) {
+      options->metrics_catalog = file.content;
+    }
+    if (!options->schema_doc && PathIs(norm, "src/obs/trace_schema.cc")) {
+      fs::path doc = fs::path(file.path).parent_path() / "SCHEMA.md";
       std::ifstream doc_in(doc, std::ios::binary);
       if (doc_in) {
         std::ostringstream doc_buffer;
         doc_buffer << doc_in.rdbuf();
-        per_file.schema_doc = doc_buffer.str();
-      } else {
-        note_error(doc.generic_string() +
-                   ": cannot open (needed for QA-OBS-001)");
+        options->schema_doc = doc_buffer.str();
+      } else if (errors != nullptr) {
+        errors->push_back(doc.generic_string() +
+                          ": cannot open (needed for QA-OBS-001)");
       }
     }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzePaths(const std::vector<std::string>& paths,
+                                  const Options& options,
+                                  const ProjectOptions& project,
+                                  std::vector<std::string>* errors) {
+  std::vector<SourceFile> files = LoadFiles(paths, errors);
+  Options shared = options;
+  FillSideInputs(files, &shared, errors);
+  ProjectOptions proj = project;
+  if (!proj.layer_manifest) {
+    std::ifstream manifest_in(proj.manifest_path, std::ios::binary);
+    if (manifest_in) {
+      std::ostringstream buffer;
+      buffer << manifest_in.rdbuf();
+      proj.layer_manifest = buffer.str();
+    }
+    // No manifest on disk => the layering pass is skipped, same as an
+    // unset schema_doc skips QA-OBS-001. CI always has one.
+  }
+  return AnalyzeProject(files, shared, proj, errors);
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const Options& options,
+                               std::vector<std::string>* errors) {
+  std::vector<SourceFile> files = LoadFiles(paths, errors);
+  Options shared = options;
+  FillSideInputs(files, &shared, errors);
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
     std::vector<Finding> file_findings =
-        LintFile(file, buffer.str(), per_file);
+        LintFile(file.path, file.content, shared);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
@@ -1066,6 +1198,19 @@ std::string FormatText(const std::vector<Finding>& findings) {
         << ": " << f.message << "\n";
     const char* why = RuleRationale(f.rule);
     if (why != nullptr) out << "    why: " << why << "\n";
+    if (!f.snippet.empty()) {
+      std::string text = f.snippet;
+      std::replace(text.begin(), text.end(), '\t', ' ');
+      std::string num = std::to_string(f.line);
+      std::string pad(num.size(), ' ');
+      out << "  " << num << " | " << text << "\n";
+      if (f.column >= 1 &&
+          static_cast<size_t>(f.column) <= text.size() + 1) {
+        out << "  " << pad << " | " << std::string(
+                   static_cast<size_t>(f.column - 1), ' ')
+            << "^\n";
+      }
+    }
   }
   return out.str();
 }
@@ -1076,9 +1221,11 @@ std::string FormatJson(const std::vector<Finding>& findings) {
   for (size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     if (i > 0) out << ",";
-    out << "\n  {\"file\":\"" << JsonEscape(f.file) << "\",\"line\":" << f.line
-        << ",\"column\":" << f.column << ",\"rule\":\"" << f.rule
-        << "\",\"message\":\"" << JsonEscape(f.message) << "\"}";
+    out << "\n  {\"file\":\"" << internal::JsonEscape(f.file)
+        << "\",\"line\":" << f.line << ",\"column\":" << f.column
+        << ",\"rule\":\"" << f.rule << "\",\"message\":\""
+        << internal::JsonEscape(f.message) << "\",\"snippet\":\""
+        << internal::JsonEscape(f.snippet) << "\"}";
   }
   if (!findings.empty()) out << "\n";
   out << "]\n";

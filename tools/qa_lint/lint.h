@@ -15,6 +15,9 @@ struct Finding {
   int column = 0;       ///< 1-based column of the offending token.
   std::string rule;     ///< Rule ID, e.g. "QA-DET-001".
   std::string message;  ///< What was found, specific to the site.
+  std::string snippet;  ///< Source text of the offending line (may be
+                        ///< empty when the content was unavailable);
+                        ///< drives the caret rendering in FormatText.
 };
 
 /// A named, suppressible invariant. The catalog is the contract between
@@ -34,41 +37,101 @@ const char* RuleRationale(std::string_view rule_id);
 
 struct Options {
   /// Contents of src/obs/SCHEMA.md for the QA-OBS-001 cross-check.
-  /// LintPaths fills this in automatically (it reads the SCHEMA.md that
-  /// sits next to trace_schema.cc); LintFile callers that want the rule
-  /// must supply it. Unset => QA-OBS-001 is skipped.
+  /// AnalyzePaths/LintPaths fill this in automatically (they read the
+  /// SCHEMA.md that sits next to trace_schema.cc); LintFile callers that
+  /// want the rule must supply it. Unset => QA-OBS-001 is skipped.
   std::optional<std::string> schema_doc;
 
   /// Contents of src/obs/metrics/catalog.cc for the QA-OBS-003
   /// cross-check: a metric-name string literal at a MetricId() call site
-  /// must appear (quoted) in the catalog. LintPaths fills this in
-  /// automatically when catalog.cc is among the linted files; LintFile
-  /// callers that want the rule must supply it. Unset => QA-OBS-003 is
-  /// skipped.
+  /// must appear (quoted) in the catalog. Filled in automatically when
+  /// catalog.cc is among the linted files; LintFile callers that want
+  /// the rule must supply it. Unset => QA-OBS-003 is skipped.
   std::optional<std::string> metrics_catalog;
 
   /// When non-empty, only these rule IDs fire.
   std::vector<std::string> only_rules;
 };
 
-/// Lints one translation unit. `path` should be repo-relative with
-/// forward slashes ("src/sim/federation.cc") so path-scoped rules
+/// A source file handed to the cross-file analyzer. `path` should be
+/// repo-relative with forward slashes ("src/sim/federation.cc") so
+/// path-scoped rules and include resolution work; absolute paths are
+/// reduced to their repo-relative suffix internally.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Options for the cross-file passes (QA-ARCH-001/002, QA-DET-004,
+/// QA-SHD-002) and the stale-suppression audit.
+struct ProjectOptions {
+  /// Text of the architecture layer manifest (tools/arch_layers.txt).
+  /// Unset => the QA-ARCH-* layering pass is skipped. A manifest that
+  /// fails to parse, or a linted src/ file no layer owns, is reported
+  /// through `errors` (exit 2 in the CLI), not as a finding.
+  std::optional<std::string> layer_manifest;
+
+  /// Where the manifest came from, for messages only.
+  std::string manifest_path = "tools/arch_layers.txt";
+
+  /// Audit mode: additionally emit QA-SUP-001 for every
+  /// `// qa-lint: allow(...)` directive that no longer suppresses
+  /// anything. Only meaningful over the full tree with every rule
+  /// enabled — a subset run starves rules of their side inputs and
+  /// makes live suppressions look stale.
+  bool stale_suppressions = false;
+};
+
+/// Lints one translation unit with the per-file rules only. `path`
+/// should be repo-relative with forward slashes so path-scoped rules
 /// resolve; `content` is the full file text.
 std::vector<Finding> LintFile(std::string_view path, std::string_view content,
                               const Options& options = {});
 
-/// Walks every C++ source (.cc/.cpp/.cxx/.h/.hpp) under each path (a file
-/// or a directory; "build*" and hidden directories are skipped), lints
-/// each, and returns the findings sorted by file/line/column. I/O
-/// problems are appended to `errors` (if non-null) instead of throwing.
+/// Collects every C++ source (.cc/.cpp/.cxx/.h/.hpp) under each path (a
+/// file or a directory; "build*" and hidden directories are skipped)
+/// into memory, sorted by path. I/O problems are appended to `errors`
+/// (if non-null) instead of throwing.
+std::vector<SourceFile> LoadFiles(const std::vector<std::string>& paths,
+                                  std::vector<std::string>* errors = nullptr);
+
+/// The full analysis: every per-file rule plus the cross-file passes —
+/// include-graph layering (QA-ARCH-001/002, when a manifest is set),
+/// wall-clock taint tracking (QA-DET-004), shard-lane safety
+/// (QA-SHD-002) — and the stale-suppression audit when requested.
+/// Findings come back sorted by file/line/column with source snippets
+/// attached.
+std::vector<Finding> AnalyzeProject(const std::vector<SourceFile>& files,
+                                    const Options& options = {},
+                                    const ProjectOptions& project = {},
+                                    std::vector<std::string>* errors = nullptr);
+
+/// LoadFiles + side-input discovery (SCHEMA.md, metrics catalog, the
+/// default tools/arch_layers.txt when none was supplied) + AnalyzeProject.
+std::vector<Finding> AnalyzePaths(const std::vector<std::string>& paths,
+                                  const Options& options = {},
+                                  const ProjectOptions& project = {},
+                                  std::vector<std::string>* errors = nullptr);
+
+/// Walks the same file set as LoadFiles and runs the per-file rules
+/// only (no cross-file passes) — the pre-PR-9 behaviour, kept for
+/// callers that lint subtrees where cross-file context is unavailable.
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
                                const Options& options = {},
                                std::vector<std::string>* errors = nullptr);
 
-/// Renders findings for humans (one line per finding plus an indented
-/// rationale line) or as a machine-readable JSON array.
+/// Renders findings for humans (finding line, indented rationale, then
+/// the offending source line with a caret), as a machine-readable JSON
+/// array, or as a SARIF 2.1.0 log for code-scanning upload.
 std::string FormatText(const std::vector<Finding>& findings);
 std::string FormatJson(const std::vector<Finding>& findings);
+std::string FormatSarif(const std::vector<Finding>& findings);
+
+/// Renders the resolved include graph (file -> layer, resolved project
+/// includes) as JSON — the cacheable artifact CI keeps between steps.
+/// Only project-resolvable edges appear; system headers are omitted.
+std::string DumpIncludeGraph(const std::vector<SourceFile>& files,
+                             const ProjectOptions& project);
 
 }  // namespace qa::lint
 

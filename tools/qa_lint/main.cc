@@ -1,10 +1,11 @@
 // qa_lint — project invariant linter (see LINT.md for the rule catalog).
 //
-// Usage: qa_lint [--json] [--rule=QA-XXX-NNN]... [--list-rules] PATH...
+// Usage: qa_lint [FLAGS] PATH...
 //
-// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+// Exit codes: 0 = clean, 1 = findings, 2 = usage, I/O, or manifest error.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,27 +15,60 @@
 namespace {
 
 int Usage(std::ostream& out, int code) {
-  out << "usage: qa_lint [--json] [--rule=ID]... [--list-rules] PATH...\n"
+  out << "usage: qa_lint [FLAGS] PATH...\n"
          "Scans C++ sources under each PATH for violations of the project\n"
-         "invariants catalogued in LINT.md. Suppress a single finding with\n"
+         "invariants catalogued in LINT.md: the per-file rules plus the\n"
+         "cross-file passes (layer DAG, wall-clock taint, shard-lane\n"
+         "safety). Suppress a single finding with\n"
          "  // qa-lint: allow(QA-XXX-NNN)\n"
          "on the offending line or the line above it.\n"
-         "  --json        machine-readable findings on stdout\n"
-         "  --rule=ID     only run the named rule (repeatable)\n"
-         "  --list-rules  print the rule catalog and exit\n";
+         "  --json                machine-readable findings on stdout\n"
+         "  --sarif=FILE          additionally write SARIF 2.1.0 to FILE\n"
+         "  --dump-graph=FILE     write the resolved include graph (JSON)\n"
+         "  --rule=ID             only run the named rule (repeatable)\n"
+         "  --layers=FILE         layer manifest (default "
+         "tools/arch_layers.txt,\n"
+         "                        resolved against the first PATH's repo)\n"
+         "  --per-file-only       skip the cross-file passes\n"
+         "  --stale-suppressions  audit mode: also flag allow() directives\n"
+         "                        that no longer suppress anything "
+         "(QA-SUP-001)\n"
+         "  --list-rules          print the rule catalog and exit\n";
   return code;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool per_file_only = false;
+  std::string sarif_path;
+  std::string graph_path;
+  std::string layers_path;
   qa::lint::Options options;
+  qa::lint::ProjectOptions project;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--per-file-only") {
+      per_file_only = true;
+    } else if (arg == "--stale-suppressions") {
+      project.stale_suppressions = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(std::strlen("--sarif="));
+    } else if (arg.rfind("--dump-graph=", 0) == 0) {
+      graph_path = arg.substr(std::strlen("--dump-graph="));
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = arg.substr(std::strlen("--layers="));
     } else if (arg == "--list-rules") {
       for (const qa::lint::Rule& rule : qa::lint::AllRules()) {
         std::cout << rule.id << "  " << rule.summary << "\n    "
@@ -55,8 +89,44 @@ int main(int argc, char** argv) {
   if (paths.empty()) return Usage(std::cerr, 2);
 
   std::vector<std::string> errors;
-  std::vector<qa::lint::Finding> findings =
-      qa::lint::LintPaths(paths, options, &errors);
+  if (!layers_path.empty()) {
+    std::ifstream in(layers_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "qa_lint: cannot read layer manifest '" << layers_path
+                << "'\n";
+      return 2;
+    }
+    project.layer_manifest.emplace(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+    project.manifest_path = layers_path;
+  }
+
+  std::vector<qa::lint::Finding> findings;
+  if (per_file_only) {
+    findings = qa::lint::LintPaths(paths, options, &errors);
+  } else {
+    findings = qa::lint::AnalyzePaths(paths, options, project, &errors);
+  }
+  if (!graph_path.empty()) {
+    if (!project.layer_manifest.has_value()) {
+      // Same default AnalyzePaths applies, so the dumped graph carries
+      // the layer labels the layering pass used.
+      std::ifstream in(project.manifest_path, std::ios::binary);
+      if (in) {
+        project.layer_manifest.emplace(std::istreambuf_iterator<char>(in),
+                                       std::istreambuf_iterator<char>());
+      }
+    }
+    std::vector<qa::lint::SourceFile> files =
+        qa::lint::LoadFiles(paths, &errors);
+    if (!WriteFile(graph_path, qa::lint::DumpIncludeGraph(files, project))) {
+      errors.push_back("cannot write include graph to " + graph_path);
+    }
+  }
+  if (!sarif_path.empty() &&
+      !WriteFile(sarif_path, qa::lint::FormatSarif(findings))) {
+    errors.push_back("cannot write SARIF log to " + sarif_path);
+  }
   for (const std::string& error : errors) {
     std::cerr << "qa_lint: " << error << "\n";
   }

@@ -1,0 +1,73 @@
+// SARIF 2.1.0 rendering of qa_lint findings, for GitHub code-scanning
+// upload. One run, one tool ("qa_lint"), the full rule catalog in
+// tool.driver.rules so findings annotate PRs with the rationale text.
+
+#include <string>
+#include <vector>
+
+#include "qa_lint/internal.h"
+#include "qa_lint/lint.h"
+
+namespace qa::lint {
+
+namespace {
+
+using internal::Cat;
+using internal::JsonEscape;
+
+}  // namespace
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"qa_lint\",\n"
+      "          \"informationUri\": \"LINT.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<Rule>& rules = AllRules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    out += Cat({"            {\"id\": \"", JsonEscape(r.id),
+                "\", \"shortDescription\": {\"text\": \"",
+                JsonEscape(r.summary),
+                "\"}, \"fullDescription\": {\"text\": \"",
+                JsonEscape(r.rationale), "\"}, \"helpUri\": \"LINT.md\"}",
+                i + 1 < rules.size() ? ",\n" : "\n"});
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += Cat({"        {\"ruleId\": \"", JsonEscape(f.rule),
+                "\", \"level\": \"error\", \"message\": {\"text\": \"",
+                JsonEscape(f.message),
+                "\"}, \"locations\": [{\"physicalLocation\": "
+                "{\"artifactLocation\": {\"uri\": \"",
+                JsonEscape(f.file), "\"}, \"region\": {\"startLine\": ",
+                std::to_string(f.line),
+                ", \"startColumn\": ", std::to_string(f.column)});
+    if (!f.snippet.empty()) {
+      out += Cat({", \"snippet\": {\"text\": \"", JsonEscape(f.snippet),
+                  "\"}"});
+    }
+    out += Cat({"}}}]}", i + 1 < findings.size() ? ",\n" : "\n"});
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace qa::lint
