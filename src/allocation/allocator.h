@@ -62,6 +62,13 @@ struct AllocationDecision {
   /// Nodes the mediator solicited offers from for this attempt (the
   /// effective fanout; 0 for mechanisms that do not negotiate).
   int solicited = 0;
+  /// Hierarchical market only: the cluster the top tier routed this
+  /// attempt to (-1 under the flat market, or when every solicited
+  /// cluster declined).
+  int cluster = -1;
+  /// Cluster sub-mediators the top tier solicited for this attempt (0
+  /// under the flat market).
+  int clusters_solicited = 0;
 };
 
 /// Static properties of a mechanism (columns of Table 2).

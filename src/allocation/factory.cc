@@ -11,7 +11,7 @@ std::unique_ptr<Allocator> CreateAllocator(const std::string& name,
     return std::make_unique<QaNtAllocator>(
         params.cost_model, params.period, params.qa_nt,
         QaNtAllocator::OfferSelection::kCheapest, params.solicitation,
-        params.seed);
+        params.seed, params.cluster_plan);
   }
   if (name == "Greedy") {
     return std::make_unique<GreedyAllocator>(params.seed);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/cluster_plan.h"
 #include "allocation/solicitation.h"
 #include "market/qa_nt.h"
 
@@ -20,6 +21,8 @@ struct AllocatorParams {
   /// Offer-solicitation fanout policy (QA-NT only; baselines have their
   /// own fixed probe counts).
   SolicitationConfig solicitation;
+  /// Hierarchical two-tier market plan (QA-NT only). Disabled = flat.
+  ClusterPlan cluster_plan;
   uint64_t seed = 1;
   /// GreedyBlind randomization fraction: execution-time estimates are
   /// perturbed by +/- this fraction so load spreads over near-fastest

@@ -11,7 +11,8 @@ QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
                              util::VDuration period,
                              market::QaNtConfig config,
                              OfferSelection selection,
-                             SolicitationConfig solicitation, uint64_t seed)
+                             SolicitationConfig solicitation, uint64_t seed,
+                             ClusterPlan cluster_plan)
     : cost_model_(cost_model),
       period_(period),
       config_(config),
@@ -29,7 +30,22 @@ QaNtAllocator::QaNtAllocator(const query::CostModel* cost_model,
     // node from t=0 even though the agent itself is built lazily.
     next_refresh_.push_back(period_ * (i + 1) / std::max(num_nodes, 1));
   }
+  // A single-cluster plan is structurally the flat market, so it runs the
+  // flat code path — that degenerate identity is exactly what the
+  // hierarchy equivalence tests pin down, and it means enabling the plan
+  // can never change a federation that has nothing to cluster.
+  if (cluster_plan.hierarchical()) {
+    cluster_market_ = std::make_unique<ClusterMarket>(
+        cost_model_, std::move(cluster_plan), config_, period_);
+    remaining_view_ =
+        [this](catalog::NodeId node) -> const market::QuantityVector* {
+      const auto& agent = agents_[static_cast<size_t>(node)];
+      return agent != nullptr ? &agent->remaining_supply() : nullptr;
+    };
+  }
 }
+
+QaNtAllocator::~QaNtAllocator() = default;
 
 std::unique_ptr<market::QaNtAgent> QaNtAllocator::MakeAgent(
     catalog::NodeId node) const {
@@ -90,8 +106,15 @@ constexpr size_t kMinChunk = 64;
 
 }  // namespace
 
+/// Salts the top tier's per-arrival sampling stream so its draws never
+/// alias the tier-2 member sampling made for the same arrival.
+constexpr uint64_t kTopTierSeedSalt = 0x746965722d746f70ULL;  // "tier-top"
+
 AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
                                            const AllocationContext& context) {
+  if (cluster_market_ != nullptr) {
+    return AllocateHierarchical(arrival, context);
+  }
   AllocationDecision decision;
   int k = arrival.class_id;
 
@@ -99,6 +122,93 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
       solicitation_, candidates_, k,
       util::SplitMix64(util::MixSeed(seed_, arrival_seq_++)), &solicited_);
 
+  int asked = 0;
+  decision.node = ScanAndSettle(context, k, &asked);
+  // Request + offer/decline reply per asked node, plus the final accept.
+  decision.messages = 2 * asked + 1;
+  total_messages_ += decision.messages;
+  return decision;
+}
+
+AllocationDecision QaNtAllocator::AllocateHierarchical(
+    const workload::Arrival& arrival, const AllocationContext& context) {
+  AllocationDecision decision;
+  int k = arrival.class_id;
+  uint64_t seq = arrival_seq_++;
+
+  // Tier 1: solicit cluster sub-mediators on the aggregate-supply market.
+  // Each offers iff its published-aggregate ledger still shows supply for
+  // the class; the query routes to the offer with the highest *supply
+  // density* — remaining aggregate per unit of quoted cost. Routing on the
+  // quote alone would funnel every arrival into the fastest cluster until
+  // its ledger drained, burning a retry per mis-route; density is the
+  // commodity this tier actually trades (how much eq.-4 supply the quoted
+  // price buys), so plentiful clusters absorb load before hot ones
+  // over-promise. Ties (exact density equality) break toward the
+  // earliest-solicited cluster via the strict > below — a pure function
+  // of the per-arrival solicitation draw, so byte-deterministic.
+  decision.clusters_solicited = SolicitNodes(
+      cluster_market_->plan().top, cluster_market_->cluster_candidates(), k,
+      util::SplitMix64(util::MixSeed(seed_ ^ kTopTierSeedSalt, seq)),
+      &top_solicited_);
+  int best_cluster = -1;
+  double best_density = 0.0;
+  int fallback_cluster = -1;
+  for (catalog::NodeId c : top_solicited_) {
+    cluster_market_->EnsureActive(c, remaining_view_);
+    if (!cluster_market_->agent(c).OnSolicited(k)) {
+      // An empty ledger is a worst-possible offer, not a refusal: the
+      // first feasible decliner (solicitation order — a fresh uniform
+      // draw per arrival, so load spreads) backstops the round when every
+      // ledger is drained. Member-tier admission, which knows the real
+      // budgets, then settles it like a flat round would.
+      if (fallback_cluster < 0 &&
+          cluster_market_->Quote(c, k) != query::kInfeasibleCost) {
+        fallback_cluster = c;
+      }
+      continue;
+    }
+    double density =
+        static_cast<double>(cluster_market_->agent(c).remaining()[k]) /
+        static_cast<double>(cluster_market_->Quote(c, k));
+    if (best_cluster < 0 || density > best_density) {
+      best_cluster = c;
+      best_density = density;
+    }
+  }
+  if (best_cluster < 0) best_cluster = fallback_cluster;
+  // Solicitation + quote/decline reply per contacted sub-mediator.
+  decision.messages = 2 * decision.clusters_solicited;
+  if (best_cluster < 0) {
+    // No solicited cluster can evaluate this class at all; the client
+    // resubmits next period, like an all-decline flat round.
+    total_messages_ += decision.messages;
+    return decision;
+  }
+  decision.cluster = best_cluster;
+
+  // Tier 2: the ordinary QA-NT auction among the chosen cluster's
+  // members, on the same per-arrival stream the flat market would use.
+  decision.solicited = SolicitNodes(
+      solicitation_, cluster_market_->member_candidates(best_cluster), k,
+      util::SplitMix64(util::MixSeed(seed_, seq)), &solicited_);
+  int asked = 0;
+  catalog::NodeId best = ScanAndSettle(context, k, &asked);
+  decision.messages += 2 * asked + 1;
+  total_messages_ += decision.messages;
+  if (best == kNoNode) {
+    // The ledger over-promised (members sold out / went offline since the
+    // last publish): correct it so follow-up queries stop routing here.
+    cluster_market_->agent(best_cluster).MarkExhausted(k);
+    return decision;
+  }
+  cluster_market_->agent(best_cluster).OnSold(k);
+  decision.node = best;
+  return decision;
+}
+
+catalog::NodeId QaNtAllocator::ScanAndSettle(const AllocationContext& context,
+                                             int k, int* asked_out) {
   offers_.clear();
   int asked = 0;
   [[maybe_unused]] int64_t scan_start = 0;
@@ -162,10 +272,8 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
                             obs::metrics::kAllocProbeStride);
     }
   }
-  // Request + offer/decline reply per asked node, plus the final accept.
-  decision.messages = 2 * asked + 1;
-  total_messages_ += decision.messages;
-  if (offers_.empty()) return decision;  // resubmitted next period
+  *asked_out = asked;
+  if (offers_.empty()) return kNoNode;  // resubmitted next period
 
   catalog::NodeId best = offers_[0];
   for (catalog::NodeId j : offers_) {
@@ -208,8 +316,7 @@ AllocationDecision QaNtAllocator::Allocate(const workload::Arrival& arrival,
       }
     }
   }
-  decision.node = best;
-  return decision;
+  return best;
 }
 
 obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
@@ -235,6 +342,28 @@ obs::AllocatorSnapshot QaNtAllocator::Snapshot() const {
     state.remaining_budget_us = agent->remaining_budget();
     state.earnings = agent->earnings();
     snapshot.agents.push_back(std::move(state));
+  }
+  if (cluster_market_ != nullptr) {
+    // Per-tier introspection: every *activated* cluster's top-market seat
+    // (O(contacted clusters), matching the lazy-agent story one tier up).
+    for (int c = 0; c < cluster_market_->num_clusters(); ++c) {
+      if (!cluster_market_->active(c)) continue;
+      const market::ClusterSupplyAgent& seat = cluster_market_->agent(c);
+      obs::ClusterStateSnapshot state;
+      state.cluster = c;
+      state.members = static_cast<int>(
+          cluster_market_->plan().clusters[static_cast<size_t>(c)].size());
+      state.published = seat.published().values();
+      state.remaining = seat.remaining().values();
+      state.sold = seat.sold();
+      const market::ClusterSupplyStats& stats = seat.stats();
+      state.publishes = stats.publishes;
+      state.top_requests = stats.top_requests;
+      state.top_offers = stats.top_offers;
+      state.top_declines = stats.top_declines;
+      state.exhausted_marks = stats.exhausted_marks;
+      snapshot.clusters.push_back(std::move(state));
+    }
   }
   return snapshot;
 }
@@ -286,6 +415,12 @@ void QaNtAllocator::OnPeriodStart(util::VTime now) {
     });
   } else {
     roll_range(0, agents_.size());
+  }
+  if (cluster_market_ != nullptr) {
+    // Sub-mediators publish after their members rolled: the aggregate a
+    // cluster trades this period is the members' post-rollover supply.
+    // Strictly sequential on the mediator lane — no cross-chunk state.
+    cluster_market_->OnTick(now, remaining_view_);
   }
   QA_METRICS(metrics_) {
     if (roll_start != 0) {

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/cluster_market.h"
+#include "allocation/cluster_plan.h"
 #include "allocation/solicitation.h"
 #include "market/qa_nt.h"
 
@@ -38,10 +40,18 @@ class QaNtAllocator : public Allocator {
   /// hundred nodes never pays for the rest. The cost model pointer must
   /// outlive the allocator. `seed` feeds the per-arrival solicitation
   /// sampling streams (unused under broadcast).
+  /// `cluster_plan`, when hierarchical (enabled with >= 2 clusters),
+  /// turns on the two-tier market: arrivals are first routed to a cluster
+  /// on the aggregate-supply top market, then auctioned among that
+  /// cluster's members with the ordinary QA-NT protocol. A disabled or
+  /// single-cluster plan runs the flat market code path and is
+  /// byte-identical to it.
   QaNtAllocator(const query::CostModel* cost_model, util::VDuration period,
                 market::QaNtConfig config = {},
                 OfferSelection selection = OfferSelection::kCheapest,
-                SolicitationConfig solicitation = {}, uint64_t seed = 0);
+                SolicitationConfig solicitation = {}, uint64_t seed = 0,
+                ClusterPlan cluster_plan = {});
+  ~QaNtAllocator() override;
 
   std::string name() const override { return "QA-NT"; }
   MechanismProperties properties() const override;
@@ -112,10 +122,28 @@ class QaNtAllocator : public Allocator {
     return EnsureAgent(node);
   }
 
+  /// Null unless the plan passed at construction is hierarchical.
+  const ClusterMarket* cluster_market() const {
+    return cluster_market_.get();
+  }
+
  private:
   /// Builds a fresh default-state agent for `node` (instantiation and
   /// crash/restart recovery share this).
   std::unique_ptr<market::QaNtAgent> MakeAgent(catalog::NodeId node) const;
+
+  /// Two-tier dispatch of one arrival (see class comment on the ctor's
+  /// cluster_plan): top-tier cluster routing, then the flat tier-2
+  /// auction over the chosen cluster's members.
+  AllocationDecision AllocateHierarchical(const workload::Arrival& arrival,
+                                          const AllocationContext& context);
+
+  /// Shared tier-2/flat engine: scans solicited_ (bids via OnRequest),
+  /// picks the best offer, sends accept/reject notifications, and returns
+  /// the winner (kNoNode when everyone declined). `*asked` receives the
+  /// number of online nodes actually contacted.
+  catalog::NodeId ScanAndSettle(const AllocationContext& context, int k,
+                                int* asked);
 
   /// Returns the agent of `node`, instantiating it on first contact and
   /// replaying every period rollover up to the last market tick — which
@@ -145,8 +173,14 @@ class QaNtAllocator : public Allocator {
   const util::TaskRunner* runner_ = nullptr;
   /// Phase-profiling collector (null = no probes).
   obs::metrics::Collector* metrics_ = nullptr;
+  /// Top tier of the two-tier market; null when the plan is flat.
+  std::unique_ptr<ClusterMarket> cluster_market_;
+  /// How the cluster market reads live member supply (bound once; no
+  /// per-publish allocation).
+  ClusterMarket::RemainingFn remaining_view_;
   /// Scratch buffers reused across arrivals (no hot-path allocation).
   std::vector<catalog::NodeId> solicited_;
+  std::vector<catalog::NodeId> top_solicited_;
   std::vector<catalog::NodeId> offers_;
   /// Per-chunk scratch of the parallel bid scan.
   std::vector<std::vector<catalog::NodeId>> chunk_offers_;

@@ -63,6 +63,31 @@ CandidateIndex::CandidateIndex(const query::CostModel& cost_model) {
   }
 }
 
+CandidateIndex::CandidateIndex(
+    const query::CostModel& cost_model,
+    const std::vector<catalog::NodeId>& members) {
+  int num_classes = cost_model.num_classes();
+  // The candidate lists keep ascending id order regardless of how the
+  // cluster plan happens to list its members.
+  std::vector<catalog::NodeId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  by_id_.resize(static_cast<size_t>(num_classes));
+  by_cost_.resize(static_cast<size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    std::vector<catalog::NodeId>& ids = by_id_[static_cast<size_t>(k)];
+    for (catalog::NodeId j : sorted) {
+      if (cost_model.CanEvaluate(k, j)) ids.push_back(j);
+    }
+    std::vector<catalog::NodeId>& by_cost =
+        by_cost_[static_cast<size_t>(k)];
+    by_cost = ids;
+    std::stable_sort(by_cost.begin(), by_cost.end(),
+                     [&](catalog::NodeId a, catalog::NodeId b) {
+                       return cost_model.Cost(k, a) < cost_model.Cost(k, b);
+                     });
+  }
+}
+
 int SolicitNodes(const SolicitationConfig& config,
                  const CandidateIndex& candidates, query::QueryClassId k,
                  util::SplitMix64 stream,

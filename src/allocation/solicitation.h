@@ -66,6 +66,11 @@ class CandidateIndex {
   CandidateIndex() = default;
   /// Builds both orderings for every class: O(K * N) once.
   explicit CandidateIndex(const query::CostModel& cost_model);
+  /// Restriction of the index to `members` (a cluster sub-mediator's view
+  /// of the federation): candidate lists contain only feasible nodes from
+  /// `members`, in the same (id, cost-stable) orders as the full index.
+  CandidateIndex(const query::CostModel& cost_model,
+                 const std::vector<catalog::NodeId>& members);
 
   int num_classes() const { return static_cast<int>(by_id_.size()); }
 

@@ -19,6 +19,7 @@ std::unique_ptr<allocation::Allocator> MakeAllocator(const RunSpec& spec) {
   params.period = spec.period;
   params.seed = spec.seed;
   params.solicitation = spec.config.solicitation;
+  params.cluster_plan = spec.config.cluster_plan;
   std::unique_ptr<allocation::Allocator> allocator =
       allocation::CreateAllocator(spec.mechanism, params);
   if (allocator == nullptr) {

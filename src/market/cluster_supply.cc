@@ -1,0 +1,28 @@
+#include "market/cluster_supply.h"
+
+#include <utility>
+
+namespace qa::market {
+
+QuantityVector DefaultPlannedSupply(std::vector<util::VDuration> unit_costs,
+                                    util::VDuration period_budget,
+                                    const QaNtConfig& config) {
+  // Floor the eq.-4 plan at 1 for every evaluable class: the knapsack
+  // plans 0 for a class whose unit cost exceeds the period budget, but
+  // budget-elastic admission still accepts such a query into debt on an
+  // uncontended node — a fresh member is never truly zero-supply, and a
+  // ledger that says otherwise starves the class at the top tier.
+  QaNtAgent agent(0, unit_costs, period_budget, config);
+  agent.BeginPeriod();
+  QuantityVector plan = agent.planned_supply();
+  for (int k = 0; k < plan.num_classes(); ++k) {
+    if (unit_costs[static_cast<size_t>(k)] !=
+            CapacitySupplySet::kCannotEvaluate &&
+        plan[k] == 0) {
+      plan[k] = 1;
+    }
+  }
+  return plan;
+}
+
+}  // namespace qa::market

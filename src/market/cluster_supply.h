@@ -1,0 +1,104 @@
+#ifndef QAMARKET_MARKET_CLUSTER_SUPPLY_H_
+#define QAMARKET_MARKET_CLUSTER_SUPPLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "market/qa_nt.h"
+#include "market/vectors.h"
+#include "util/vtime.h"
+
+namespace qa::market {
+
+/// Counters of one cluster's trading on the top-level market.
+struct ClusterSupplyStats {
+  /// Aggregate-supply refreshes (one per global period once active).
+  int64_t publishes = 0;
+  /// Top-tier solicitations received, per outcome.
+  int64_t top_requests = 0;
+  int64_t top_offers = 0;
+  int64_t top_declines = 0;
+  /// Times the tier-2 market declined after the ledger said supply
+  /// remained (the published aggregate had gone stale mid-period).
+  int64_t exhausted_marks = 0;
+};
+
+/// One cluster's seat at the top-level market. The commodity traded there
+/// is the cluster's *aggregate supply vector*: the eq.-4 supply of every
+/// member summed per class, published by the sub-mediator at each global
+/// period boundary. Between publishes the ledger is decremented as queries
+/// are sold into the cluster, so the top market sees a conservative
+/// remaining-supply estimate without messaging the members — the same
+/// autonomy-preserving trick the per-node agent uses, one level up.
+class ClusterSupplyAgent {
+ public:
+  ClusterSupplyAgent(int cluster, int num_classes)
+      : cluster_(cluster),
+        published_(num_classes),
+        remaining_(num_classes),
+        sold_(static_cast<size_t>(num_classes), 0) {}
+
+  /// Period refresh: replaces the ledger with a freshly summed aggregate.
+  void Publish(const QuantityVector& aggregate) {
+    published_ = aggregate;
+    remaining_ = aggregate;
+    ++stats_.publishes;
+  }
+
+  /// Top-tier solicitation for one k-class query: offer iff the ledger
+  /// still shows remaining aggregate supply for the class.
+  bool OnSolicited(int k) {
+    ++stats_.top_requests;
+    if (remaining_[k] > 0) {
+      ++stats_.top_offers;
+      return true;
+    }
+    ++stats_.top_declines;
+    return false;
+  }
+
+  /// A member of this cluster won the tier-2 auction: one unit of the
+  /// published aggregate is consumed.
+  void OnSold(int k) {
+    if (remaining_[k] > 0) remaining_[k] -= 1;
+    ++sold_[static_cast<size_t>(k)];
+  }
+
+  /// The tier-2 market declined a query the ledger had offered on: the
+  /// aggregate was stale (members sold out or went offline mid-period).
+  /// Zeroing the class keeps the top market from re-routing follow-up
+  /// queries into a cluster that just proved empty; the next publish
+  /// restores whatever supply the members actually replan.
+  void MarkExhausted(int k) {
+    remaining_[k] = 0;
+    ++stats_.exhausted_marks;
+  }
+
+  int cluster() const { return cluster_; }
+  const QuantityVector& published() const { return published_; }
+  const QuantityVector& remaining() const { return remaining_; }
+  /// Cumulative units sold through this cluster, per class.
+  const std::vector<int64_t>& sold() const { return sold_; }
+  const ClusterSupplyStats& stats() const { return stats_; }
+
+ private:
+  int cluster_;
+  QuantityVector published_;
+  QuantityVector remaining_;
+  std::vector<int64_t> sold_;
+  ClusterSupplyStats stats_;
+};
+
+/// The supply vector a fresh default-state QaNtAgent with these unit costs
+/// plans for its first period. Used by the cluster market as the aggregate
+/// contribution of members whose agent was never instantiated: an
+/// uncontacted agent's plan is a pure function of its configuration, so
+/// the sub-mediator can publish on behalf of its idle members without
+/// building (or messaging) them.
+QuantityVector DefaultPlannedSupply(std::vector<util::VDuration> unit_costs,
+                                    util::VDuration period_budget,
+                                    const QaNtConfig& config);
+
+}  // namespace qa::market
+
+#endif  // QAMARKET_MARKET_CLUSTER_SUPPLY_H_

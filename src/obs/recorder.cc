@@ -51,6 +51,19 @@ void Recorder::RecordSnapshot(util::VTime now,
     record.earnings = agent.earnings;
     Record(record);
   }
+  for (const ClusterStateSnapshot& cluster : snapshot.clusters) {
+    for (size_t k = 0; k < cluster.published.size(); ++k) {
+      ClusterRecord record;
+      record.t_us = now;
+      record.cluster = cluster.cluster;
+      record.class_id = static_cast<int>(k);
+      record.published = cluster.published[k];
+      record.remaining =
+          k < cluster.remaining.size() ? cluster.remaining[k] : 0;
+      record.sold = k < cluster.sold.size() ? cluster.sold[k] : 0;
+      Record(record);
+    }
+  }
   for (size_t k = 0; k < snapshot.umpire_prices.size(); ++k) {
     UmpireRecord record;
     record.iter = static_cast<int>(now);

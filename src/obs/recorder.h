@@ -48,6 +48,7 @@ class Recorder {
   void Record(const EventRecord& record) { Write(record.ToJson()); }
   void Record(const PriceRecord& record) { Write(record.ToJson()); }
   void Record(const AgentRecord& record) { Write(record.ToJson()); }
+  void Record(const ClusterRecord& record) { Write(record.ToJson()); }
   void Record(const UmpireRecord& record) { Write(record.ToJson()); }
 
   /// Expands an allocator snapshot into price/agent/umpire records stamped

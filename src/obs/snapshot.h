@@ -29,15 +29,36 @@ struct AgentStateSnapshot {
   double earnings = 0.0;
 };
 
+/// One cluster's seat at the hierarchical top market at snapshot time:
+/// the aggregate supply its sub-mediator last published, the ledger's
+/// remaining estimate, cumulative units sold through the cluster, and the
+/// seat's top-tier trading counters. Only *activated* clusters (ever
+/// solicited by the top tier) appear in snapshots.
+struct ClusterStateSnapshot {
+  int cluster = -1;
+  int members = 0;
+  std::vector<int64_t> published;  // per query class
+  std::vector<int64_t> remaining;  // per query class
+  std::vector<int64_t> sold;       // per query class, cumulative
+  int64_t publishes = 0;
+  int64_t top_requests = 0;
+  int64_t top_offers = 0;
+  int64_t top_declines = 0;
+  int64_t exhausted_marks = 0;
+};
+
 /// What Allocator::Snapshot() exposes for telemetry. Mechanisms fill the
 /// parts that exist for them:
 ///   - QA-NT: one AgentStateSnapshot per node (private prices, supply,
 ///     rejection/leftover counts);
+///   - hierarchical QA-NT additionally: one ClusterStateSnapshot per
+///     activated cluster (the top tier's per-tier view);
 ///   - the tâtonnement reference: umpire prices and excess demand;
 ///   - baselines: probe/message counts only.
 struct AllocatorSnapshot {
   std::string mechanism;
   std::vector<AgentStateSnapshot> agents;
+  std::vector<ClusterStateSnapshot> clusters;
   std::vector<double> umpire_prices;   // per query class
   std::vector<double> excess_demand;   // per query class
   /// Cumulative messages the mechanism has charged for its decisions.

@@ -36,6 +36,8 @@ util::StatusOr<ParsedTrace> ParsedTrace::Parse(std::istream& in) {
       trace.prices.push_back(PriceRecord::FromJson(json));
     } else if (type == "agent") {
       trace.agents.push_back(AgentRecord::FromJson(json));
+    } else if (type == "cluster") {
+      trace.clusters.push_back(ClusterRecord::FromJson(json));
     } else if (type == "umpire") {
       trace.umpire.push_back(UmpireRecord::FromJson(json));
     } else if (type == "counter" || type == "gauge") {

@@ -19,12 +19,13 @@ struct ParsedTrace {
   std::vector<EventRecord> events;
   std::vector<PriceRecord> prices;
   std::vector<AgentRecord> agents;
+  std::vector<ClusterRecord> clusters;
   std::vector<UmpireRecord> umpire;
   std::vector<StatRecord> stats;
 
   size_t NumRecords() const {
     return (has_meta ? 1 : 0) + events.size() + prices.size() +
-           agents.size() + umpire.size() + stats.size();
+           agents.size() + clusters.size() + umpire.size() + stats.size();
   }
 
   /// Parses a whole stream of JSONL records. Unknown record types from the

@@ -32,6 +32,8 @@ Json MetaRecord::ToJson() const {
   json.Set("seed", static_cast<int64_t>(seed));
   if (!solicitation.empty()) json.Set("solicitation", solicitation);
   SetIfNot(json, "fanout", int64_t{fanout}, int64_t{0});
+  SetIfNot(json, "clusters", int64_t{clusters}, int64_t{0});
+  SetIfNot(json, "top_fanout", int64_t{top_fanout}, int64_t{0});
   return json;
 }
 
@@ -46,6 +48,8 @@ MetaRecord MetaRecord::FromJson(const Json& json) {
   r.seed = static_cast<uint64_t>(json.GetInt("seed"));
   r.solicitation = json.GetString("solicitation");
   r.fanout = static_cast<int>(json.GetInt("fanout", 0));
+  r.clusters = static_cast<int>(json.GetInt("clusters", 0));
+  r.top_fanout = static_cast<int>(json.GetInt("top_fanout", 0));
   return r;
 }
 
@@ -112,6 +116,8 @@ Json EventRecord::ToJson() const {
   SetIfNot(json, "messages", int64_t{messages}, int64_t{0});
   SetIfNot(json, "solicited", int64_t{solicited}, int64_t{0});
   SetIfNot(json, "attempts", int64_t{attempts}, int64_t{0});
+  SetIfNot(json, "cluster", int64_t{cluster}, int64_t{-1});
+  SetIfNot(json, "clusters_asked", int64_t{clusters_asked}, int64_t{0});
   SetIfNot(json, "response_ms", response_ms, 0.0);
   SetIfNot(json, "factor", factor, 0.0);
   return json;
@@ -128,6 +134,8 @@ EventRecord EventRecord::FromJson(const Json& json) {
   r.messages = static_cast<int>(json.GetInt("messages", 0));
   r.solicited = static_cast<int>(json.GetInt("solicited", 0));
   r.attempts = static_cast<int>(json.GetInt("attempts", 0));
+  r.cluster = static_cast<int>(json.GetInt("cluster", -1));
+  r.clusters_asked = static_cast<int>(json.GetInt("clusters_asked", 0));
   r.response_ms = json.GetDouble("response_ms", 0.0);
   r.factor = json.GetDouble("factor", 0.0);
   return r;
@@ -184,6 +192,29 @@ AgentRecord AgentRecord::FromJson(const Json& json) {
   r.debt_us = json.GetInt("debt_us", 0);
   r.budget_us = json.GetInt("budget_us", 0);
   r.earnings = json.GetDouble("earnings", 0.0);
+  return r;
+}
+
+Json ClusterRecord::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("type", "cluster");
+  json.Set("t_us", t_us);
+  json.Set("cluster", cluster);
+  json.Set("class", class_id);
+  SetIfNot(json, "published", published, int64_t{0});
+  SetIfNot(json, "remaining", remaining, int64_t{0});
+  SetIfNot(json, "sold", sold, int64_t{0});
+  return json;
+}
+
+ClusterRecord ClusterRecord::FromJson(const Json& json) {
+  ClusterRecord r;
+  r.t_us = json.GetInt("t_us");
+  r.cluster = static_cast<int>(json.GetInt("cluster", -1));
+  r.class_id = static_cast<int>(json.GetInt("class", -1));
+  r.published = json.GetInt("published", 0);
+  r.remaining = json.GetInt("remaining", 0);
+  r.sold = json.GetInt("sold", 0);
   return r;
 }
 

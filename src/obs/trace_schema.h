@@ -23,7 +23,14 @@ namespace qa::obs {
 /// the admission gate dropped the query; shed ⊆ dropped) and `surge` (a
 /// fault-plan arrival-rate window opened/closed; `factor` carries the
 /// multiplier, `class` the scope, -1 = all classes).
-inline constexpr int kTraceSchemaVersion = 4;
+/// v5: hierarchical two-tier market. Meta records gained `clusters` +
+/// `top_fanout` (present only when the run used a hierarchical cluster
+/// plan); assign/reject event records gained `cluster` (the cluster the
+/// top tier routed the attempt to, -1/omitted when flat or unrouted) and
+/// `clusters_asked` (sub-mediators solicited on the attempt); snapshots
+/// additionally emit `cluster` records (one per activated cluster and
+/// query class: published/remaining/sold aggregate supply).
+inline constexpr int kTraceSchemaVersion = 5;
 
 /// The typed records of the trace. Every record serializes to one JSON
 /// object per line with a "type" discriminator; fields holding their
@@ -45,6 +52,11 @@ struct MetaRecord {
   std::string solicitation;
   /// Solicitation fanout d (sampled policies only; 0 under broadcast).
   int fanout = 0;
+  /// Hierarchical runs only: number of clusters in the plan (0 = flat —
+  /// including enabled single-cluster plans, which run the flat market).
+  int clusters = 0;
+  /// Top-tier solicitation fanout (0 = top-tier broadcast or flat run).
+  int top_fanout = 0;
 
   bool operator==(const MetaRecord&) const = default;
   Json ToJson() const;
@@ -85,6 +97,11 @@ struct EventRecord {
   int solicited = 0;
   /// Resubmission count of this query so far (assign/reject/drop records).
   int attempts = 0;
+  /// Hierarchical runs: cluster the top tier routed this attempt to
+  /// (assign/reject records; -1 = flat market or no cluster offered).
+  int cluster = -1;
+  /// Cluster sub-mediators solicited on this attempt (0 when flat).
+  int clusters_asked = 0;
   /// Response time, complete records only.
   double response_ms = 0.0;
   /// Execution speed multiplier (degrade records, 0 < factor <= 1) or
@@ -131,6 +148,23 @@ struct AgentRecord {
   bool operator==(const AgentRecord&) const = default;
   Json ToJson() const;
   static AgentRecord FromJson(const Json& json);
+};
+
+/// One (cluster, query class) sample of an allocator snapshot under the
+/// hierarchical market: the aggregate supply the cluster's sub-mediator
+/// last published to the top tier, the ledger's remaining estimate, and
+/// the cumulative units sold through the cluster.
+struct ClusterRecord {
+  int64_t t_us = 0;
+  int cluster = -1;
+  int class_id = -1;
+  int64_t published = 0;
+  int64_t remaining = 0;
+  int64_t sold = 0;
+
+  bool operator==(const ClusterRecord&) const = default;
+  Json ToJson() const;
+  static ClusterRecord FromJson(const Json& json);
 };
 
 /// One umpire price/excess-demand pair of the tâtonnement reference.

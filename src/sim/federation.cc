@@ -110,6 +110,8 @@ util::Status ValidateConfig(const FederationConfig& config, int num_nodes) {
   }
   util::Status solicitation = config.solicitation.Validate();
   if (!solicitation.ok()) return solicitation;
+  util::Status clusters = config.cluster_plan.Validate(num_nodes);
+  if (!clusters.ok()) return clusters;
   return config.faults.Validate(num_nodes);
 }
 
@@ -251,6 +253,15 @@ SimMetrics Federation::Run(const workload::Trace& trace) {
         allocation::SolicitationPolicyName(config_.solicitation.policy));
     meta.fanout =
         config_.solicitation.sampled() ? config_.solicitation.fanout : 0;
+    // Only a genuinely hierarchical run stamps cluster fields: a
+    // single-cluster plan executes the flat market, and its meta line
+    // must stay byte-identical to the flat run it reproduces.
+    if (config_.cluster_plan.hierarchical()) {
+      meta.clusters = config_.cluster_plan.num_clusters();
+      meta.top_fanout = config_.cluster_plan.top.sampled()
+                            ? config_.cluster_plan.top.fanout
+                            : 0;
+    }
     config_.recorder->Record(meta);
     // Fix the stats block's name order up front (see kCounterNames).
     for (const char* name : kCounterNames) {
@@ -715,6 +726,7 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   }
   metrics_.messages += decision.messages;
   metrics_.solicited += decision.solicited;
+  metrics_.clusters_solicited += decision.clusters_solicited;
 
   // A mechanism that cannot observe liveness (Random/RoundRobin) may pick
   // an unreachable node: the query bounces at the network layer and is
@@ -782,6 +794,8 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
       event.class_id = pending.arrival.class_id;
       event.messages = decision.messages;
       event.solicited = decision.solicited;
+      event.cluster = decision.cluster;
+      event.clusters_asked = decision.clusters_solicited;
       event.attempts = pending.attempts;
       EmitRecord(event);
       config_.recorder->Count("rejects");
@@ -821,6 +835,8 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
     event.node = decision.node;
     event.messages = decision.messages;
     event.solicited = decision.solicited;
+    event.cluster = decision.cluster;
+    event.clusters_asked = decision.clusters_solicited;
     event.attempts = pending.attempts;
     EmitRecord(event);
     config_.recorder->Count("assigns");
@@ -849,10 +865,13 @@ void Federation::HandleQuery(SimEvent::Pending pending) {
   }
 
   // Probes run in parallel: one round trip for the negotiation (when any)
-  // plus the hop that ships the query to the chosen node.
+  // plus the hop that ships the query to the chosen node. A hierarchical
+  // placement pays one more round trip — the top-tier cluster
+  // negotiation precedes (and cannot overlap) the member negotiation.
   util::VDuration delay =
       decision.messages >= 2 ? 3 * config_.message_latency
                              : config_.message_latency;
+  if (decision.cluster >= 0) delay += 2 * config_.message_latency;
   if (link_faults) {
     delay += injector_.ExtraLatency(decision.node, events_.now());
   }

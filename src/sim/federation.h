@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "allocation/allocator.h"
+#include "allocation/cluster_plan.h"
 #include "allocation/solicitation.h"
 #include "obs/metrics/collector.h"
 #include "obs/metrics/watchdog.h"
@@ -119,6 +120,13 @@ struct FederationConfig {
   /// experiment runner forwards it into AllocatorParams. Mechanisms other
   /// than QA-NT ignore it.
   allocation::SolicitationConfig solicitation;
+  /// Hierarchical two-tier market plan (DESIGN.md §12). Disabled (the
+  /// default) runs the classic flat single-mediator market. When enabled
+  /// with >= 2 clusters, each cluster runs its own QA-NT sub-mediator and
+  /// a top-level market routes queries by aggregate supply. Validated by
+  /// ValidateConfig; forwarded into AllocatorParams by the experiment
+  /// runner. Mechanisms other than QA-NT ignore it.
+  allocation::ClusterPlan cluster_plan;
   /// Node-partition count of the sharded core: nodes are split into this
   /// many shards (stable id-hash, see ShardPlan), each draining its own
   /// event lane between market-tick barriers. Results are byte-identical

@@ -51,6 +51,9 @@ struct SimMetrics {
   int64_t lost = 0;
   /// Total network messages spent on allocation decisions.
   int64_t messages = 0;
+  /// Hierarchical runs: total cluster sub-mediators solicited by the top
+  /// tier across all allocation attempts (0 under the flat market).
+  int64_t clusters_solicited = 0;
   /// Total nodes solicited for offers across all allocation attempts (the
   /// accumulated fanout; 0 for mechanisms that do not negotiate).
   int64_t solicited = 0;

@@ -16,6 +16,10 @@ obs::Json MetricsToJson(const SimMetrics& metrics) {
   json.Set("lost", metrics.lost);
   json.Set("messages", metrics.messages);
   json.Set("solicited", metrics.solicited);
+  // Omitted for flat-market runs so their reports keep their exact bytes.
+  if (metrics.clusters_solicited != 0) {
+    json.Set("clusters_solicited", metrics.clusters_solicited);
+  }
   json.Set("events_dispatched", metrics.events_dispatched);
   json.Set("end_time_us", metrics.end_time);
   json.Set("total_busy_us", metrics.total_busy_time);

@@ -1,0 +1,413 @@
+// Tests of the hierarchical two-tier market (DESIGN.md §12): ClusterPlan
+// validation, the aggregate-supply ledger, hand-computed two-cluster
+// routing, and the central equivalence anchor — a 1-cluster hierarchy
+// reproduces flat QA-NT byte for byte (trace + metrics) at every
+// shard/thread combination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "allocation/cluster_market.h"
+#include "allocation/cluster_plan.h"
+#include "allocation/qa_nt_allocator.h"
+#include "exec/experiment_runner.h"
+#include "exec/thread_pool.h"
+#include "market/cluster_supply.h"
+#include "obs/recorder.h"
+#include "obs/trace_reader.h"
+#include "query/cost_model.h"
+#include "sim/federation.h"
+#include "sim/metrics_json.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "workload/sinusoid.h"
+
+namespace qa::allocation {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+// --------------------------------------------------- ClusterPlan::Validate
+
+TEST(ClusterPlanTest, DisabledPlanIsAlwaysValid) {
+  ClusterPlan plan;  // disabled: clusters/top are ignored
+  EXPECT_TRUE(plan.Validate(10).ok());
+  plan.clusters = {{99}};  // garbage, but the plan is off
+  EXPECT_TRUE(plan.Validate(10).ok());
+  EXPECT_FALSE(plan.hierarchical());
+}
+
+TEST(ClusterPlanTest, EnabledPlanWithZeroClustersIsRejected) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  util::Status status = plan.Validate(4);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("zero clusters"), std::string::npos);
+}
+
+TEST(ClusterPlanTest, NodeInNoClusterIsRejected) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1}, {3}};  // node 2 unplaced
+  util::Status status = plan.Validate(4);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("no cluster"), std::string::npos);
+}
+
+TEST(ClusterPlanTest, NodeInTwoClustersIsRejected) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1}, {1, 2, 3}};
+  util::Status status = plan.Validate(4);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("more than one"), std::string::npos);
+}
+
+TEST(ClusterPlanTest, OutOfRangeMemberIsRejected) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1, 2, 3}, {4}};
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.clusters = {{0, 1, 2, -1}};
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+TEST(ClusterPlanTest, BadTopTierFanoutIsRejected) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1}, {2, 3}};
+  plan.top.policy = SolicitationPolicy::kUniformSample;
+  plan.top.fanout = 0;  // sampled top tier needs fanout >= 1
+  util::Status status = plan.Validate(4);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("top tier"), std::string::npos);
+}
+
+TEST(ClusterPlanTest, EmptyClusterIsLegal) {
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1, 2, 3}, {}};  // empty cluster: never offers
+  EXPECT_TRUE(plan.Validate(4).ok());
+  EXPECT_TRUE(plan.hierarchical());
+}
+
+TEST(ClusterPlanTest, UniformBuilderPartitionsEveryNode) {
+  ClusterPlan plan = ClusterPlan::Uniform(10, 3, /*top_fanout=*/2);
+  EXPECT_TRUE(plan.Validate(10).ok());
+  EXPECT_EQ(plan.num_clusters(), 3);
+  EXPECT_TRUE(plan.hierarchical());
+  EXPECT_EQ(plan.top.policy, SolicitationPolicy::kUniformSample);
+  EXPECT_EQ(plan.top.fanout, 2);
+  size_t total = 0;
+  for (const auto& members : plan.clusters) total += members.size();
+  EXPECT_EQ(total, 10u);
+  // top_fanout <= 0 selects top-tier broadcast.
+  EXPECT_EQ(ClusterPlan::Uniform(10, 3, 0).top.policy,
+            SolicitationPolicy::kBroadcast);
+}
+
+// ValidateConfig funnels plan validation: a federation run can never start
+// on a malformed cluster plan at either tier.
+TEST(ClusterPlanTest, ValidateConfigRejectsMalformedPlans) {
+  sim::FederationConfig config;
+  EXPECT_TRUE(sim::ValidateConfig(config, 4).ok());  // flat default
+
+  config.cluster_plan.enabled = true;
+  EXPECT_FALSE(sim::ValidateConfig(config, 4).ok());  // zero clusters
+
+  config.cluster_plan.clusters = {{0, 1}, {2, 3}};
+  EXPECT_TRUE(sim::ValidateConfig(config, 4).ok());
+
+  config.cluster_plan.top.policy = SolicitationPolicy::kStratifiedSample;
+  config.cluster_plan.top.fanout = -1;  // fanout <= 0 at the top tier
+  EXPECT_FALSE(sim::ValidateConfig(config, 4).ok());
+  config.cluster_plan.top.fanout = 1;
+  EXPECT_TRUE(sim::ValidateConfig(config, 4).ok());
+
+  // fanout <= 0 at the member tier is still rejected too.
+  config.solicitation.policy = SolicitationPolicy::kUniformSample;
+  config.solicitation.fanout = 0;
+  EXPECT_FALSE(sim::ValidateConfig(config, 4).ok());
+}
+
+// -------------------------------------------------------- supply ledger
+
+TEST(ClusterSupplyAgentTest, LedgerTracksPublishSellExhaust) {
+  market::ClusterSupplyAgent agent(/*cluster=*/3, /*num_classes=*/2);
+  EXPECT_EQ(agent.cluster(), 3);
+  EXPECT_FALSE(agent.OnSolicited(0));  // nothing published yet
+
+  market::QuantityVector aggregate(2);
+  aggregate[0] = 2;
+  aggregate[1] = 0;
+  agent.Publish(aggregate);
+  EXPECT_TRUE(agent.OnSolicited(0));
+  EXPECT_FALSE(agent.OnSolicited(1));  // zero supply for class 1
+
+  agent.OnSold(0);
+  EXPECT_EQ(agent.remaining()[0], 1);
+  EXPECT_EQ(agent.published()[0], 2);  // published is the period's plan
+  agent.OnSold(0);
+  EXPECT_FALSE(agent.OnSolicited(0));  // sold out
+  EXPECT_EQ(agent.sold()[0], 2);
+
+  agent.Publish(aggregate);  // next period restores the ledger
+  EXPECT_TRUE(agent.OnSolicited(0));
+  agent.MarkExhausted(0);  // tier-2 all-decline correction
+  EXPECT_FALSE(agent.OnSolicited(0));
+
+  const market::ClusterSupplyStats& stats = agent.stats();
+  EXPECT_EQ(stats.publishes, 2);
+  EXPECT_EQ(stats.top_requests, 6);
+  EXPECT_EQ(stats.top_offers, 2);
+  EXPECT_EQ(stats.top_declines, 4);
+  EXPECT_EQ(stats.exhausted_marks, 1);
+}
+
+TEST(ClusterSupplyAgentTest, DefaultPlannedSupplyMatchesFreshAgent) {
+  std::vector<util::VDuration> costs = {50 * kMillisecond,
+                                        200 * kMillisecond};
+  market::QaNtConfig config;
+  market::QaNtAgent fresh(7, costs, 500 * kMillisecond, config);
+  fresh.BeginPeriod();
+  // The default plan is the fresh agent's eq.-4 plan, floored at 1 for
+  // every evaluable class (budget-elastic admission accepts a first query
+  // of any evaluable class, even into debt).
+  market::QuantityVector plan =
+      market::DefaultPlannedSupply(costs, 500 * kMillisecond, config);
+  for (int k = 0; k < plan.num_classes(); ++k) {
+    EXPECT_EQ(plan[k], std::max(fresh.planned_supply()[k],
+                                market::Quantity{1}))
+        << "class " << k;
+  }
+}
+
+TEST(ClusterSupplyAgentTest, DefaultPlannedSupplyFloorsEvaluableClasses) {
+  // Class 0 cannot fit in the budget (cost > budget) but is evaluable, so
+  // the floor advertises 1; class 1 is infeasible and stays 0.
+  std::vector<util::VDuration> costs = {
+      800 * kMillisecond, market::CapacitySupplySet::kCannotEvaluate};
+  market::QaNtConfig config;
+  market::QuantityVector plan =
+      market::DefaultPlannedSupply(costs, 500 * kMillisecond, config);
+  EXPECT_EQ(plan[0], 1);
+  EXPECT_EQ(plan[1], 0);
+}
+
+// ------------------------------------------------- two-cluster routing
+
+/// Minimal read-only context (every node online, no live state).
+class IdleContext : public AllocationContext {
+ public:
+  explicit IdleContext(const query::CostModel* model) : model_(model) {}
+  int num_nodes() const override { return model_->num_nodes(); }
+  const query::CostModel& cost_model() const override { return *model_; }
+  util::VDuration NodeBacklog(catalog::NodeId) const override { return 0; }
+  double NodeQueuedWork(catalog::NodeId) const override { return 0.0; }
+  double NodeCumulativeWork(catalog::NodeId) const override { return 0.0; }
+  util::VTime now() const override { return 0; }
+
+ private:
+  const query::CostModel* model_;
+};
+
+// Hand-computed routing over known aggregate supplies: with T = 500 ms and
+// one class, cluster 0 = {node0: 100ms, node1: 50ms} publishes 5 + 10 = 15
+// units, cluster 1 = {node2: 10ms, node3: 200ms} publishes 50 + 2 = 52.
+// Both offer; cluster 1 quotes 10 ms < cluster 0's 50 ms, so the query
+// routes to cluster 1 and lands on node 2 in the tier-2 auction.
+TEST(ClusterMarketTest, RoutesToCheapestOfferingCluster) {
+  query::MatrixCostModel model(/*num_classes=*/1, /*num_nodes=*/4);
+  model.SetCost(0, 0, 100 * kMillisecond);
+  model.SetCost(0, 1, 50 * kMillisecond);
+  model.SetCost(0, 2, 10 * kMillisecond);
+  model.SetCost(0, 3, 200 * kMillisecond);
+
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0, 1}, {2, 3}};  // top tier broadcasts by default
+  ASSERT_TRUE(plan.Validate(4).ok());
+
+  QaNtAllocator allocator(&model, 500 * kMillisecond, {},
+                          QaNtAllocator::OfferSelection::kCheapest, {},
+                          /*seed=*/1, plan);
+  IdleContext context(&model);
+  workload::Arrival arrival;
+  arrival.class_id = 0;
+
+  AllocationDecision decision = allocator.Allocate(arrival, context);
+  EXPECT_EQ(decision.cluster, 1);
+  EXPECT_EQ(decision.node, 2);
+  EXPECT_EQ(decision.clusters_solicited, 2);
+  EXPECT_EQ(decision.solicited, 2);
+  // 2 messages per solicited sub-mediator + 2 per asked member + accept.
+  EXPECT_EQ(decision.messages, 2 * 2 + 2 * 2 + 1);
+
+  const ClusterMarket* market = allocator.cluster_market();
+  ASSERT_NE(market, nullptr);
+  EXPECT_EQ(market->Quote(0, 0), 50 * kMillisecond);
+  EXPECT_EQ(market->Quote(1, 0), 10 * kMillisecond);
+  EXPECT_EQ(market->agent(1).published()[0], 52);
+  EXPECT_EQ(market->agent(1).remaining()[0], 51);  // one unit sold
+  EXPECT_EQ(market->agent(1).sold()[0], 1);
+  EXPECT_EQ(market->cluster_of(1), 0);
+  EXPECT_EQ(market->cluster_of(3), 1);
+}
+
+// Once the preferred cluster's ledger runs dry the top market routes
+// follow-up queries to the other cluster — no member messages are wasted
+// on a cluster that published zero remaining supply.
+TEST(ClusterMarketTest, ExhaustedClusterRoutesElsewhere) {
+  query::MatrixCostModel model(/*num_classes=*/1, /*num_nodes=*/2);
+  model.SetCost(0, 0, 100 * kMillisecond);  // cluster 0: supply 1
+  model.SetCost(0, 1, 50 * kMillisecond);   // cluster 1: supply 2
+
+  ClusterPlan plan;
+  plan.enabled = true;
+  plan.clusters = {{0}, {1}};
+  QaNtAllocator allocator(&model, 100 * kMillisecond, {},
+                          QaNtAllocator::OfferSelection::kCheapest, {},
+                          /*seed=*/1, plan);
+  IdleContext context(&model);
+  workload::Arrival arrival;
+  arrival.class_id = 0;
+
+  // Two sales drain cluster 1's published aggregate of 2 units...
+  EXPECT_EQ(allocator.Allocate(arrival, context).cluster, 1);
+  EXPECT_EQ(allocator.Allocate(arrival, context).cluster, 1);
+  EXPECT_EQ(allocator.cluster_market()->agent(1).remaining()[0], 0);
+  // ...so the third query routes to cluster 0 without soliciting node 1.
+  AllocationDecision third = allocator.Allocate(arrival, context);
+  EXPECT_EQ(third.cluster, 0);
+  EXPECT_EQ(third.node, 0);
+}
+
+// ------------------------------------------------ flat/hier equivalence
+
+struct RunOutput {
+  std::string trace;
+  std::string metrics;
+};
+
+/// Runs a 12-node two-class federation under QA-NT/uniform-4, optionally
+/// under a cluster plan, at the given shard/thread layout, and returns the
+/// full trace bytes plus the metrics JSON.
+RunOutput RunScenario(const ClusterPlan& plan, int shards, int threads) {
+  util::Rng rng(11);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = 12;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+
+  workload::SinusoidConfig workload;
+  workload.q1_peak_rate = 30.0;
+  workload.frequency_hz = 0.5;
+  workload.duration = 2 * kSecond;
+  workload.num_origin_nodes = 12;
+  util::Rng wl_rng(12);
+  workload::Trace trace = workload::GenerateSinusoidWorkload(workload, wl_rng);
+
+  RunOutput out;
+  std::ostringstream sink;
+  {
+    exec::ThreadPool pool(threads);
+    exec::PoolRunner runner(&pool);
+    obs::Recorder recorder(&sink);
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.mechanism = "QA-NT";
+    spec.trace = &trace;
+    spec.period = 500 * kMillisecond;
+    spec.seed = 11;
+    spec.config.solicitation.policy = SolicitationPolicy::kUniformSample;
+    spec.config.solicitation.fanout = 4;
+    spec.config.cluster_plan = plan;
+    spec.config.recorder = &recorder;
+    spec.config.shards = shards;
+    if (threads > 1 || shards > 1) spec.config.runner = &runner;
+    exec::RunResult result = exec::RunSpecOnce(spec);
+    recorder.Finish();
+    out.metrics = sim::MetricsToJson(result.metrics).Dump();
+  }
+  out.trace = std::move(sink).str();
+  return out;
+}
+
+// The equivalence anchor: a 1-cluster hierarchy is the flat market — same
+// trace bytes, same metrics — at every shard/thread combination. This is
+// what guarantees that merely enabling the plan feature can never perturb
+// a federation with nothing to cluster.
+TEST(HierarchyEquivalenceTest, OneClusterHierarchyIsByteIdenticalToFlat) {
+  ClusterPlan one_cluster;
+  one_cluster.enabled = true;
+  one_cluster.clusters.resize(1);
+  for (catalog::NodeId node = 0; node < 12; ++node) {
+    one_cluster.clusters[0].push_back(node);
+  }
+  one_cluster.top.policy = SolicitationPolicy::kUniformSample;
+  one_cluster.top.fanout = 2;
+
+  RunOutput flat = RunScenario(ClusterPlan{}, /*shards=*/1, /*threads=*/1);
+  ASSERT_GT(flat.trace.size(), 0u);
+  for (int shards : {1, 4}) {
+    for (int threads : {1, 8}) {
+      RunOutput hier = RunScenario(one_cluster, shards, threads);
+      EXPECT_EQ(hier.trace, flat.trace)
+          << "1-cluster hierarchy diverged from flat QA-NT at shards="
+          << shards << " threads=" << threads;
+      EXPECT_EQ(hier.metrics, flat.metrics)
+          << "metrics diverged at shards=" << shards
+          << " threads=" << threads;
+    }
+  }
+}
+
+// The genuinely hierarchical run must itself be placement-independent:
+// identical bytes at every shard/thread layout (the two-stage dispatch
+// lives on the mediator lane, so sharding stays an execution detail).
+TEST(HierarchyEquivalenceTest, ThreeClusterRunIsByteIdenticalAcrossShards) {
+  ClusterPlan plan = ClusterPlan::Uniform(12, 3, /*top_fanout=*/2);
+  RunOutput inline_run = RunScenario(plan, /*shards=*/1, /*threads=*/1);
+  ASSERT_GT(inline_run.trace.size(), 0u);
+
+  // A hierarchical run actually is different from the flat market.
+  RunOutput flat = RunScenario(ClusterPlan{}, /*shards=*/1, /*threads=*/1);
+  EXPECT_NE(inline_run.trace, flat.trace);
+
+  for (int shards : {1, 4}) {
+    for (int threads : {1, 8}) {
+      if (shards == 1 && threads == 1) continue;
+      RunOutput other = RunScenario(plan, shards, threads);
+      EXPECT_EQ(other.trace, inline_run.trace)
+          << "hierarchical run diverged at shards=" << shards
+          << " threads=" << threads;
+      EXPECT_EQ(other.metrics, inline_run.metrics);
+    }
+  }
+
+  // The hierarchical trace carries the v5 cluster observability: meta
+  // cluster fields, per-attempt cluster routing, and snapshot records.
+  std::istringstream stream(inline_run.trace);
+  util::StatusOr<obs::ParsedTrace> parsed = obs::ParsedTrace::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->meta.clusters, 3);
+  EXPECT_EQ(parsed->meta.top_fanout, 2);
+  EXPECT_GT(parsed->clusters.size(), 0u);
+  bool saw_routed_assign = false;
+  for (const obs::EventRecord& event : parsed->events) {
+    if (event.kind == obs::EventRecord::Kind::kAssign &&
+        event.cluster >= 0) {
+      saw_routed_assign = true;
+      EXPECT_GT(event.clusters_asked, 0);
+    }
+  }
+  EXPECT_TRUE(saw_routed_assign);
+}
+
+}  // namespace
+}  // namespace qa::allocation

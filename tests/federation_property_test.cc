@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -154,6 +155,29 @@ FuzzCase MakeCase(int index) {
     // Half the price-signal draws exercise the slow-tracking baseline.
     if (rng.Bernoulli(0.5)) c.config.admission.baseline_alpha = 0.05;
   }
+  // Hierarchical two-tier topologies ride along after every earlier draw
+  // so the existing corpus replays byte-identically. Only QA-NT consumes
+  // the plan; membership is drawn per node, so cluster sizes skew
+  // naturally and small plans can come out with an empty cluster (legal —
+  // the cluster simply never wins the top-tier auction).
+  if (c.mechanism == "QA-NT" && rng.Bernoulli(0.5)) {
+    int num_clusters =
+        static_cast<int>(rng.UniformInt(1, std::min(c.num_nodes, 6)));
+    c.config.cluster_plan.enabled = true;
+    c.config.cluster_plan.clusters.assign(
+        static_cast<size_t>(num_clusters), {});
+    for (int node = 0; node < c.num_nodes; ++node) {
+      int64_t cl = rng.UniformInt(0, num_clusters - 1);
+      c.config.cluster_plan.clusters[static_cast<size_t>(cl)].push_back(
+          static_cast<catalog::NodeId>(node));
+    }
+    if (rng.Bernoulli(0.5)) {
+      c.config.cluster_plan.top.policy =
+          allocation::SolicitationPolicy::kUniformSample;
+      c.config.cluster_plan.top.fanout =
+          static_cast<int>(rng.UniformInt(1, 8));
+    }
+  }
   return c;
 }
 
@@ -278,10 +302,37 @@ void CheckInvariants(const FuzzCase& c, const workload::Trace& trace,
     EXPECT_GE(agent.declined, 0);
     EXPECT_GE(agent.periods, 0);
   }
+
+  // Hierarchical-market invariants: cluster solicitations only happen
+  // under a multi-cluster plan, and every cluster ledger snapshot stays
+  // within its published aggregate.
+  EXPECT_GE(m.clusters_solicited, 0);
+  if (!c.config.cluster_plan.hierarchical()) {
+    EXPECT_EQ(m.clusters_solicited, 0);
+    EXPECT_TRUE(parsed.clusters.empty());
+  }
+  int num_clusters = c.config.cluster_plan.num_clusters();
+  for (const obs::ClusterRecord& rec : parsed.clusters) {
+    EXPECT_GE(rec.cluster, 0);
+    EXPECT_LT(rec.cluster, num_clusters);
+    EXPECT_GE(rec.published, 0);
+    EXPECT_GE(rec.remaining, 0);
+    EXPECT_LE(rec.remaining, rec.published);
+    EXPECT_GE(rec.sold, 0);
+  }
+  for (const obs::EventRecord& event : parsed.events) {
+    EXPECT_GE(event.clusters_asked, 0);
+    EXPECT_GE(event.cluster, -1);
+    EXPECT_LT(event.cluster, num_clusters);
+    if (!c.config.cluster_plan.hierarchical()) {
+      EXPECT_EQ(event.cluster, -1);
+      EXPECT_EQ(event.clusters_asked, 0);
+    }
+  }
 }
 
 TEST(FederationPropertyTest, InvariantsHoldOnRandomScenarios) {
-  constexpr int kCases = 30;
+  constexpr int kCases = 48;
   for (int i = 0; i < kCases; ++i) {
     SCOPED_TRACE("fuzz case " + std::to_string(i));
     FuzzCase c = MakeCase(i);
@@ -412,7 +463,7 @@ ReplayResult ReplayCase(const FuzzCase& c, int index,
 // merge reproduces the inline event order exactly — and that profiling
 // rides along without perturbing it.
 TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
-  constexpr int kCases = 30;
+  constexpr int kCases = 48;
   for (int i = 0; i < kCases; ++i) {
     SCOPED_TRACE("fuzz case " + std::to_string(i));
     FuzzCase c = MakeCase(i);
@@ -458,7 +509,8 @@ TEST(FederationPropertyTest, ShardedReplayIsByteIdenticalToInline) {
 TEST(FederationPropertyTest, CorpusCoversTheInterestingPaths) {
   int sampled = 0, faulted = 0, deadlined = 0, qa_nt = 0;
   int surged = 0, bounded = 0, admitted = 0, deferred = 0;
-  for (int i = 0; i < 30; ++i) {
+  int clustered = 0, degenerate = 0, empty_cluster = 0, skewed = 0;
+  for (int i = 0; i < 48; ++i) {
     FuzzCase c = MakeCase(i);
     if (c.solicitation.sampled()) ++sampled;
     if (!c.config.faults.empty()) ++faulted;
@@ -471,6 +523,17 @@ TEST(FederationPropertyTest, CorpusCoversTheInterestingPaths) {
         c.config.admission.defer) {
       ++deferred;
     }
+    const allocation::ClusterPlan& plan = c.config.cluster_plan;
+    if (plan.hierarchical()) ++clustered;
+    if (plan.enabled && plan.num_clusters() == 1) ++degenerate;
+    size_t min_size = SIZE_MAX, max_size = 0;
+    for (const auto& members : plan.clusters) {
+      if (members.empty()) ++empty_cluster;
+      min_size = std::min(min_size, members.size());
+      max_size = std::max(max_size, members.size());
+    }
+    if (plan.hierarchical() && max_size >= 2 * std::max(min_size, size_t{1}))
+      ++skewed;
   }
   EXPECT_GE(sampled, 1);
   EXPECT_GE(faulted, 5);
@@ -480,6 +543,13 @@ TEST(FederationPropertyTest, CorpusCoversTheInterestingPaths) {
   EXPECT_GE(bounded, 5);
   EXPECT_GE(admitted, 5);
   EXPECT_GE(deferred, 1);
+  // Hierarchical topologies: multi-cluster plans, at least one degenerate
+  // 1-cluster plan (the flat-equivalence path), an empty cluster, and a
+  // skewed size split must all appear in the corpus.
+  EXPECT_GE(clustered, 2);
+  EXPECT_GE(degenerate + clustered, 3);
+  EXPECT_GE(empty_cluster, 1);
+  EXPECT_GE(skewed, 1);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "allocation/cluster_plan.h"
 #include "allocation/solicitation.h"
 #include "exec/experiment_runner.h"
 #include "exec/thread_pool.h"
@@ -672,6 +673,109 @@ TEST(GoldenTraceTest, GoldenScenarioIsByteIdenticalUnderSharding) {
   EXPECT_EQ(GenerateGoldenTrace(/*shards=*/4), golden.str())
       << "sharded run diverged from the golden trace: the conservative "
          "window merge no longer reproduces the inline event order";
+}
+
+/// The hierarchical twin of the golden scenario: six nodes split into two
+/// clusters of three, top tier sampling both clusters, members solicited
+/// with stratified-sample(2). Locks the v5 cluster fields — meta
+/// clusters/top_fanout, per-event cluster/clusters_asked, and the periodic
+/// `cluster` ledger records — against a checked-in artifact.
+std::string GenerateHierGoldenTrace(int shards = 1) {
+  util::Rng rng(7);
+  sim::TwoClassConfig scenario;
+  scenario.num_nodes = 6;
+  auto model = sim::BuildTwoClassCostModel(scenario, rng);
+
+  workload::SinusoidConfig workload;
+  workload.q1_peak_rate = 6.0;
+  workload.frequency_hz = 0.5;
+  workload.duration = 2 * util::kSecond;
+  workload.num_origin_nodes = 6;
+  util::Rng wl_rng(8);
+  workload::Trace trace = workload::GenerateSinusoidWorkload(workload, wl_rng);
+
+  std::ostringstream sink;
+  {
+    exec::ThreadPool pool(2);
+    exec::PoolRunner runner(&pool);
+    Recorder recorder(&sink);
+    exec::RunSpec spec;
+    spec.cost_model = model.get();
+    spec.mechanism = "QA-NT";
+    spec.trace = &trace;
+    spec.period = 500 * kMillisecond;
+    spec.seed = 7;
+    spec.config.solicitation.policy =
+        allocation::SolicitationPolicy::kStratifiedSample;
+    spec.config.solicitation.fanout = 2;
+    spec.config.cluster_plan =
+        allocation::ClusterPlan::Uniform(/*num_nodes=*/6, /*num_clusters=*/2,
+                                         /*top_fanout=*/2);
+    spec.config.recorder = &recorder;
+    spec.config.shards = shards;
+    if (shards > 1) spec.config.runner = &runner;
+    exec::RunSpecOnce(spec);
+    recorder.Finish();
+  }
+  return std::move(sink).str();
+}
+
+// Same regression lock as GoldenScenarioReproducesCheckedInBytes, for the
+// two-tier market. Regenerate with
+//   QA_UPDATE_GOLDEN=1 ./obs_test --gtest_filter='*HierGolden*'
+TEST(GoldenTraceTest, HierGoldenScenarioReproducesCheckedInBytes) {
+  const std::string golden_path =
+      std::string(QA_TEST_SOURCE_DIR) + "/tests/golden/trace_hier_tiny.jsonl";
+  std::string bytes = GenerateHierGoldenTrace();
+
+  if (std::getenv("QA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << bytes;
+    return;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << golden_path << " missing; regenerate with QA_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(bytes, golden.str())
+      << "hierarchical golden trace drifted; if the change is intentional, "
+         "update SCHEMA.md and regenerate with QA_UPDATE_GOLDEN=1";
+
+  // The v5 cluster surface must actually be present and parse.
+  std::istringstream stream(bytes);
+  util::StatusOr<ParsedTrace> parsed = ParsedTrace::Parse(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->has_meta);
+  EXPECT_EQ(parsed->meta.clusters, 2);
+  EXPECT_EQ(parsed->meta.top_fanout, 2);
+  EXPECT_GT(parsed->clusters.size(), 0u);
+  bool routed = false;
+  for (const EventRecord& event : parsed->events) {
+    if (event.kind == EventRecord::Kind::kAssign && event.cluster >= 0) {
+      routed = true;
+      EXPECT_GT(event.clusters_asked, 0);
+    }
+  }
+  EXPECT_TRUE(routed) << "no assign event carried a cluster route";
+}
+
+// The hierarchical golden scenario split over 4 shards must also
+// reproduce the checked-in bytes: two-stage dispatch (top-tier routing +
+// member settlement) is mediator-lane work, so shard layout must not leak
+// into the trace.
+TEST(GoldenTraceTest, HierGoldenScenarioIsByteIdenticalUnderSharding) {
+  const std::string golden_path =
+      std::string(QA_TEST_SOURCE_DIR) + "/tests/golden/trace_hier_tiny.jsonl";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << golden_path << " missing; regenerate with QA_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(GenerateHierGoldenTrace(/*shards=*/4), golden.str())
+      << "sharded hierarchical run diverged from the golden trace";
 }
 
 }  // namespace

@@ -71,4 +71,42 @@ for layer in market allocation; do
     status=1
   fi
 done
+
+# The hierarchical-market sources (cluster_plan, cluster_market,
+# cluster_supply) get their own aggregate floor: they are new enough that
+# the per-layer averages above could mask an untested two-tier path.
+floor_cluster=80
+summary=$(cd "$build_dir" && \
+    find "$build_dir/src/market/CMakeFiles" \
+         "$build_dir/src/allocation/CMakeFiles" -name '*.gcda' \
+      -exec gcov -n -o {} {} \; 2>/dev/null \
+  | awk '
+      /^File / {
+        keep = (index($0, "src/market/cluster_") > 0 ||
+                index($0, "src/allocation/cluster_") > 0)
+      }
+      /^Lines executed:/ && keep {
+        pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+        total = $NF
+        exec_lines += pct / 100.0 * total
+        total_lines += total
+        keep = 0
+      }
+      END {
+        if (total_lines == 0) { print "0 0"; exit }
+        printf "%.1f %d\n", 100.0 * exec_lines / total_lines, total_lines
+      }')
+pct=${summary% *}
+total=${summary#* }
+if [ "$total" = "0" ]; then
+  echo "error: gcov found no lines for the cluster_* sources" >&2
+  exit 2
+fi
+printf 'cluster_*       %6s%% of %5s lines (floor %s%%)\n' \
+       "$pct" "$total" "$floor_cluster"
+if awk -v p="$pct" -v f="$floor_cluster" 'BEGIN { exit !(p < f) }'; then
+  echo "FAIL: cluster_* line coverage $pct% is below the" \
+       "$floor_cluster% floor" >&2
+  status=1
+fi
 exit $status

@@ -15,13 +15,16 @@
 //   * with --shed: a per-period overload table (sheds against arrivals and
 //     completions, schema v4 shed records) plus the trace's surge windows
 //     — the shedding-side companion to bench_overload's goodput grid;
+//   * with --clusters: the hierarchical market's per-cluster table
+//     (schema v5 cluster ledger records and per-event routing fields) —
+//     how the top tier spread work over the cluster sub-markets;
 //   * with --alarms=METRICS.jsonl: the watchdog alarm table from a
 //     --metrics run of the same experiment (see src/obs/SCHEMA.md), so the
 //     trace's period rows and the health alarms line up side by side.
 //
 // Usage:
 //   qa_trace TRACE.jsonl [--band=0.1] [--window=4] [--bucket-ms=2000]
-//            [--periods=N] [--csv] [--faults] [--shed]
+//            [--periods=N] [--csv] [--faults] [--shed] [--clusters]
 //            [--alarms=METRICS.jsonl]
 //
 // All analysis goes through the same parser the tests use
@@ -55,13 +58,14 @@ struct Options {
   bool csv = false;
   bool faults = false;      // fault-recovery summary
   bool shed = false;        // per-period overload/shedding table
+  bool clusters = false;    // hierarchical-market per-cluster table
   std::string alarms_path;  // metrics JSONL to read watchdog alarms from
 };
 
 void Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " TRACE.jsonl [--band=B] [--window=W] [--bucket-ms=MS]"
-               " [--periods=N] [--csv] [--faults] [--shed]"
+               " [--periods=N] [--csv] [--faults] [--shed] [--clusters]"
                " [--alarms=METRICS.jsonl]\n";
 }
 
@@ -82,6 +86,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->faults = true;
     } else if (arg == "--shed") {
       opts->shed = true;
+    } else if (arg == "--clusters") {
+      opts->clusters = true;
     } else if (arg.rfind("--alarms=", 0) == 0) {
       opts->alarms_path = arg.substr(9);
     } else if (arg == "--help" || arg == "-h") {
@@ -374,6 +380,82 @@ int Run(const Options& opts) {
                 << (event.class_id < 0 ? std::string("all")
                                        : std::to_string(event.class_id))
                 << ")\n";
+    }
+  }
+
+  // ---- Hierarchical market (--clusters; schema v5 cluster records).
+  if (opts.clusters) {
+    // The trace carries the cluster count on the meta line for
+    // hierarchical runs; fall back to the largest id the records mention
+    // so pre-meta or hand-edited traces still tabulate.
+    int num_clusters = meta.clusters;
+    for (const obs::ClusterRecord& rec : trace.clusters) {
+      num_clusters = std::max(num_clusters, rec.cluster + 1);
+    }
+    for (const obs::EventRecord& event : trace.events) {
+      num_clusters = std::max(num_clusters, event.cluster + 1);
+    }
+    if (num_clusters == 0) {
+      std::cout << "\nclusters: none (flat run — no hierarchical records "
+                   "in the trace)\n";
+    } else {
+      // Routing side, from the events: where assigns landed and how many
+      // clusters each attempt solicited.
+      std::vector<int64_t> assigns(static_cast<size_t>(num_clusters), 0);
+      std::vector<int64_t> rejects(static_cast<size_t>(num_clusters), 0);
+      int64_t routed_attempts = 0, clusters_asked = 0;
+      for (const obs::EventRecord& event : trace.events) {
+        if (event.clusters_asked > 0) {
+          ++routed_attempts;
+          clusters_asked += event.clusters_asked;
+        }
+        if (event.cluster < 0) continue;
+        size_t c = static_cast<size_t>(event.cluster);
+        if (event.kind == obs::EventRecord::Kind::kAssign) ++assigns[c];
+        if (event.kind == obs::EventRecord::Kind::kReject) ++rejects[c];
+      }
+      // Ledger side, from the periodic cluster records: the final
+      // published/remaining/sold state per cluster (summed over classes)
+      // and how many snapshots each cluster appeared in.
+      std::vector<int64_t> published(static_cast<size_t>(num_clusters), 0);
+      std::vector<int64_t> remaining(static_cast<size_t>(num_clusters), 0);
+      std::vector<int64_t> sold(static_cast<size_t>(num_clusters), 0);
+      std::vector<int64_t> samples(static_cast<size_t>(num_clusters), 0);
+      int64_t last_t =
+          trace.clusters.empty() ? -1 : trace.clusters.back().t_us;
+      for (const obs::ClusterRecord& rec : trace.clusters) {
+        size_t c = static_cast<size_t>(rec.cluster);
+        ++samples[c];
+        if (rec.t_us == last_t) {
+          published[c] += rec.published;
+          remaining[c] += rec.remaining;
+          sold[c] += rec.sold;
+        }
+      }
+      std::cout << "\nclusters: " << num_clusters << " (top fanout "
+                << (meta.top_fanout > 0 ? std::to_string(meta.top_fanout)
+                                        : std::string("broadcast"))
+                << ", " << trace.clusters.size() << " ledger records)\n";
+      if (routed_attempts > 0) {
+        std::cout << "top tier: " << Fmt(static_cast<double>(clusters_asked) /
+                                         static_cast<double>(routed_attempts))
+                  << " cluster(s) solicited per routed attempt\n";
+      }
+      util::TableWriter cluster_table({"Cluster", "Samples", "Assigns",
+                                       "Rejects", "Published", "Remaining",
+                                       "Sold"});
+      for (int c = 0; c < num_clusters; ++c) {
+        size_t i = static_cast<size_t>(c);
+        cluster_table.BeginRow();
+        cluster_table.AddCell(c);
+        cluster_table.AddCell(samples[i]);
+        cluster_table.AddCell(assigns[i]);
+        cluster_table.AddCell(rejects[i]);
+        cluster_table.AddCell(published[i]);
+        cluster_table.AddCell(remaining[i]);
+        cluster_table.AddCell(sold[i]);
+      }
+      Emit(cluster_table, opts.csv);
     }
   }
 
